@@ -1,0 +1,480 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one benchmark
+// per figure/theorem (DESIGN.md §3 maps IDs to experiments), plus substrate
+// scaling benchmarks. Custom metrics report the quantities the paper talks
+// about: rounds to termination and total messages.
+//
+//	go test -bench=. -benchmem
+package amnesiacflood_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"amnesiacflood/internal/async"
+	"amnesiacflood/internal/classic"
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/detect"
+	"amnesiacflood/internal/doublecover"
+	"amnesiacflood/internal/dynamic"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/experiments"
+	"amnesiacflood/internal/faults"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/multiflood"
+	"amnesiacflood/internal/termdetect"
+	"amnesiacflood/internal/theory"
+)
+
+// benchFlood runs AF once per iteration and reports rounds/messages metrics.
+func benchFlood(b *testing.B, g *graph.Graph, source graph.NodeID) {
+	b.Helper()
+	var rep *core.Report
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = core.Run(g, core.Sequential, source)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Rounds()), "rounds")
+	b.ReportMetric(float64(rep.TotalMessages()), "messages")
+}
+
+// E1: Figure 1 — the 4-node line from b.
+func BenchmarkFig1Line(b *testing.B) {
+	benchFlood(b, gen.Path(4), 1)
+}
+
+// E2: Figure 2 — the triangle from b.
+func BenchmarkFig2Triangle(b *testing.B) {
+	benchFlood(b, gen.Cycle(3), 1)
+}
+
+// E3: Figure 3 — the even cycle C6.
+func BenchmarkFig3EvenCycle(b *testing.B) {
+	benchFlood(b, gen.Cycle(6), 0)
+}
+
+// E4: Lemma 2.1 / Corollary 2.2 — bipartite families at increasing sizes.
+// rounds must equal e(source) <= D for every series point.
+func BenchmarkBipartiteTermination(b *testing.B) {
+	families := []struct {
+		name string
+		make func(n int) *graph.Graph
+	}{
+		{"path", gen.Path},
+		{"evenCycle", func(n int) *graph.Graph { return gen.Cycle(2 * (n / 2)) }},
+		{"grid", func(n int) *graph.Graph { return gen.Grid(n/32, 32) }},
+		{"hypercube", func(n int) *graph.Graph {
+			d := 0
+			for 1<<d < n {
+				d++
+			}
+			return gen.Hypercube(d)
+		}},
+	}
+	for _, fam := range families {
+		for _, n := range []int{64, 512, 4096} {
+			g := fam.make(n)
+			b.Run(fmt.Sprintf("%s/n=%d", fam.name, g.N()), func(b *testing.B) {
+				ecc := algo.Eccentricity(g, 0)
+				var rep *core.Report
+				var err error
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err = core.Run(g, core.Sequential, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if rep.Rounds() != ecc {
+					b.Fatalf("rounds %d != e(source) %d (Lemma 2.1)", rep.Rounds(), ecc)
+				}
+				b.ReportMetric(float64(rep.Rounds()), "rounds")
+				b.ReportMetric(float64(rep.TotalMessages()), "messages")
+			})
+		}
+	}
+}
+
+// E5: Theorems 3.1 + 3.3 — non-bipartite families; rounds must stay within
+// 2D+1.
+func BenchmarkNonBipartiteTermination(b *testing.B) {
+	instances := []*graph.Graph{
+		gen.Cycle(65), gen.Cycle(513), gen.Cycle(4097),
+		gen.Complete(64), gen.Wheel(257),
+		gen.Lollipop(5, 128), gen.Torus(5, 13),
+	}
+	for _, g := range instances {
+		b.Run(g.Name(), func(b *testing.B) {
+			diam := algo.Diameter(g)
+			var rep *core.Report
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = core.Run(g, core.Sequential, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if rep.Rounds() > 2*diam+1 {
+				b.Fatalf("rounds %d > 2D+1 = %d (Theorem 3.3)", rep.Rounds(), 2*diam+1)
+			}
+			b.ReportMetric(float64(rep.Rounds()), "rounds")
+			b.ReportMetric(float64(rep.TotalMessages()), "messages")
+		})
+	}
+}
+
+// E6: Figure 4 / Lemma 3.2 — cost of reconstructing round-sets and checking
+// the odd-gap invariant on a non-trivial run.
+func BenchmarkRoundSetAnalysis(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.RandomNonBipartite(512, 0.01, rng)
+	rep, err := core.Run(g, core.Sequential, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := theory.CheckOddGapInvariant(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7: Figure 5 — asynchronous runs to their certificate (odd cycles under
+// the delaying adversary) or to termination (control adversary).
+func BenchmarkAsyncAdversary(b *testing.B) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		adv  async.Adversary
+		want async.Outcome
+	}{
+		{"triangle/collision", gen.Cycle(3), async.CollisionDelayer{}, async.CycleDetected},
+		{"C15/collision", gen.Cycle(15), async.CollisionDelayer{}, async.CycleDetected},
+		{"C101/collision", gen.Cycle(101), async.CollisionDelayer{}, async.CycleDetected},
+		{"triangle/sync", gen.Cycle(3), async.SyncAdversary{}, async.Terminated},
+		{"tree/collision", gen.CompleteBinaryTree(7), async.CollisionDelayer{}, async.Terminated},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var res async.Result
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = async.Run(tc.g, tc.adv, async.Options{}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if res.Outcome != tc.want {
+				b.Fatalf("outcome %v, want %v", res.Outcome, tc.want)
+			}
+			b.ReportMetric(float64(res.Rounds), "rounds")
+		})
+	}
+}
+
+// E8: amnesiac vs classic flooding on the same instances — the message and
+// round overhead of amnesia.
+func BenchmarkClassicComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	instances := []*graph.Graph{
+		gen.Cycle(1025),
+		gen.Grid(32, 32),
+		gen.RandomNonBipartite(1024, 0.005, rng),
+	}
+	for _, g := range instances {
+		b.Run("amnesiac/"+g.Name(), func(b *testing.B) {
+			benchFlood(b, g, 0)
+		})
+		b.Run("classic/"+g.Name(), func(b *testing.B) {
+			var res engine.Result
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				proto, err := classic.NewFlood(g, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = engine.Run(g, proto, engine.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Rounds), "rounds")
+			b.ReportMetric(float64(res.TotalMessages), "messages")
+		})
+	}
+}
+
+// E9: bipartiteness detection by flooding vs BFS two-colouring ground truth.
+func BenchmarkBipartitenessDetection(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.RandomConnected(1024, 0.004, rng)
+	b.Run("flood", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := detect.Bipartiteness(g, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("twoColor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			algo.TwoColor(g)
+		}
+	})
+}
+
+// E10: the two synchronous engines on the same workload — the cost of real
+// goroutines and channels per round.
+func BenchmarkEngines(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.RandomNonBipartite(256, 0.02, rng)
+	flood, err := core.NewFlood(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(g, flood, engine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("channels", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := chanengine.Run(g, flood, engine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E11: double-cover prediction vs simulation — the analytical shortcut
+// must beat the simulator it predicts.
+func BenchmarkDoubleCoverPrediction(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.RandomNonBipartite(1024, 0.004, rng)
+	b.Run("predict", func(b *testing.B) {
+		b.ReportAllocs()
+		var pred doublecover.Prediction
+		for i := 0; i < b.N; i++ {
+			pred = doublecover.Predict(g, 0)
+		}
+		b.ReportMetric(float64(pred.Rounds), "rounds")
+	})
+	b.Run("simulate", func(b *testing.B) {
+		benchFlood(b, g, 0)
+	})
+}
+
+// E12: fault injection — certificate on the minimal loss case and a lossy
+// sweep point.
+func BenchmarkFaultInjection(b *testing.B) {
+	b.Run("dropOnce/C64", func(b *testing.B) {
+		g := gen.Cycle(64)
+		inj := faults.AfterRound{Inner: faults.DropOnce{Round: 1, From: 0, To: 63}, Round: 1}
+		var res faults.Result
+		var err error
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err = faults.Run(g, inj, faults.Options{}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if res.Outcome != faults.CycleDetected {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+	})
+	b.Run("randomLoss/grid16", func(b *testing.B) {
+		g := gen.Grid(16, 16)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := faults.Run(g, faults.RandomLoss{P: 0.05, Seed: int64(i)},
+				faults.Options{MaxRounds: 256}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E13: multi-source runs at increasing origin counts.
+func BenchmarkMultiSource(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.RandomConnected(1024, 0.004, rng)
+	for _, k := range []int{1, 4, 16, 64} {
+		origins := make([]graph.NodeID, k)
+		for i := range origins {
+			origins[i] = graph.NodeID(rng.Intn(g.N()))
+		}
+		b.Run(fmt.Sprintf("origins=%d", k), func(b *testing.B) {
+			var rep *core.Report
+			var err error
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err = core.Run(g, core.Sequential, origins...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Rounds()), "rounds")
+			b.ReportMetric(float64(rep.TotalMessages()), "messages")
+		})
+	}
+}
+
+// E14: dynamic schedules, one terminating and one certified-looping.
+func BenchmarkDynamicNetworks(b *testing.B) {
+	b.Run("static/grid16", func(b *testing.B) {
+		g := gen.Grid(16, 16)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dynamic.Run(g, dynamic.Static{}, dynamic.Options{}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("outage/C64", func(b *testing.B) {
+		g := gen.Cycle(64)
+		sched := dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 63}}
+		var res dynamic.Result
+		var err error
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err = dynamic.Run(g, sched, dynamic.Options{}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if res.Outcome != dynamic.CycleDetected {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+	})
+}
+
+// E15: one loss-curve point (20 runs at p = 0.1 on the grid).
+func BenchmarkLossCurvePoint(b *testing.B) {
+	g := gen.Grid(8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for run := 0; run < 20; run++ {
+			if _, err := faults.Run(g, faults.RandomLoss{P: 0.1, Seed: int64(run)},
+				faults.Options{MaxRounds: 256}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E16: broadcast congestion — k simultaneous floods with load accounting.
+func BenchmarkBroadcastLoad(b *testing.B) {
+	g := gen.Grid(16, 16)
+	origins := make([]graph.NodeID, 8)
+	for i := range origins {
+		origins[i] = graph.NodeID(i * 31)
+	}
+	var res multiflood.Result
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err = multiflood.Run(g, multiflood.AllFromOrigins(origins))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.MaxEdgeLoad), "peakEdgeLoad")
+	b.ReportMetric(float64(res.TotalMessages), "messages")
+}
+
+// E17: classic flooding with Dijkstra-Scholten termination detection — the
+// cost of knowing the flood is over.
+func BenchmarkTerminationDetection(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.RandomConnected(512, 0.008, rng)
+	var res termdetect.Result
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err = termdetect.Run(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.DetectionRound), "detectionRound")
+	b.ReportMetric(float64(res.TotalMessages()), "messages")
+}
+
+// E18: wavefront profile extraction (trace post-processing cost).
+func BenchmarkWavefrontProfile(b *testing.B) {
+	g := gen.Cycle(4097)
+	rep, err := core.Run(g, core.Sequential, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, rec := range rep.Result.Trace {
+			total += len(rec.Sends)
+		}
+		if total != rep.TotalMessages() {
+			b.Fatal("profile sum mismatch")
+		}
+	}
+}
+
+// Substrate scaling: AF cost as the graph grows (series for the "shape" of
+// round/message growth — linear in n on cycles, constant rounds on
+// hypercubes).
+func BenchmarkFloodScaling(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
+		g := gen.Cycle(n)
+		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
+			benchFlood(b, g, 0)
+		})
+	}
+	for _, d := range []int{8, 11, 14} {
+		g := gen.Hypercube(d)
+		b.Run(fmt.Sprintf("hypercube/d=%d", d), func(b *testing.B) {
+			benchFlood(b, g, 0)
+		})
+	}
+}
+
+// Full experiment suite end-to-end (what cmd/afbench runs), as a single
+// benchmark for regression tracking.
+func BenchmarkExperimentSuite(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, exp := range experiments.All() {
+			if _, err := exp.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command afbench runs the full experiment suite reproducing every figure
+// and theorem of the paper, printing one table per artifact. See DESIGN.md
+// §3 for the experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	afbench [-seed N] [-scale N] [-only E4,E7]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"amnesiacflood/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "afbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("afbench", flag.ContinueOnError)
+	cfg := experiments.DefaultConfig()
+	seed := fs.Int64("seed", cfg.Seed, "seed for all random instances")
+	scale := fs.Int("scale", cfg.Scale, "instance size multiplier")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default all)")
+	asJSON := fs.Bool("json", false, "emit the tables as a JSON array instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	var collected []*experiments.Table
+	for _, exp := range experiments.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		tables, err := exp.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", exp.ID, exp.Name, err)
+		}
+		for _, t := range tables {
+			if *asJSON {
+				collected = append(collected, t)
+				continue
+			}
+			if err := t.Fprint(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(collected)
+	}
+	return nil
+}

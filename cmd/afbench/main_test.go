@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSubsetWithSeed(t *testing.T) {
+	if err := run([]string{"-only", "e2,E3", "-seed", "99"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-only", "E1,E2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

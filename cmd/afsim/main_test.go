@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunHappyPaths(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "cycle", "-n", "6", "-source", "0"},
+		{"-topo", "path", "-n", "4", "-source", "1", "-render", "-timeline"},
+		{"-topo", "cycle", "-n", "3", "-source", "1", "-engine", "channels"},
+		{"-topo", "cycle", "-n", "3", "-source", "1", "-protocol", "classic"},
+		{"-topo", "cycle", "-n", "3", "-source", "1", "-json"},
+		{"-topo", "cycle", "-n", "3", "-source", "1", "-async", "collision"},
+		{"-topo", "cycle", "-n", "3", "-source", "1", "-async", "sync", "-render"},
+		{"-topo", "cycle", "-n", "6", "-source", "0", "-async", "random", "-maxrounds", "256"},
+		{"-topo", "cycle", "-n", "6", "-source", "0", "-async", "uniform"},
+		{"-topo", "cycle", "-n", "12", "-origins", "0,3,6"},
+		{"-topo", "cycle", "-n", "12", "-origins", "0, 6", "-protocol", "classic"},
+		{"-topo", "cycle", "-n", "9", "-source", "2", "-predict"},
+		{"-topo", "grid", "-n", "4", "-source", "5", "-predict"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                  // no topology
+		{"-topo", "nosuch"}, // unknown topology
+		{"-topo", "path", "-n", "4", "-source", "9"},                // bad source
+		{"-topo", "path", "-n", "4", "-protocol", "x"},              // bad protocol
+		{"-topo", "path", "-n", "4", "-engine", "x"},                // bad engine
+		{"-topo", "path", "-n", "4", "-async", "x"},                 // bad adversary
+		{"-topo", "path", "-n", "4", "-origins", "0,9"},             // origin out of range
+		{"-topo", "path", "-n", "4", "-origins", "a"},               // unparseable origin
+		{"-topo", "path", "-n", "4", "-origins", ","},               // empty origin list
+		{"-topo", "path", "-n", "4", "-origins", "0,1", "-predict"}, // predict needs one origin
+		{"-topo", "path", "-n", "4", "-protocol", "classic", "-predict"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("n 4\n0 1\n1 2\n2 3\n3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path, "-source", "2", "-render"}); err != nil {
+		t.Fatal(err)
+	}
+}

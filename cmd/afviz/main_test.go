@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"rounds", "timeline", "csv", "json"} {
+		if err := run([]string{"-topo", "cycle", "-n", "6", "-source", "0", "-format", format}); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunSVGFrames(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-topo", "cycle", "-n", "3", "-source", "1", "-format", "svg", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := filepath.Glob(filepath.Join(dir, "round*.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("wrote %d frames, want 3 (Figure 2 has 3 rounds)", len(frames))
+	}
+}
+
+func TestRunDOTFrames(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-topo", "path", "-n", "4", "-source", "1", "-format", "dot", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := filepath.Glob(filepath.Join(dir, "round*.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("wrote %d frames, want 2 (Figure 1 has 2 rounds)", len(frames))
+	}
+	data, err := os.ReadFile(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty DOT frame")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-topo", "path", "-n", "4", "-format", "nosuch"},
+		{"-topo", "path", "-n", "4", "-source", "9"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

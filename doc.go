@@ -1,0 +1,47 @@
+// Package amnesiacflood is a from-scratch Go reproduction of
+//
+//	Walter Hussak and Amitabh Trehan.
+//	"Brief Announcement: On Termination of a Flooding Process." PODC 2019.
+//
+// Amnesiac Flooding (AF) is flooding without memory: a distinguished node
+// sends a message M to all its neighbours in round 1, and in every later
+// round each node that received M forwards it to exactly those neighbours it
+// did not receive it from — remembering nothing between rounds. The paper
+// proves AF nevertheless terminates on every finite graph: in exactly
+// e(source) rounds on connected bipartite graphs (a parallel BFS) and within
+// 2D+1 rounds in general, while a natural asynchronous variant can be kept
+// alive forever by a scheduling adversary.
+//
+// The repository reproduces every evaluation artifact of the paper (Figures
+// 1-5 and Theorems 3.1/3.3, see DESIGN.md and EXPERIMENTS.md) on two
+// interchangeable synchronous substrates — a deterministic sequential engine
+// and a goroutine-per-node, channel-per-edge engine — plus an asynchronous
+// simulator with pluggable adversaries and configuration-cycle
+// non-termination certificates.
+//
+// Packages:
+//
+//	internal/graph            immutable simple graphs, builder, encodings
+//	internal/graph/gen        deterministic and random graph families
+//	internal/graph/algo       BFS, diameter, bipartiteness ground truth
+//	internal/engine           synchronous round engine + Protocol interface
+//	internal/engine/chanengine concurrent channel-based engine
+//	internal/core             Amnesiac Flooding protocol and run reports
+//	internal/classic          flag-based flooding baseline
+//	internal/async            asynchronous variant, adversaries, certificates
+//	internal/doublecover      exact prediction via the bipartite double cover
+//	internal/theory           the paper's lemmas/theorems as executable checks
+//	internal/faults           message-loss and crash injection
+//	internal/dynamic          dynamic networks (edge churn schedules)
+//	internal/detect           bipartiteness detection via a single flood
+//	internal/spantree         BFS spanning trees extracted from floods
+//	internal/multiflood       concurrent broadcasts with congestion accounting
+//	internal/termdetect       Dijkstra-Scholten termination detection baseline
+//	internal/workload         shared instance catalog (integration matrix)
+//	internal/stats            summary statistics for aggregate sweeps
+//	internal/trace            figure-style trace rendering and export
+//	internal/experiments      one registered experiment per paper artifact
+//
+// Binaries: cmd/afsim (single runs), cmd/afbench (full experiment suite),
+// cmd/afviz (trace rendering). Runnable examples live under examples/.
+package amnesiacflood

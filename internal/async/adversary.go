@@ -1,0 +1,182 @@
+package async
+
+import (
+	"math/rand"
+
+	"amnesiacflood/internal/graph"
+)
+
+// SyncAdversary delivers every message with zero extra delay, making the
+// asynchronous model coincide with the synchronous one. It is the control
+// adversary: runs under it must terminate exactly like the synchronous
+// engine (verified by tests).
+type SyncAdversary struct{}
+
+var _ Adversary = SyncAdversary{}
+
+// Name implements Adversary.
+func (SyncAdversary) Name() string { return "sync" }
+
+// Schedule implements Adversary with all-zero delays.
+func (SyncAdversary) Schedule(batch []graph.Edge, _ ConfigView) []int {
+	return make([]int, len(batch))
+}
+
+// Deterministic implements Adversary.
+func (SyncAdversary) Deterministic() bool { return true }
+
+// CollisionDelayer is the paper's Figure 5 adversary, generalised: whenever
+// two or more messages sent in the same round target the same node, the one
+// from the lowest-identifier sender is delivered on time and every other is
+// held back one extra round. On the triangle this reproduces the schedule
+// of Figure 5 round for round and yields a configuration cycle, i.e. a
+// certificate of non-termination; experiments show the same on longer odd
+// cycles.
+type CollisionDelayer struct{}
+
+var _ Adversary = CollisionDelayer{}
+
+// Name implements Adversary.
+func (CollisionDelayer) Name() string { return "collision-delayer" }
+
+// Schedule implements Adversary. batch is sorted by (From, To), so within a
+// target the lowest-ID sender appears first.
+func (CollisionDelayer) Schedule(batch []graph.Edge, _ ConfigView) []int {
+	delays := make([]int, len(batch))
+	firstTo := map[graph.NodeID]graph.NodeID{} // target -> lowest sender
+	for _, e := range batch {
+		if cur, ok := firstTo[e.V]; !ok || e.U < cur {
+			firstTo[e.V] = e.U
+		}
+	}
+	for i, e := range batch {
+		if firstTo[e.V] != e.U {
+			delays[i] = 1
+		}
+	}
+	return delays
+}
+
+// Deterministic implements Adversary.
+func (CollisionDelayer) Deterministic() bool { return true }
+
+// HoldNode delays every message sent *by* one fixed node by a constant
+// amount, modelling a single slow link/node; all other messages are
+// synchronous. Deterministic, so certificates apply.
+type HoldNode struct {
+	// Node is the slow sender.
+	Node graph.NodeID
+	// Extra is the extra delay applied to its messages (>= 0).
+	Extra int
+}
+
+var _ Adversary = HoldNode{}
+
+// Name implements Adversary.
+func (a HoldNode) Name() string { return "hold-node" }
+
+// Schedule implements Adversary.
+func (a HoldNode) Schedule(batch []graph.Edge, _ ConfigView) []int {
+	delays := make([]int, len(batch))
+	for i, e := range batch {
+		if e.U == a.Node {
+			delays[i] = a.Extra
+		}
+	}
+	return delays
+}
+
+// Deterministic implements Adversary.
+func (a HoldNode) Deterministic() bool { return true }
+
+// UniformDelayer delays every message by the same constant k. The
+// execution is the synchronous one stretched in time (message lifetimes
+// never overlap differently), so termination is preserved — a useful
+// control showing that delay per se is harmless; only *asymmetric* delay
+// breaks termination.
+type UniformDelayer struct {
+	// Extra is the constant extra delay (>= 0).
+	Extra int
+}
+
+var _ Adversary = UniformDelayer{}
+
+// Name implements Adversary.
+func (a UniformDelayer) Name() string { return "uniform-delayer" }
+
+// Schedule implements Adversary.
+func (a UniformDelayer) Schedule(batch []graph.Edge, _ ConfigView) []int {
+	delays := make([]int, len(batch))
+	for i := range delays {
+		delays[i] = a.Extra
+	}
+	return delays
+}
+
+// Deterministic implements Adversary.
+func (a UniformDelayer) Deterministic() bool { return true }
+
+// EdgeDelayer adds a fixed extra delay to every message crossing one
+// specific undirected edge (in either direction), modelling a single slow
+// link. Deterministic and stationary, so certificates apply.
+type EdgeDelayer struct {
+	// Edge is the slow link.
+	Edge graph.Edge
+	// Extra is its extra delay (>= 0).
+	Extra int
+}
+
+var _ Adversary = EdgeDelayer{}
+
+// Name implements Adversary.
+func (a EdgeDelayer) Name() string { return "edge-delayer" }
+
+// Schedule implements Adversary.
+func (a EdgeDelayer) Schedule(batch []graph.Edge, _ ConfigView) []int {
+	slow := a.Edge.Normalize()
+	delays := make([]int, len(batch))
+	for i, e := range batch {
+		if e.Normalize() == slow {
+			delays[i] = a.Extra
+		}
+	}
+	return delays
+}
+
+// Deterministic implements Adversary.
+func (a EdgeDelayer) Deterministic() bool { return true }
+
+// RandomAdversary delays each message independently and uniformly in
+// {0..MaxExtra}, seeded for reproducibility. It is not deterministic in the
+// certificate sense, so runs under it can only end in Terminated or
+// RoundLimit.
+type RandomAdversary struct {
+	rng      *rand.Rand
+	maxExtra int
+}
+
+var _ Adversary = (*RandomAdversary)(nil)
+
+// NewRandomAdversary returns a seeded random adversary with delays in
+// {0..maxExtra}.
+func NewRandomAdversary(seed int64, maxExtra int) *RandomAdversary {
+	if maxExtra < 0 {
+		maxExtra = 0
+	}
+	return &RandomAdversary{rng: rand.New(rand.NewSource(seed)), maxExtra: maxExtra}
+}
+
+// Name implements Adversary.
+func (a *RandomAdversary) Name() string { return "random" }
+
+// Schedule implements Adversary.
+func (a *RandomAdversary) Schedule(batch []graph.Edge, _ ConfigView) []int {
+	delays := make([]int, len(batch))
+	for i := range delays {
+		delays[i] = a.rng.Intn(a.maxExtra + 1)
+	}
+	return delays
+}
+
+// Deterministic implements Adversary.
+func (a *RandomAdversary) Deterministic() bool { return false }

@@ -1,0 +1,97 @@
+package async_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/async"
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+)
+
+func TestUniformDelayerPreservesTermination(t *testing.T) {
+	// Uniform delay stretches the synchronous schedule without reordering
+	// anything, so every run must terminate with the synchronous message
+	// count.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(30), 0.1, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		extra := rng.Intn(4)
+		res, err := async.Run(g, async.UniformDelayer{Extra: extra}, async.Options{}, src)
+		if err != nil || res.Outcome != async.Terminated {
+			return false
+		}
+		rep, err := core.Run(g, core.Sequential, src)
+		if err != nil {
+			return false
+		}
+		if res.TotalMessages != rep.TotalMessages() {
+			return false
+		}
+		// The stretched run takes (extra+1) times the rounds, up to the
+		// trailing delivery offset.
+		return res.Rounds == rep.Rounds()*(extra+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDelayerZeroEqualsSync(t *testing.T) {
+	g := gen.Cycle(7)
+	a, err := async.Run(g, async.UniformDelayer{}, async.Options{Trace: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := async.Run(g, async.SyncAdversary{}, async.Options{Trace: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.TotalMessages != b.TotalMessages {
+		t.Fatalf("zero uniform delay diverged from sync: %+v vs %+v", a, b)
+	}
+}
+
+func TestEdgeDelayerOnTriangle(t *testing.T) {
+	// Slowing one triangle edge merges the wavefronts at node c: c hears
+	// the delayed b->c copy and a's forward in the same round, so its
+	// complement is empty and the flood dies after 2 rounds — one round
+	// FASTER than the synchronous 2D+1 = 3. Asymmetric delay can
+	// accelerate termination as well as (with the collision-delayer's
+	// schedule) destroy it.
+	g := gen.Cycle(3)
+	res, err := async.Run(g, async.EdgeDelayer{Edge: graph.Edge{U: 1, V: 2}, Extra: 1}, async.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != async.Terminated || res.Rounds != 2 {
+		t.Fatalf("run = %+v, want termination in 2 rounds", res)
+	}
+}
+
+func TestEdgeDelayerOnPathTerminates(t *testing.T) {
+	g := gen.Path(6)
+	res, err := async.Run(g, async.EdgeDelayer{Edge: graph.Edge{U: 2, V: 3}, Extra: 3}, async.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != async.Terminated {
+		t.Fatalf("outcome = %v, want Terminated", res.Outcome)
+	}
+	// The slow edge adds exactly its extra delay to the one crossing.
+	if res.Rounds != 5+3 {
+		t.Fatalf("rounds = %d, want 8", res.Rounds)
+	}
+}
+
+func TestNewAdversaryNames(t *testing.T) {
+	if (async.UniformDelayer{}).Name() != "uniform-delayer" {
+		t.Fatal("uniform delayer name")
+	}
+	if (async.EdgeDelayer{}).Name() != "edge-delayer" {
+		t.Fatal("edge delayer name")
+	}
+}

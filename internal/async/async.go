@@ -1,0 +1,319 @@
+// Package async implements the asynchronous variant of amnesiac flooding
+// from Section 4 of the paper, in which a scheduling adversary adaptively
+// chooses the delay of every message.
+//
+// # Model
+//
+// The brief announcement leaves the model informal ("the adversary can
+// adaptively choose the delay on every message edge"). We formalise it as
+// follows, and record the choice in DESIGN.md §4:
+//
+//   - When a node sends a batch of messages in round r, the adversary
+//     assigns each message an extra delay k >= 0; the message is delivered
+//     in round r+k.
+//   - A node processes all messages delivered to it in the same round as a
+//     single batch and responds (to the complement of that batch's senders)
+//     in the next round.
+//   - With every delay equal to zero the model coincides exactly with the
+//     synchronous model (verified by tests against the synchronous engine).
+//
+// # Non-termination certificates
+//
+// Amnesiac nodes carry no state, so the global configuration is fully
+// described by the multiset of in-flight messages together with their
+// remaining delays. Under a deterministic adversary whose choices depend
+// only on that configuration (Adversary.Deterministic), a repeated
+// configuration proves the execution is periodic and therefore never
+// terminates. Runner detects such repeats and reports them as a
+// non-termination certificate, which is how the paper's Figure 5 triangle
+// schedule is reproduced without running forever.
+package async
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"amnesiacflood/internal/graph"
+)
+
+// Message is an in-flight copy of M crossing a directed edge.
+type Message struct {
+	From, To graph.NodeID
+	// DeliverAt is the round in which the message is delivered.
+	DeliverAt int
+}
+
+// ConfigView exposes the adversary-visible state when a batch is scheduled:
+// the messages already in flight, with delays relative to the current round.
+// Absolute round numbers are deliberately not exposed so that adversaries
+// are stationary (round-invariant), which is what makes configuration-
+// repeat certificates sound.
+type ConfigView struct {
+	// InFlight lists messages already scheduled but not yet delivered;
+	// Remaining[i] rounds remain before InFlight[i] is delivered (0 means
+	// "delivered this round").
+	InFlight  []graph.Edge
+	Remaining []int
+}
+
+// Adversary assigns delivery delays to outgoing message batches.
+type Adversary interface {
+	// Name identifies the adversary in reports.
+	Name() string
+	// Schedule returns one extra delay >= 0 per message in batch. batch
+	// holds the directed edges being sent this round, sorted by
+	// (From, To). view is the rest of the configuration.
+	Schedule(batch []graph.Edge, view ConfigView) []int
+	// Deterministic reports whether Schedule is a pure function of its
+	// arguments. Only deterministic adversaries support configuration-
+	// repeat certificates.
+	Deterministic() bool
+}
+
+// Outcome classifies how an asynchronous run ended.
+type Outcome int
+
+// Possible outcomes.
+const (
+	// Terminated: a round arrived with no message in flight.
+	Terminated Outcome = iota + 1
+	// CycleDetected: the configuration repeated under a deterministic
+	// adversary — a certificate of non-termination.
+	CycleDetected
+	// RoundLimit: the round limit was reached without termination or a
+	// certificate (possible for randomised adversaries).
+	RoundLimit
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Terminated:
+		return "terminated"
+	case CycleDetected:
+		return "non-termination-certified"
+	case RoundLimit:
+		return "round-limit"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Delivery records the messages delivered to nodes in one round.
+type Delivery struct {
+	Round int
+	Msgs  []Message // sorted by (From, To)
+}
+
+// Result is the outcome of an asynchronous run.
+type Result struct {
+	Outcome       Outcome
+	Adversary     string
+	Rounds        int // rounds simulated before stopping
+	TotalMessages int // total deliveries performed
+	// CycleStart and CycleLength describe the certified period when
+	// Outcome == CycleDetected: the configuration at the start of round
+	// CycleStart reoccurred at CycleStart+CycleLength.
+	CycleStart, CycleLength int
+	// Trace holds per-round deliveries when tracing was requested.
+	Trace []Delivery
+}
+
+// Options configures a run.
+type Options struct {
+	// Trace records per-round deliveries.
+	Trace bool
+	// MaxRounds bounds the simulation; 0 means DefaultMaxRounds.
+	MaxRounds int
+}
+
+// DefaultMaxRounds bounds asynchronous runs. Asynchronous amnesiac flooding
+// can legitimately run forever, so this is a working bound, not a
+// correctness bound.
+const DefaultMaxRounds = 1 << 16
+
+// Run simulates asynchronous amnesiac flooding on g from the given origins
+// under the adversary.
+func Run(g *graph.Graph, adv Adversary, opts Options, origins ...graph.NodeID) (Result, error) {
+	if len(origins) == 0 {
+		return Result{}, fmt.Errorf("async: %s: need at least one origin", g)
+	}
+	for _, o := range origins {
+		if !g.HasNode(o) {
+			return Result{}, fmt.Errorf("async: origin %d is not a node of %s", o, g)
+		}
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	res := Result{Adversary: adv.Name()}
+
+	// Bootstrap: origins send to all neighbours; the adversary schedules
+	// this batch like any other (sent "in round 1", so delays are added to
+	// delivery round 1).
+	var inFlight []Message
+	bootstrap := make([]graph.Edge, 0)
+	for _, o := range sortedUnique(origins) {
+		for _, nbr := range g.Neighbors(o) {
+			bootstrap = append(bootstrap, graph.Edge{U: o, V: nbr})
+		}
+	}
+	delays := scheduleBatch(adv, bootstrap, nil)
+	for i, e := range bootstrap {
+		inFlight = append(inFlight, Message{From: e.U, To: e.V, DeliverAt: 1 + delays[i]})
+	}
+
+	seen := map[string]int{} // configuration key -> round first seen
+	for round := 1; len(inFlight) > 0; round++ {
+		if round > maxRounds {
+			res.Outcome = RoundLimit
+			res.Rounds = maxRounds
+			return res, nil
+		}
+		if adv.Deterministic() {
+			key := configKey(inFlight, round)
+			if first, ok := seen[key]; ok {
+				res.Outcome = CycleDetected
+				res.CycleStart = first
+				res.CycleLength = round - first
+				res.Rounds = round
+				return res, nil
+			}
+			seen[key] = round
+		}
+
+		// Split deliveries due this round from messages still in flight.
+		var due, later []Message
+		for _, m := range inFlight {
+			if m.DeliverAt == round {
+				due = append(due, m)
+			} else {
+				later = append(later, m)
+			}
+		}
+		if len(due) == 0 {
+			// Nothing delivered this round; time passes.
+			inFlight = later
+			res.Rounds = round
+			continue
+		}
+		sort.Slice(due, func(i, j int) bool {
+			if due[i].From != due[j].From {
+				return due[i].From < due[j].From
+			}
+			return due[i].To < due[j].To
+		})
+		res.Rounds = round
+		res.TotalMessages += len(due)
+		if opts.Trace {
+			res.Trace = append(res.Trace, Delivery{Round: round, Msgs: append([]Message(nil), due...)})
+		}
+
+		// Group by receiver; each receiver responds to the complement of
+		// its senders, sent in round+1.
+		batch := respond(g, due)
+		view := makeView(later, round)
+		delays := scheduleBatch(adv, batch, &view)
+		for i, e := range batch {
+			later = append(later, Message{From: e.U, To: e.V, DeliverAt: round + 1 + delays[i]})
+		}
+		inFlight = later
+	}
+	res.Outcome = Terminated
+	return res, nil
+}
+
+// respond computes the next-round send batch: for every node receiving at
+// least one message this round, one send per neighbour that is not among its
+// senders. The batch is sorted by (From, To).
+func respond(g *graph.Graph, due []Message) []graph.Edge {
+	senders := map[graph.NodeID][]graph.NodeID{}
+	for _, m := range due {
+		senders[m.To] = append(senders[m.To], m.From)
+	}
+	receivers := make([]graph.NodeID, 0, len(senders))
+	for v := range senders {
+		receivers = append(receivers, v)
+	}
+	sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+
+	var batch []graph.Edge
+	for _, v := range receivers {
+		from := senders[v]
+		sort.Slice(from, func(i, j int) bool { return from[i] < from[j] })
+		i := 0
+		for _, nbr := range g.Neighbors(v) {
+			for i < len(from) && from[i] < nbr {
+				i++
+			}
+			if i < len(from) && from[i] == nbr {
+				continue
+			}
+			batch = append(batch, graph.Edge{U: v, V: nbr})
+		}
+	}
+	return batch
+}
+
+// scheduleBatch invokes the adversary and sanitises its output: a nil or
+// short answer is padded with zero delays, and negative delays are clamped
+// to zero, so a buggy adversary cannot corrupt the simulation.
+func scheduleBatch(adv Adversary, batch []graph.Edge, view *ConfigView) []int {
+	if len(batch) == 0 {
+		return nil
+	}
+	v := ConfigView{}
+	if view != nil {
+		v = *view
+	}
+	raw := adv.Schedule(batch, v)
+	out := make([]int, len(batch))
+	for i := range out {
+		if i < len(raw) && raw[i] > 0 {
+			out[i] = raw[i]
+		}
+	}
+	return out
+}
+
+// makeView builds the adversary's view of messages still in flight,
+// relative to the current round.
+func makeView(later []Message, round int) ConfigView {
+	view := ConfigView{
+		InFlight:  make([]graph.Edge, len(later)),
+		Remaining: make([]int, len(later)),
+	}
+	for i, m := range later {
+		view.InFlight[i] = graph.Edge{U: m.From, V: m.To}
+		view.Remaining[i] = m.DeliverAt - round
+	}
+	return view
+}
+
+// configKey canonically serialises the in-flight multiset with delays
+// relative to the current round. Two rounds with equal keys have identical
+// futures under a deterministic stationary adversary.
+func configKey(inFlight []Message, round int) string {
+	entries := make([]string, len(inFlight))
+	for i, m := range inFlight {
+		entries[i] = strconv.Itoa(int(m.From)) + ">" + strconv.Itoa(int(m.To)) + "@" + strconv.Itoa(m.DeliverAt-round)
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, ",")
+}
+
+// sortedUnique returns the sorted distinct node IDs of origins.
+func sortedUnique(origins []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), origins...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}

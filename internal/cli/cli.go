@@ -1,0 +1,110 @@
+// Package cli holds the small helpers shared by the cmd/ binaries: built-in
+// topology lookup, graph loading, adversary lookup, and a thin channel-engine
+// wrapper. It exists so the binaries stay single-purpose mains.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"amnesiacflood/internal/async"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+)
+
+// topologies maps -topo names to constructors taking the -n size parameter.
+var topologies = map[string]func(n int) *graph.Graph{
+	"path":     gen.Path,
+	"cycle":    gen.Cycle,
+	"complete": gen.Complete,
+	"clique":   gen.Complete,
+	"star":     gen.Star,
+	"wheel":    gen.Wheel,
+	"grid": func(n int) *graph.Graph {
+		return gen.Grid(n, n)
+	},
+	"torus": func(n int) *graph.Graph {
+		return gen.Torus(n, n)
+	},
+	"hypercube": gen.Hypercube,
+	"bintree":   gen.CompleteBinaryTree,
+	"petersen": func(int) *graph.Graph {
+		return gen.Petersen()
+	},
+	"lollipop": func(n int) *graph.Graph {
+		return gen.Lollipop(4, n)
+	},
+	"barbell": func(n int) *graph.Graph {
+		return gen.Barbell(4, n)
+	},
+	"randomtree": func(n int) *graph.Graph {
+		return gen.RandomTree(n, rand.New(rand.NewSource(1)))
+	},
+	"random": func(n int) *graph.Graph {
+		return gen.RandomConnected(n, 4/float64(n+1), rand.New(rand.NewSource(1)))
+	},
+}
+
+// TopologyNames lists the -topo values, sorted.
+func TopologyNames() []string {
+	names := make([]string, 0, len(topologies))
+	for name := range topologies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadGraph resolves the -topo/-n or -file flags into a graph.
+func LoadGraph(topo string, n int, file string) (*graph.Graph, error) {
+	switch {
+	case topo != "" && file != "":
+		return nil, fmt.Errorf("use either -topo or -file, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", file, err)
+		}
+		return g, nil
+	case topo != "":
+		ctor, ok := topologies[strings.ToLower(topo)]
+		if !ok {
+			return nil, fmt.Errorf("unknown topology %q (have: %s)", topo, strings.Join(TopologyNames(), ", "))
+		}
+		return ctor(n), nil
+	default:
+		return nil, fmt.Errorf("need -topo or -file")
+	}
+}
+
+// Adversary resolves the -async flag into an adversary.
+func Adversary(name string, seed int64) (async.Adversary, error) {
+	switch strings.ToLower(name) {
+	case "sync":
+		return async.SyncAdversary{}, nil
+	case "collision":
+		return async.CollisionDelayer{}, nil
+	case "uniform":
+		return async.UniformDelayer{Extra: 2}, nil
+	case "random":
+		return async.NewRandomAdversary(seed, 3), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q (want sync, collision, uniform, or random)", name)
+	}
+}
+
+// ChanRun executes a protocol on the channel engine; it exists so binaries
+// need only this package.
+func ChanRun(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
+	return chanengine.Run(g, proto, opts)
+}

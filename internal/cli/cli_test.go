@@ -1,0 +1,110 @@
+package cli_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amnesiacflood/internal/cli"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+func TestTopologyNamesSortedAndNonEmpty(t *testing.T) {
+	names := cli.TopologyNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d topologies", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestLoadGraphTopo(t *testing.T) {
+	g, err := cli.LoadGraph("cycle", 6, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 || g.M() != 6 {
+		t.Fatalf("cycle(6) = %s", g)
+	}
+	// Case-insensitive.
+	if _, err := cli.LoadGraph("CYCLE", 6, ""); err != nil {
+		t.Fatalf("uppercase topo rejected: %v", err)
+	}
+}
+
+func TestLoadGraphEveryTopoBuilds(t *testing.T) {
+	for _, name := range cli.TopologyNames() {
+		if _, err := cli.LoadGraph(name, 8, ""); err != nil {
+			t.Errorf("topology %s: %v", name, err)
+		}
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := cli.LoadGraph("", 4, ""); err == nil {
+		t.Error("no topo and no file accepted")
+	}
+	if _, err := cli.LoadGraph("cycle", 4, "x.txt"); err == nil {
+		t.Error("both topo and file accepted")
+	}
+	if _, err := cli.LoadGraph("nosuch", 4, ""); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := cli.LoadGraph("", 4, "/does/not/exist.txt"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("# from file\nn 3\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cli.LoadGraph("", 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("loaded %s", g)
+	}
+}
+
+func TestAdversaryLookup(t *testing.T) {
+	for _, name := range []string{"sync", "collision", "random", "SYNC"} {
+		if _, err := cli.Adversary(name, 1); err != nil {
+			t.Errorf("adversary %s: %v", name, err)
+		}
+	}
+	if _, err := cli.Adversary("nosuch", 1); err == nil {
+		t.Error("unknown adversary accepted")
+	}
+}
+
+func TestChanRun(t *testing.T) {
+	g, err := cli.LoadGraph("path", 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.ChanRun(g, stubProtocol{g: g}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatal("stub run did not terminate")
+	}
+}
+
+type stubProtocol struct{ g *graph.Graph }
+
+func (s stubProtocol) Name() string { return "stub" }
+func (s stubProtocol) Bootstrap() []engine.Send {
+	return []engine.Send{{From: 0, To: 1}}
+}
+func (s stubProtocol) NewNode(graph.NodeID) engine.NodeAutomaton {
+	return func(int, []graph.NodeID) []graph.NodeID { return nil }
+}

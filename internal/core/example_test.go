@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/trace"
+)
+
+// Example reproduces the paper's Figure 2: amnesiac flooding on the
+// triangle from node b terminates in 3 = 2D+1 rounds.
+func Example() {
+	g := gen.Cycle(3)
+	rep, err := core.Run(g, core.Sequential, 1) // b is node 1
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.RenderRounds(os.Stdout, rep.Result.Trace, trace.Letters); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("terminated in %d rounds\n", rep.Rounds())
+	// Output:
+	// round 1: sending {b}  edges b->a b->c
+	// round 2: sending {a,c}  edges a->c c->a
+	// round 3: sending {a,c}  edges a->b c->b
+	// terminated in 3 rounds
+}
+
+// ExampleRun_bipartite shows Lemma 2.1: on a bipartite graph the flood is a
+// parallel BFS ending after exactly e(source) rounds.
+func ExampleRun_bipartite() {
+	g := gen.Cycle(6)
+	rep, err := core.Run(g, core.Sequential, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rounds=%d maxReceives=%d covered=%t\n",
+		rep.Rounds(), rep.MaxReceives(), rep.Covered())
+	// Output:
+	// rounds=3 maxReceives=1 covered=true
+}
+
+// ExampleRun_multiSource floods from two origins at once; all origins send
+// in round 1 and the process still terminates.
+func ExampleRun_multiSource() {
+	g := gen.Path(9)
+	rep, err := core.Run(g, core.Sequential, 0, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rounds=%d covered=%t\n", rep.Rounds(), rep.Covered())
+	// Output:
+	// rounds=4 covered=true
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+func triangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges("tri", 3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewFloodValidation(t *testing.T) {
+	g := triangle(t)
+	if _, err := NewFlood(g); !errors.Is(err, ErrNoOrigin) {
+		t.Errorf("no origin error = %v, want ErrNoOrigin", err)
+	}
+	if _, err := NewFlood(g, 5); !errors.Is(err, ErrBadOrigin) {
+		t.Errorf("bad origin error = %v, want ErrBadOrigin", err)
+	}
+	if _, err := NewFlood(g, -1); !errors.Is(err, ErrBadOrigin) {
+		t.Errorf("negative origin error = %v, want ErrBadOrigin", err)
+	}
+}
+
+func TestNewFloodDeduplicatesAndSortsOrigins(t *testing.T) {
+	g := triangle(t)
+	f, err := NewFlood(g, 2, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Origins(); !reflect.DeepEqual(got, []graph.NodeID{0, 2}) {
+		t.Fatalf("origins = %v, want [0 2]", got)
+	}
+}
+
+func TestMustNewFloodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewFlood with no origins did not panic")
+		}
+	}()
+	MustNewFlood(triangle(t))
+}
+
+func TestBootstrapSingleSource(t *testing.T) {
+	g := triangle(t)
+	f := MustNewFlood(g, 1)
+	got := f.Bootstrap()
+	want := []engine.Send{{From: 1, To: 0}, {From: 1, To: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bootstrap = %v, want %v", got, want)
+	}
+}
+
+func TestBootstrapMultiSource(t *testing.T) {
+	g := triangle(t)
+	f := MustNewFlood(g, 0, 2)
+	got := f.Bootstrap()
+	want := []engine.Send{
+		{From: 0, To: 1}, {From: 0, To: 2},
+		{From: 2, To: 0}, {From: 2, To: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bootstrap = %v, want %v", got, want)
+	}
+}
+
+func TestAutomatonSendsComplementOfSenders(t *testing.T) {
+	g := triangle(t)
+	f := MustNewFlood(g, 1)
+	node0 := f.NewNode(0)
+	// Node 0 heard from 1: forwards to 2 only.
+	if got := node0(1, []graph.NodeID{1}); !reflect.DeepEqual(got, []graph.NodeID{2}) {
+		t.Fatalf("complement of {1} = %v, want [2]", got)
+	}
+	// Node 0 heard from both neighbours: sends nothing.
+	if got := node0(2, []graph.NodeID{1, 2}); len(got) != 0 {
+		t.Fatalf("complement of all senders = %v, want empty", got)
+	}
+	// Node 0 heard from nobody listed (degenerate): sends to everyone.
+	if got := node0(3, nil); !reflect.DeepEqual(got, []graph.NodeID{1, 2}) {
+		t.Fatalf("complement of {} = %v, want [1 2]", got)
+	}
+}
+
+func TestAutomatonIsAmnesiac(t *testing.T) {
+	// Calling the automaton repeatedly with the same senders must always
+	// give the same answer: no hidden state across rounds.
+	g := triangle(t)
+	f := MustNewFlood(g, 1)
+	node2 := f.NewNode(2)
+	first := node2(1, []graph.NodeID{1})
+	for round := 2; round < 10; round++ {
+		if got := node2(round, []graph.NodeID{1}); !reflect.DeepEqual(got, first) {
+			t.Fatalf("round %d: automaton answer changed: %v vs %v", round, got, first)
+		}
+	}
+}
+
+func TestComplementSorted(t *testing.T) {
+	cases := []struct {
+		nbrs, senders, want []graph.NodeID
+	}{
+		{[]graph.NodeID{1, 2, 3}, []graph.NodeID{2}, []graph.NodeID{1, 3}},
+		{[]graph.NodeID{1, 2, 3}, []graph.NodeID{1, 2, 3}, []graph.NodeID{}},
+		{[]graph.NodeID{1, 2, 3}, nil, []graph.NodeID{1, 2, 3}},
+		{nil, []graph.NodeID{1}, []graph.NodeID{}},
+		{[]graph.NodeID{5, 9}, []graph.NodeID{1, 5, 7}, []graph.NodeID{9}},
+		// Senders not adjacent (defensive): ignored.
+		{[]graph.NodeID{2, 4}, []graph.NodeID{0, 1, 3, 5}, []graph.NodeID{2, 4}},
+	}
+	for _, tc := range cases {
+		got := complementSorted(tc.nbrs, tc.senders)
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("complement(%v, %v) = %v, want %v", tc.nbrs, tc.senders, got, tc.want)
+		}
+	}
+}
+
+func TestProtocolName(t *testing.T) {
+	f := MustNewFlood(triangle(t), 0)
+	if f.Name() != "amnesiac-flooding" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}

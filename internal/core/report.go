@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/graph"
+)
+
+// EngineKind selects which synchronous engine executes a run.
+type EngineKind int
+
+// Available engines.
+const (
+	// Sequential is the deterministic single-goroutine engine.
+	Sequential EngineKind = iota + 1
+	// Channels is the goroutine-per-node, channel-per-edge engine.
+	Channels
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Channels:
+		return "channels"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Report is the analysed outcome of an amnesiac-flooding run. It extends the
+// raw engine result with the quantities the paper reasons about.
+type Report struct {
+	// Result is the raw engine outcome, with Trace populated.
+	Result engine.Result
+	// Origins is the sorted origin set of the run.
+	Origins []graph.NodeID
+	// RoundSets holds the paper's R_i: RoundSets[i] is the sorted set of
+	// nodes receiving M in round i, for i = 1..Rounds. (R_0, the origin
+	// singleton/set, is Origins.)
+	RoundSets [][]graph.NodeID
+	// ReceiveCounts[v] is how many rounds node v received M in (counting a
+	// round once even if several neighbours delivered copies).
+	ReceiveCounts []int
+	// FirstReceive[v] is the first round v received M, or 0 if never.
+	FirstReceive []int
+	// LastReceive[v] is the last round v received M, or 0 if never.
+	LastReceive []int
+}
+
+// Rounds returns the number of rounds the flood was active.
+func (r *Report) Rounds() int {
+	return r.Result.Rounds
+}
+
+// TotalMessages returns the total number of point-to-point deliveries.
+func (r *Report) TotalMessages() int {
+	return r.Result.TotalMessages
+}
+
+// Covered reports whether every node of the graph received M at least once
+// (for a connected graph this must hold; Lemma 2.1 says exactly once on
+// bipartite graphs).
+func (r *Report) Covered() bool {
+	origin := make(map[graph.NodeID]bool, len(r.Origins))
+	for _, o := range r.Origins {
+		origin[o] = true
+	}
+	for v, c := range r.ReceiveCounts {
+		if c == 0 && !origin[graph.NodeID(v)] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxReceives returns the maximum number of distinct rounds any single node
+// received M in. Lemma 2.1 implies 1 for connected bipartite graphs; the
+// full paper shows at most 2 in general.
+func (r *Report) MaxReceives() int {
+	max := 0
+	for _, c := range r.ReceiveCounts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Run executes amnesiac flooding on g from the given origins using the
+// selected engine and returns the analysed report. Tracing is always
+// enabled, since every analysis quantity derives from the trace.
+func Run(g *graph.Graph, kind EngineKind, origins ...graph.NodeID) (*Report, error) {
+	return RunWithOptions(g, kind, engine.Options{}, origins...)
+}
+
+// RunWithOptions is Run with explicit engine options. Options.Trace is
+// forced on; MaxRounds and Observer are honoured.
+func RunWithOptions(g *graph.Graph, kind EngineKind, opts engine.Options, origins ...graph.NodeID) (*Report, error) {
+	flood, err := NewFlood(g, origins...)
+	if err != nil {
+		return nil, err
+	}
+	opts.Trace = true
+	var res engine.Result
+	switch kind {
+	case Sequential:
+		res, err = engine.Run(g, flood, opts)
+	case Channels:
+		res, err = chanengine.Run(g, flood, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %d", int(kind))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: run flood: %w", err)
+	}
+	return Analyze(g, flood.Origins(), res), nil
+}
+
+// Analyze derives the report quantities from a traced engine result.
+func Analyze(g *graph.Graph, origins []graph.NodeID, res engine.Result) *Report {
+	rep := &Report{
+		Result:        res,
+		Origins:       append([]graph.NodeID(nil), origins...),
+		ReceiveCounts: make([]int, g.N()),
+		FirstReceive:  make([]int, g.N()),
+		LastReceive:   make([]int, g.N()),
+	}
+	sort.Slice(rep.Origins, func(i, j int) bool { return rep.Origins[i] < rep.Origins[j] })
+	for _, rec := range res.Trace {
+		receivers := rec.Receivers()
+		rep.RoundSets = append(rep.RoundSets, receivers)
+		for _, v := range receivers {
+			rep.ReceiveCounts[v]++
+			if rep.FirstReceive[v] == 0 {
+				rep.FirstReceive[v] = rec.Round
+			}
+			rep.LastReceive[v] = rec.Round
+		}
+	}
+	return rep
+}

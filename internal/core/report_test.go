@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+)
+
+func TestRunFig1Line(t *testing.T) {
+	// Figure 1: line a-b-c-d from b, 2 rounds.
+	rep, err := core.Run(gen.Path(4), core.Sequential, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", rep.Rounds())
+	}
+	if rep.TotalMessages() != 3 {
+		t.Fatalf("messages = %d, want 3 (b->a, b->c, c->d)", rep.TotalMessages())
+	}
+	wantRoundSets := [][]graph.NodeID{{0, 2}, {3}}
+	if !reflect.DeepEqual(rep.RoundSets, wantRoundSets) {
+		t.Fatalf("round sets = %v, want %v", rep.RoundSets, wantRoundSets)
+	}
+	if !rep.Covered() || rep.MaxReceives() != 1 {
+		t.Fatalf("covered=%t maxReceives=%d", rep.Covered(), rep.MaxReceives())
+	}
+}
+
+func TestRunFig2Triangle(t *testing.T) {
+	// Figure 2: triangle from b: 3 rounds, a and c receive twice... no:
+	// a receives in rounds 1 and 2, c likewise, b receives in round 3.
+	rep, err := core.Run(gen.Cycle(3), core.Sequential, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", rep.Rounds())
+	}
+	wantCounts := []int{2, 1, 2} // a: rounds 1,2; b: round 3; c: rounds 1,2
+	if !reflect.DeepEqual(rep.ReceiveCounts, wantCounts) {
+		t.Fatalf("receive counts = %v, want %v", rep.ReceiveCounts, wantCounts)
+	}
+	if rep.FirstReceive[1] != 3 || rep.LastReceive[1] != 3 {
+		t.Fatalf("origin receives: first=%d last=%d, want 3/3",
+			rep.FirstReceive[1], rep.LastReceive[1])
+	}
+	if rep.MaxReceives() != 2 {
+		t.Fatalf("max receives = %d, want 2", rep.MaxReceives())
+	}
+}
+
+func TestRunBothEnginesAgree(t *testing.T) {
+	g := gen.Petersen()
+	seq, err := core.Run(g, core.Sequential, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chn, err := core.Run(g, core.Channels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds() != chn.Rounds() || seq.TotalMessages() != chn.TotalMessages() {
+		t.Fatalf("engines disagree: %d/%d rounds, %d/%d messages",
+			seq.Rounds(), chn.Rounds(), seq.TotalMessages(), chn.TotalMessages())
+	}
+	if !reflect.DeepEqual(seq.ReceiveCounts, chn.ReceiveCounts) {
+		t.Fatalf("receive counts differ: %v vs %v", seq.ReceiveCounts, chn.ReceiveCounts)
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	if _, err := core.Run(gen.Path(3), core.EngineKind(99), 0); err == nil {
+		t.Fatal("unknown engine kind accepted")
+	}
+}
+
+func TestRunPropagatesOriginErrors(t *testing.T) {
+	if _, err := core.Run(gen.Path(3), core.Sequential); err == nil {
+		t.Fatal("run with no origins succeeded")
+	}
+	if _, err := core.Run(gen.Path(3), core.Sequential, 99); err == nil {
+		t.Fatal("run with invalid origin succeeded")
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	if core.Sequential.String() != "sequential" || core.Channels.String() != "channels" {
+		t.Fatal("EngineKind.String names wrong")
+	}
+	if core.EngineKind(42).String() != "EngineKind(42)" {
+		t.Fatalf("unknown kind string = %q", core.EngineKind(42).String())
+	}
+}
+
+func TestCoveredFalseWhenUnreached(t *testing.T) {
+	// Disconnected graph: the other component is never covered.
+	g, err := graph.FromEdges("", 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Run(g, core.Sequential, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Covered() {
+		t.Fatal("disconnected run reported covered")
+	}
+}
+
+func TestSingletonOriginTerminatesImmediately(t *testing.T) {
+	g, err := graph.FromEdges("", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Run(g, core.Sequential, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds() != 0 || !rep.Result.Terminated || !rep.Covered() {
+		t.Fatalf("singleton: %+v", rep.Result)
+	}
+}
+
+func TestMultiSourceAllNodes(t *testing.T) {
+	// Every node an origin on an even cycle: each node hears from both
+	// neighbours in round 1, complement empty, terminates in 1 round.
+	g := gen.Cycle(6)
+	rep, err := core.Run(g, core.Sequential, 0, 1, 2, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds() != 1 {
+		t.Fatalf("all-origins rounds = %d, want 1", rep.Rounds())
+	}
+	if rep.TotalMessages() != 12 {
+		t.Fatalf("all-origins messages = %d, want 12", rep.TotalMessages())
+	}
+}
+
+func TestBipartiteParallelBFSProperty(t *testing.T) {
+	// Property (Lemma 2.1): on random connected bipartite graphs the flood
+	// reaches each node exactly once, at its BFS distance, and dies at
+	// round e(source).
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.Connectify(gen.RandomBipartite(2+rng.Intn(20), 2+rng.Intn(20), 0.2, rng), rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		rep, err := core.Run(g, core.Sequential, src)
+		if err != nil {
+			return false
+		}
+		if rep.Rounds() != algo.Eccentricity(g, src) {
+			return false
+		}
+		dist := algo.BFS(g, src)
+		for v := 0; v < g.N(); v++ {
+			if graph.NodeID(v) == src {
+				if rep.ReceiveCounts[v] != 0 {
+					return false
+				}
+				continue
+			}
+			if rep.ReceiveCounts[v] != 1 || rep.FirstReceive[v] != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralTerminationProperty(t *testing.T) {
+	// Property (Theorems 3.1/3.3): on random connected graphs the flood
+	// terminates within 2D+1 rounds, covers the graph, and no node
+	// receives in more than two rounds.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(50), 0.08, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		rep, err := core.Run(g, core.Sequential, src)
+		if err != nil {
+			return false
+		}
+		diam := algo.Diameter(g)
+		return rep.Result.Terminated &&
+			rep.Rounds() <= 2*diam+1 &&
+			rep.Rounds() >= algo.Eccentricity(g, src) &&
+			rep.Covered() &&
+			rep.MaxReceives() <= 2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiSourceTerminationProperty(t *testing.T) {
+	// Extension (full paper): amnesiac flooding also terminates from any
+	// set of origins. The 2D+1 bound is not claimed for multi-source in
+	// the brief announcement; we assert termination and coverage only,
+	// plus a generous 2n bound on rounds.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(3+rng.Intn(40), 0.08, rng)
+		k := 1 + rng.Intn(4)
+		origins := make([]graph.NodeID, 0, k)
+		for i := 0; i < k; i++ {
+			origins = append(origins, graph.NodeID(rng.Intn(g.N())))
+		}
+		rep, err := core.Run(g, core.Sequential, origins...)
+		if err != nil {
+			return false
+		}
+		return rep.Result.Terminated && rep.Rounds() <= 2*g.N() && rep.Covered()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

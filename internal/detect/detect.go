@@ -1,0 +1,118 @@
+// Package detect implements the topology-detection application the paper
+// motivates in Section 1.1: using amnesiac flooding itself to test a
+// network for (non-)bipartiteness.
+//
+// The principle follows from the paper's results. On a connected bipartite
+// graph a single-source flood behaves as a parallel BFS: every node receives
+// M exactly once and the flood dies after e(source) rounds (Lemma 2.1). On
+// a connected non-bipartite graph there is, for every source, an edge whose
+// endpoints are equidistant from the source; both endpoints first receive M
+// in the same round and then deliver it to each other one round later, so
+// some node receives M twice and the flood outlives e(source). Either
+// signal — a double receipt or a late round — therefore witnesses an odd
+// cycle.
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+)
+
+// ErrDisconnected is returned when the probed graph is not connected; the
+// flood only explores the source's component, so no global verdict is
+// possible.
+var ErrDisconnected = errors.New("detect: graph is not connected")
+
+// Verdict is the outcome of a flooding-based bipartiteness probe.
+type Verdict struct {
+	// Bipartite is the verdict: true iff no odd cycle was witnessed.
+	Bipartite bool
+	// Source is the probe's origin node.
+	Source graph.NodeID
+	// Rounds is how long the probe flood ran.
+	Rounds int
+	// Eccentricity is e(source), the expected round count for a bipartite
+	// graph.
+	Eccentricity int
+	// DoubleReceivers lists the nodes that received M in two distinct
+	// rounds — each is a witness of an odd cycle. Empty for bipartite
+	// graphs.
+	DoubleReceivers []graph.NodeID
+}
+
+// String renders the verdict for reports.
+func (v Verdict) String() string {
+	if v.Bipartite {
+		return fmt.Sprintf("bipartite (flood from %d died at round %d = e(source))", v.Source, v.Rounds)
+	}
+	return fmt.Sprintf("non-bipartite (flood from %d ran %d rounds > e(source)=%d; %d double receivers)",
+		v.Source, v.Rounds, v.Eccentricity, len(v.DoubleReceivers))
+}
+
+// Bipartiteness probes g with a single amnesiac flood from source and
+// returns the verdict. The two witness signals (double receipt, late
+// termination) are computed independently and cross-checked; a disagreement
+// would indicate a simulator bug and is returned as an error.
+func Bipartiteness(g *graph.Graph, source graph.NodeID) (Verdict, error) {
+	if !algo.Connected(g) {
+		return Verdict{}, ErrDisconnected
+	}
+	rep, err := core.Run(g, core.Sequential, source)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("detect: probe flood: %w", err)
+	}
+	return verdictFromReport(g, source, rep)
+}
+
+// FromReport derives a verdict from an existing single-source run, avoiding
+// a second simulation when the caller already has one.
+func FromReport(g *graph.Graph, rep *core.Report) (Verdict, error) {
+	if len(rep.Origins) != 1 {
+		return Verdict{}, fmt.Errorf("detect: need a single-source report, got %d origins", len(rep.Origins))
+	}
+	if !algo.Connected(g) {
+		return Verdict{}, ErrDisconnected
+	}
+	return verdictFromReport(g, rep.Origins[0], rep)
+}
+
+func verdictFromReport(g *graph.Graph, source graph.NodeID, rep *core.Report) (Verdict, error) {
+	v := Verdict{
+		Source:       source,
+		Rounds:       rep.Rounds(),
+		Eccentricity: algo.Eccentricity(g, source),
+	}
+	for node, count := range rep.ReceiveCounts {
+		if count >= 2 {
+			v.DoubleReceivers = append(v.DoubleReceivers, graph.NodeID(node))
+		}
+	}
+	// The origin hearing M back is also an odd-cycle witness: on a
+	// bipartite graph every round's messages travel strictly away from
+	// the source.
+	if rep.ReceiveCounts[source] >= 1 {
+		v.DoubleReceivers = appendUnique(v.DoubleReceivers, source)
+	}
+	byReceipts := len(v.DoubleReceivers) > 0
+	byRounds := v.Rounds > v.Eccentricity
+	if byReceipts != byRounds {
+		return Verdict{}, fmt.Errorf(
+			"detect: witness signals disagree on %s from %d: doubleReceipts=%t lateRounds=%t (rounds=%d, e=%d)",
+			g, source, byReceipts, byRounds, v.Rounds, v.Eccentricity)
+	}
+	v.Bipartite = !byReceipts
+	return v, nil
+}
+
+func appendUnique(list []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}

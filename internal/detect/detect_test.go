@@ -1,0 +1,164 @@
+package detect_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/detect"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+)
+
+func TestBipartiteVerdicts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"path", gen.Path(12), true},
+		{"evenCycle", gen.Cycle(10), true},
+		{"oddCycle", gen.Cycle(11), false},
+		{"triangle", gen.Cycle(3), false},
+		{"grid", gen.Grid(5, 4), true},
+		{"clique", gen.Complete(8), false},
+		{"petersen", gen.Petersen(), false},
+		{"hypercube", gen.Hypercube(4), true},
+		{"star", gen.Star(9), true},
+		{"singleton", gen.Path(1), true},
+		{"K2", gen.Path(2), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for src := 0; src < tc.g.N(); src++ {
+				v, err := detect.Bipartiteness(tc.g, graph.NodeID(src))
+				if err != nil {
+					t.Fatalf("source %d: %v", src, err)
+				}
+				if v.Bipartite != tc.want {
+					t.Fatalf("source %d: verdict %t, want %t", src, v.Bipartite, tc.want)
+				}
+				if !tc.want && len(v.DoubleReceivers) == 0 {
+					t.Fatalf("source %d: non-bipartite verdict without witnesses", src)
+				}
+				if tc.want && len(v.DoubleReceivers) != 0 {
+					t.Fatalf("source %d: bipartite verdict with witnesses %v", src, v.DoubleReceivers)
+				}
+			}
+		})
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	g, err := graph.FromEdges("", 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := detect.Bipartiteness(g, 0); !errors.Is(err, detect.ErrDisconnected) {
+		t.Fatalf("error = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestFromReportReusesRun(t *testing.T) {
+	g := gen.Cycle(7)
+	rep, err := core.Run(g, core.Sequential, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := detect.FromReport(g, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Bipartite {
+		t.Fatal("C7 reported bipartite")
+	}
+	if v.Rounds != rep.Rounds() {
+		t.Fatalf("verdict rounds = %d, want %d", v.Rounds, rep.Rounds())
+	}
+}
+
+func TestFromReportRejectsMultiSource(t *testing.T) {
+	g := gen.Cycle(6)
+	rep, err := core.Run(g, core.Sequential, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := detect.FromReport(g, rep); err == nil {
+		t.Fatal("multi-source report accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	g := gen.Cycle(3)
+	v, err := detect.Bipartiteness(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "non-bipartite") {
+		t.Fatalf("verdict string = %q", v.String())
+	}
+	g2 := gen.Path(4)
+	v2, err := detect.Bipartiteness(g2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v2.String(), "bipartite") {
+		t.Fatalf("verdict string = %q", v2.String())
+	}
+}
+
+func TestAgreesWithTwoColoringOnRandomGraphs(t *testing.T) {
+	// Property (E9 core claim): flooding-based detection agrees with BFS
+	// two-colouring on every connected random graph from every random
+	// source.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(50), 0.03+0.1*rng.Float64(), rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		v, err := detect.Bipartiteness(g, src)
+		if err != nil {
+			return false
+		}
+		return v.Bipartite == algo.IsBipartite(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessesAreGenuineDoubleReceivers(t *testing.T) {
+	// Every reported witness node must indeed have received M in two
+	// distinct rounds (or be the origin hearing it back).
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomNonBipartite(3+rng.Intn(40), 0.05, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		rep, err := core.Run(g, core.Sequential, src)
+		if err != nil {
+			return false
+		}
+		v, err := detect.FromReport(g, rep)
+		if err != nil || v.Bipartite {
+			return false
+		}
+		for _, w := range v.DoubleReceivers {
+			if w == src {
+				if rep.ReceiveCounts[w] < 1 {
+					return false
+				}
+				continue
+			}
+			if rep.ReceiveCounts[w] < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

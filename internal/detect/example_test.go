@@ -1,0 +1,28 @@
+package detect_test
+
+import (
+	"fmt"
+	"log"
+
+	"amnesiacflood/internal/detect"
+	"amnesiacflood/internal/graph/gen"
+)
+
+// ExampleBipartiteness probes two cycles with a single flood each: the even
+// cycle looks like a parallel BFS, the odd one betrays itself through
+// double receipts.
+func ExampleBipartiteness() {
+	even, err := detect.Bipartiteness(gen.Cycle(6), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	odd, err := detect.Bipartiteness(gen.Cycle(7), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C6 bipartite=%t witnesses=%d\n", even.Bipartite, len(even.DoubleReceivers))
+	fmt.Printf("C7 bipartite=%t witnesses=%d\n", odd.Bipartite, len(odd.DoubleReceivers))
+	// Output:
+	// C6 bipartite=true witnesses=0
+	// C7 bipartite=false witnesses=7
+}

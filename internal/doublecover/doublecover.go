@@ -1,0 +1,227 @@
+// Package doublecover implements the analytical machinery behind the
+// paper's general termination bound: amnesiac flooding on a graph G behaves
+// exactly like classic (flag-based) flooding on the bipartite double cover
+// of G.
+//
+// The bipartite double cover of G(V, E) has vertex set V x {0, 1} and edges
+// {(u, p), (v, 1-p)} for every {u, v} in E. A walk of length L from the
+// source s to v in G corresponds to a path from (s, 0) to (v, L mod 2) in
+// the cover, so the shortest even- and odd-length walks from s to v are
+// plain BFS distances in the cover. Writing D[v][p] for those distances,
+// the exact laws are:
+//
+//   - node v receives M precisely in the rounds
+//     { D[v][0], D[v][1] } minus {0} and unreachable entries;
+//   - the directed edge u -> v carries M at round D[u][p]+1 for each
+//     reachable parity p of u, except when D[v][1-p] == D[u][p]-1 (then v
+//     itself delivered M to u in round D[u][p], and the complement rule
+//     suppresses the reply);
+//   - the flood terminates in round max over all finite D[v][p].
+//
+// Package theory re-exports these as run checks, and experiment E11
+// verifies the predicted traces are byte-identical to simulated ones on
+// every family in the suite.
+//
+// Consequences visible in the paper: on a connected bipartite G only one
+// parity class of the cover is reachable per node, every node receives once
+// at d(s, v), and the flood stops at e(source) (Lemma 2.1). On a connected
+// non-bipartite G both parities are reachable for every node, so every node
+// receives exactly twice (the source: once), and the maximum cover distance
+// is at most 2D+1 (Theorem 3.3).
+package doublecover
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// Infinite marks an unreachable parity (for example the odd parity of any
+// node in a bipartite graph).
+const Infinite = -1
+
+// Parity indexes the two sheets of the cover: even walks (0) and odd
+// walks (1).
+type Parity int
+
+// Sheet indices.
+const (
+	Even Parity = 0
+	Odd  Parity = 1
+)
+
+// Distances holds, for one source s, the shortest walk lengths of each
+// parity to every node: D[v][Even] and D[v][Odd]. D[s][Even] is 0.
+type Distances struct {
+	Source graph.NodeID
+	D      [][2]int
+}
+
+// BFS computes the parity-BFS distances from source over g, i.e. plain BFS
+// on the bipartite double cover without materialising it.
+func BFS(g *graph.Graph, source graph.NodeID) Distances {
+	n := g.N()
+	dist := Distances{Source: source, D: make([][2]int, n)}
+	for i := range dist.D {
+		dist.D[i] = [2]int{Infinite, Infinite}
+	}
+	if !g.HasNode(source) {
+		return dist
+	}
+	type state struct {
+		v graph.NodeID
+		p Parity
+	}
+	dist.D[source][Even] = 0
+	queue := make([]state, 0, 2*n)
+	queue = append(queue, state{source, Even})
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		d := dist.D[cur.v][cur.p]
+		next := 1 - cur.p
+		for _, nbr := range g.Neighbors(cur.v) {
+			if dist.D[nbr][next] == Infinite {
+				dist.D[nbr][next] = d + 1
+				queue = append(queue, state{nbr, next})
+			}
+		}
+	}
+	return dist
+}
+
+// Reached reports whether node v is reachable with parity p.
+func (d Distances) Reached(v graph.NodeID, p Parity) bool {
+	return d.D[v][p] != Infinite
+}
+
+// ReceiptRounds returns the rounds in which node v receives M, in
+// increasing order: the finite, non-zero cover distances. The source's
+// round-0 "possession" is excluded (it is the paper's R_0, not a receipt).
+func (d Distances) ReceiptRounds(v graph.NodeID) []int {
+	var out []int
+	for _, p := range []Parity{Even, Odd} {
+		if dv := d.D[v][p]; dv > 0 {
+			out = append(out, dv)
+		}
+	}
+	if len(out) == 2 && out[0] > out[1] {
+		out[0], out[1] = out[1], out[0]
+	}
+	return out
+}
+
+// TerminationRound returns the exact round in which the flood from the
+// source terminates: the maximum finite cover distance, or 0 when nothing
+// is reachable (isolated source).
+func (d Distances) TerminationRound() int {
+	max := 0
+	for _, dv := range d.D {
+		for _, p := range []Parity{Even, Odd} {
+			if dv[p] > max {
+				max = dv[p]
+			}
+		}
+	}
+	return max
+}
+
+// Cover materialises the bipartite double cover as a concrete graph:
+// vertex (v, p) becomes node v + p*n. It is always bipartite; it is
+// connected iff g is connected and non-bipartite (for bipartite g it splits
+// into two copies of g).
+func Cover(g *graph.Graph) *graph.Graph {
+	n := g.N()
+	b := graph.NewBuilder(2 * n).Name(fmt.Sprintf("doubleCover(%s)", g.Name()))
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V+graph.NodeID(n))
+		b.AddEdge(e.V, e.U+graph.NodeID(n))
+	}
+	return b.MustBuild()
+}
+
+// CoverNode maps a (node, parity) pair of g to its node ID in Cover(g).
+func CoverNode(g *graph.Graph, v graph.NodeID, p Parity) graph.NodeID {
+	return v + graph.NodeID(int(p)*g.N())
+}
+
+// Prediction is the complete forecast of a single-source amnesiac flood,
+// derived from two BFS passes and no simulation.
+type Prediction struct {
+	Source graph.NodeID
+	// Rounds is the exact termination round.
+	Rounds int
+	// Receipts[v] lists the exact rounds node v receives M, ascending.
+	Receipts [][]int
+	// TotalMessages is the exact number of point-to-point deliveries.
+	TotalMessages int
+	// Trace is the exact per-round send schedule, identical to the trace
+	// the synchronous engines produce.
+	Trace []engine.RoundRecord
+}
+
+// Predict forecasts the flood from source on g by applying the cover laws.
+func Predict(g *graph.Graph, source graph.NodeID) Prediction {
+	dist := BFS(g, source)
+	pred := Prediction{
+		Source:   source,
+		Rounds:   dist.TerminationRound(),
+		Receipts: make([][]int, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		pred.Receipts[v] = dist.ReceiptRounds(graph.NodeID(v))
+	}
+
+	// Reconstruct the send schedule: u -> v at round D[u][p]+1 for each
+	// reachable parity p, unless v delivered M to u in round D[u][p]
+	// (i.e. D[v][1-p] == D[u][p]-1 >= 0).
+	byRound := map[int][]engine.Send{}
+	for u := 0; u < g.N(); u++ {
+		uid := graph.NodeID(u)
+		for _, p := range []Parity{Even, Odd} {
+			du := dist.D[uid][p]
+			if du == Infinite {
+				continue
+			}
+			for _, v := range g.Neighbors(uid) {
+				dv := dist.D[v][1-p]
+				if dv != Infinite && dv == du-1 {
+					continue // v was a deliverer of u's parity-p receipt
+				}
+				byRound[du+1] = append(byRound[du+1], engine.Send{From: uid, To: v})
+			}
+		}
+	}
+	rounds := make([]int, 0, len(byRound))
+	for r := range byRound {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	for _, r := range rounds {
+		sends := byRound[r]
+		sort.Slice(sends, func(i, j int) bool {
+			if sends[i].From != sends[j].From {
+				return sends[i].From < sends[j].From
+			}
+			return sends[i].To < sends[j].To
+		})
+		pred.Trace = append(pred.Trace, engine.RoundRecord{Round: r, Sends: sends})
+		pred.TotalMessages += len(sends)
+	}
+	return pred
+}
+
+// SecondReceivers returns the nodes predicted to receive M twice — exactly
+// the nodes with both parities reachable at positive distance. For a
+// connected bipartite graph this is empty; for a connected non-bipartite
+// graph it is every node except possibly the source.
+func (d Distances) SecondReceivers() []graph.NodeID {
+	var out []graph.NodeID
+	for v := range d.D {
+		if len(d.ReceiptRounds(graph.NodeID(v))) == 2 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}

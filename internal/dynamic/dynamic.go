@@ -1,0 +1,242 @@
+// Package dynamic runs amnesiac flooding over dynamic networks: the edge
+// set may change between rounds. The paper's open questions ask how the
+// process behaves beyond static synchronous graphs; this package gives the
+// question an executable form, complementing the asynchronous (internal/
+// async) and faulty (internal/faults) variants.
+//
+// # Model
+//
+// A Schedule decides which edges of a base graph are alive in each round.
+// Messages sent in round r cross only edges alive in round r; a message
+// whose edge is down is lost (the natural reading of "the link is gone" —
+// lossless buffering would be the asynchronous model instead). Nodes apply
+// the usual amnesiac rule over their *base* neighbourhood: forward to every
+// base neighbour not among this round's senders. Sends onto dead edges are
+// dropped in transit.
+//
+// # Findings (experiment E14)
+//
+// A static schedule reproduces the synchronous engine exactly. A single
+// edge outage in the right round is equivalent to a lost message and can
+// leave a wavefront circulating forever (certified, as everywhere else in
+// this repository, by configuration repetition — for periodic schedules the
+// configuration is extended with the schedule phase). Periodically blinking
+// edges can sustain the flood on graphs where every static subgraph would
+// terminate.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// Schedule decides edge liveness per round.
+type Schedule interface {
+	// Name identifies the schedule in reports.
+	Name() string
+	// Alive reports whether the undirected edge {u, v} carries messages
+	// in the given round.
+	Alive(round int, e graph.Edge) bool
+	// Period returns p > 0 when Alive depends on the round only through
+	// round mod p (a static schedule has period 1). It returns 0 when the
+	// schedule is aperiodic; certificates are then disabled.
+	Period() int
+}
+
+// Outcome classifies a dynamic run.
+type Outcome int
+
+// Possible outcomes.
+const (
+	// Terminated: a round with no in-flight messages arrived.
+	Terminated Outcome = iota + 1
+	// CycleDetected: the (configuration, schedule phase) pair repeated —
+	// the execution is periodic and never terminates.
+	CycleDetected
+	// RoundLimit: the round limit was reached (aperiodic schedules only).
+	RoundLimit
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Terminated:
+		return "terminated"
+	case CycleDetected:
+		return "non-termination-certified"
+	case RoundLimit:
+		return "round-limit"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result summarises a dynamic run.
+type Result struct {
+	Outcome   Outcome
+	Schedule  string
+	Rounds    int
+	Delivered int
+	Lost      int // messages sent onto dead edges
+	Covered   []bool
+	// CycleStart / CycleLength describe the certified loop.
+	CycleStart, CycleLength int
+	Trace                   []engine.RoundRecord
+}
+
+// CoverageCount returns how many nodes hold or have held M.
+func (r Result) CoverageCount() int {
+	n := 0
+	for _, c := range r.Covered {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Options configures a dynamic run.
+type Options struct {
+	Trace     bool
+	MaxRounds int // 0 means DefaultMaxRounds
+}
+
+// DefaultMaxRounds bounds dynamic runs.
+const DefaultMaxRounds = 1 << 16
+
+// Run floods g from the origins under the schedule.
+func Run(g *graph.Graph, sched Schedule, opts Options, origins ...graph.NodeID) (Result, error) {
+	if len(origins) == 0 {
+		return Result{}, fmt.Errorf("dynamic: need at least one origin on %s", g)
+	}
+	for _, o := range origins {
+		if !g.HasNode(o) {
+			return Result{}, fmt.Errorf("dynamic: origin %d is not a node of %s", o, g)
+		}
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	res := Result{Schedule: sched.Name(), Covered: make([]bool, g.N())}
+
+	var pending []engine.Send
+	for _, o := range origins {
+		res.Covered[o] = true
+		for _, nbr := range g.Neighbors(o) {
+			pending = append(pending, engine.Send{From: o, To: nbr})
+		}
+	}
+	pending = dedup(pending)
+
+	period := sched.Period()
+	settled := settledAfter(sched)
+	seen := map[string]int{}
+	for round := 1; len(pending) > 0; round++ {
+		if round > maxRounds {
+			res.Outcome = RoundLimit
+			res.Rounds = maxRounds
+			return res, nil
+		}
+		if period > 0 && round > settled {
+			key := strconv.Itoa(round%period) + "|" + sendsKey(pending)
+			if first, ok := seen[key]; ok {
+				res.Outcome = CycleDetected
+				res.CycleStart = first
+				res.CycleLength = round - first
+				res.Rounds = round
+				return res, nil
+			}
+			seen[key] = round
+		}
+		res.Rounds = round
+
+		var delivered []engine.Send
+		for _, s := range pending {
+			if sched.Alive(round, graph.Edge{U: s.From, V: s.To}.Normalize()) {
+				delivered = append(delivered, s)
+			} else {
+				res.Lost++
+			}
+		}
+		res.Delivered += len(delivered)
+		if opts.Trace {
+			res.Trace = append(res.Trace, engine.RoundRecord{
+				Round: round,
+				Sends: append([]engine.Send(nil), delivered...),
+			})
+		}
+
+		byTo := map[graph.NodeID][]graph.NodeID{}
+		for _, s := range delivered {
+			res.Covered[s.To] = true
+			byTo[s.To] = append(byTo[s.To], s.From)
+		}
+		receivers := make([]graph.NodeID, 0, len(byTo))
+		for v := range byTo {
+			receivers = append(receivers, v)
+		}
+		sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+		var next []engine.Send
+		for _, v := range receivers {
+			senders := byTo[v]
+			sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+			i := 0
+			for _, nbr := range g.Neighbors(v) {
+				for i < len(senders) && senders[i] < nbr {
+					i++
+				}
+				if i < len(senders) && senders[i] == nbr {
+					continue
+				}
+				next = append(next, engine.Send{From: v, To: nbr})
+			}
+		}
+		pending = dedup(next)
+	}
+	res.Outcome = Terminated
+	return res, nil
+}
+
+// settledAfter returns the round after which a schedule's declared period
+// actually holds (0 for always-periodic schedules). Schedules with a
+// transient (OutageOnce) advertise it via the optional interface.
+func settledAfter(sched Schedule) int {
+	type settler interface{ SettledAfter() int }
+	if s, ok := sched.(settler); ok {
+		return s.SettledAfter()
+	}
+	return 0
+}
+
+func dedup(sends []engine.Send) []engine.Send {
+	if len(sends) == 0 {
+		return nil
+	}
+	sort.Slice(sends, func(i, j int) bool {
+		if sends[i].From != sends[j].From {
+			return sends[i].From < sends[j].From
+		}
+		return sends[i].To < sends[j].To
+	})
+	out := sends[:1]
+	for _, s := range sends[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sendsKey(sends []engine.Send) string {
+	parts := make([]string, len(sends))
+	for i, s := range sends {
+		parts[i] = strconv.Itoa(int(s.From)) + ">" + strconv.Itoa(int(s.To))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,181 @@
+package dynamic_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/dynamic"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+)
+
+func TestValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := dynamic.Run(g, dynamic.Static{}, dynamic.Options{}); err == nil {
+		t.Fatal("no origins accepted")
+	}
+	if _, err := dynamic.Run(g, dynamic.Static{}, dynamic.Options{}, 42); err == nil {
+		t.Fatal("bad origin accepted")
+	}
+}
+
+func TestStaticMatchesEngine(t *testing.T) {
+	// Property: the dynamic runner under Static{} equals the synchronous
+	// engine trace for trace.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(40), 0.1, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		dres, err := dynamic.Run(g, dynamic.Static{}, dynamic.Options{Trace: true}, src)
+		if err != nil || dres.Outcome != dynamic.Terminated {
+			return false
+		}
+		flood, err := core.NewFlood(g, src)
+		if err != nil {
+			return false
+		}
+		sres, err := engine.Run(g, flood, engine.Options{Trace: true})
+		if err != nil {
+			return false
+		}
+		return engine.EqualTraces(dres.Trace, sres.Trace) &&
+			dres.Delivered == sres.TotalMessages && dres.Lost == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutageOnEvenCycleBreaksTermination(t *testing.T) {
+	// Taking edge {0,3} of C4 down in round 1 loses the copy 0->3 and
+	// leaves a circulating wavefront — same as the message-loss finding,
+	// now caused by topology churn.
+	g := gen.Cycle(4)
+	sched := dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 3}}
+	res, err := dynamic.Run(g, sched, dynamic.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != dynamic.CycleDetected {
+		t.Fatalf("outcome = %v, want CycleDetected", res.Outcome)
+	}
+	if res.Lost != 1 {
+		t.Fatalf("lost = %d, want 1", res.Lost)
+	}
+	if res.CycleLength != 4 {
+		t.Fatalf("period = %d, want 4 (one lap)", res.CycleLength)
+	}
+}
+
+func TestOutageOnTreeOnlyShrinks(t *testing.T) {
+	g := gen.CompleteBinaryTree(4)
+	sched := dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 1}}
+	res, err := dynamic.Run(g, sched, dynamic.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != dynamic.Terminated {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	// The whole left subtree (rooted at 1) is cut off: 7 of 15 nodes.
+	if res.CoverageCount() != 8 {
+		t.Fatalf("coverage = %d, want 8", res.CoverageCount())
+	}
+}
+
+func TestBlinkingEdge(t *testing.T) {
+	// A path whose middle edge is up only every other round: the flood
+	// must still cross (messages retry from re-received copies? no — a
+	// lost copy is lost; the flood dies at the blinking edge when the
+	// wave hits a down phase).
+	g := gen.Path(4)
+	up := dynamic.Blinking{Edge: graph.Edge{U: 1, V: 2}, K: 2, Phase: 0}
+	res, err := dynamic.Run(g, up, dynamic.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wave reaches edge {1,2} in round 2; phase 0 means alive in even
+	// rounds, so it crosses and the flood completes.
+	if res.Outcome != dynamic.Terminated || res.CoverageCount() != 4 {
+		t.Fatalf("aligned blinking: %+v", res)
+	}
+	down := dynamic.Blinking{Edge: graph.Edge{U: 1, V: 2}, K: 2, Phase: 1}
+	res2, err := dynamic.Run(g, down, dynamic.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != dynamic.Terminated || res2.CoverageCount() != 2 {
+		t.Fatalf("misaligned blinking: %+v", res2)
+	}
+}
+
+func TestAlternatingHalvesEndsDeterministically(t *testing.T) {
+	// The aggressive churn schedule must either terminate or produce a
+	// certificate — never hit the round limit, since it is periodic.
+	for _, g := range []*graph.Graph{gen.Cycle(6), gen.Cycle(7), gen.Grid(4, 4), gen.Complete(6)} {
+		res, err := dynamic.Run(g, dynamic.Alternating{}, dynamic.Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome == dynamic.RoundLimit {
+			t.Fatalf("%s: periodic schedule hit the round limit", g)
+		}
+		t.Logf("%s under alternating halves: %v after %d rounds (coverage %d/%d)",
+			g, res.Outcome, res.Rounds, res.CoverageCount(), g.N())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := gen.Grid(5, 5)
+	sched := dynamic.Blinking{Edge: graph.Edge{U: 0, V: 1}, K: 3}
+	a, err := dynamic.Run(g, sched, dynamic.Options{Trace: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dynamic.Run(g, sched, dynamic.Options{Trace: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcome != b.Outcome || a.Rounds != b.Rounds || !engine.EqualTraces(a.Trace, b.Trace) {
+		t.Fatal("two identical dynamic runs differ")
+	}
+}
+
+func TestScheduleNames(t *testing.T) {
+	cases := []struct {
+		sched dynamic.Schedule
+		want  string
+	}{
+		{dynamic.Static{}, "static"},
+		{dynamic.OutageOnce{Round: 2, Edge: graph.Edge{U: 3, V: 1}}, "outage(r2,(1,3))"},
+		{dynamic.Blinking{Edge: graph.Edge{U: 0, V: 1}, K: 2}, "blinking((0,1),k=2)"},
+		{dynamic.Alternating{}, "alternating-halves"},
+	}
+	for _, tc := range cases {
+		if got := tc.sched.Name(); got != tc.want {
+			t.Errorf("name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if dynamic.Terminated.String() != "terminated" ||
+		dynamic.CycleDetected.String() != "non-termination-certified" ||
+		dynamic.RoundLimit.String() != "round-limit" {
+		t.Fatal("outcome strings wrong")
+	}
+}
+
+func TestMultiOriginDynamic(t *testing.T) {
+	g := gen.Cycle(10)
+	res, err := dynamic.Run(g, dynamic.Static{}, dynamic.Options{}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != dynamic.Terminated || res.CoverageCount() != 10 {
+		t.Fatalf("multi-origin dynamic run = %+v", res)
+	}
+}

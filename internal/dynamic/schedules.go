@@ -1,0 +1,97 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"amnesiacflood/internal/graph"
+)
+
+// Static keeps every edge alive forever: the dynamic runner must match the
+// synchronous engine exactly under it.
+type Static struct{}
+
+var _ Schedule = Static{}
+
+// Name implements Schedule.
+func (Static) Name() string { return "static" }
+
+// Alive implements Schedule.
+func (Static) Alive(int, graph.Edge) bool { return true }
+
+// Period implements Schedule: static behaviour has period 1.
+func (Static) Period() int { return 1 }
+
+// OutageOnce takes one edge down for exactly one round — the minimal
+// dynamic fault, equivalent to losing the messages crossing that edge in
+// that round.
+type OutageOnce struct {
+	Round int
+	Edge  graph.Edge
+}
+
+var _ Schedule = OutageOnce{}
+
+// Name implements Schedule.
+func (o OutageOnce) Name() string {
+	return fmt.Sprintf("outage(r%d,%s)", o.Round, o.Edge.Normalize())
+}
+
+// Alive implements Schedule.
+func (o OutageOnce) Alive(round int, e graph.Edge) bool {
+	return !(round == o.Round && e == o.Edge.Normalize())
+}
+
+// Period implements Schedule: after the outage round the schedule is
+// static (period 1). SettledAfter tells the runner to start recording
+// configurations only once the transient has passed, so pre-outage
+// configurations can never alias post-outage ones.
+func (o OutageOnce) Period() int { return 1 }
+
+// SettledAfter reports the last round with transient behaviour.
+func (o OutageOnce) SettledAfter() int { return o.Round }
+
+// Blinking keeps one edge alive only every k-th round (round % K == Phase),
+// all other edges always alive. With K = 2 this models a link that flaps at
+// half the round rate.
+type Blinking struct {
+	Edge  graph.Edge
+	K     int
+	Phase int
+}
+
+var _ Schedule = Blinking{}
+
+// Name implements Schedule.
+func (b Blinking) Name() string {
+	return fmt.Sprintf("blinking(%s,k=%d)", b.Edge.Normalize(), b.K)
+}
+
+// Alive implements Schedule.
+func (b Blinking) Alive(round int, e graph.Edge) bool {
+	if e != b.Edge.Normalize() {
+		return true
+	}
+	return round%b.K == b.Phase%b.K
+}
+
+// Period implements Schedule.
+func (b Blinking) Period() int { return b.K }
+
+// Alternating splits the edge set in two halves that are alive in
+// alternating rounds: even rounds use edges with U+V even, odd rounds the
+// rest. An aggressive periodic churn keeping only half the graph up at any
+// time.
+type Alternating struct{}
+
+var _ Schedule = Alternating{}
+
+// Name implements Schedule.
+func (Alternating) Name() string { return "alternating-halves" }
+
+// Alive implements Schedule.
+func (Alternating) Alive(round int, e graph.Edge) bool {
+	return (int(e.U+e.V)+round)%2 == 0
+}
+
+// Period implements Schedule.
+func (Alternating) Period() int { return 2 }

@@ -1,0 +1,210 @@
+// Package chanengine executes synchronous round protocols with real Go
+// concurrency: one goroutine per node and one channel per directed edge, so
+// Go channels map one-to-one onto the paper's message rounds.
+//
+// Rounds are synchronised with a coordinator acting as a barrier
+// (a β-synchronizer): in each round every node writes one token to each
+// outgoing edge channel, reads one token from each incoming edge channel,
+// runs its automaton, and reports to the coordinator; the coordinator
+// releases the next round only after every node has reported, and stops all
+// nodes once a round produces no messages.
+//
+// The engine is trace-equivalent to the deterministic sequential engine in
+// the parent package (experiment E10 asserts byte-identical traces); it
+// exists to demonstrate that the protocol behaves identically on a genuinely
+// concurrent substrate, not to be fast.
+package chanengine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// token crosses a directed edge once per round; has reports whether the edge
+// carries the flood message M in that round.
+type token struct {
+	has bool
+}
+
+// report is what each node tells the coordinator at the end of a round.
+type report struct {
+	v         graph.NodeID
+	performed []engine.Send // the sends this node executed this round
+	nextCount int           // how many sends it will execute next round
+}
+
+// Run executes proto on g with one goroutine per node. Results and traces
+// are identical to engine.Run for any deterministic protocol.
+func Run(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = engine.DefaultMaxRounds
+	}
+	res := engine.Result{Protocol: proto.Name()}
+	n := g.N()
+	if n == 0 {
+		res.Terminated = true
+		return res, nil
+	}
+
+	// One channel per directed edge. out[u][i] carries u's token to its
+	// i-th neighbour; in[v][j] aliases the channel of the reverse
+	// orientation so v can read from its j-th neighbour.
+	out := make([][]chan token, n)
+	in := make([][]chan token, n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(graph.NodeID(v))
+		out[v] = make([]chan token, deg)
+		in[v] = make([]chan token, deg)
+		for i := range out[v] {
+			out[v][i] = make(chan token, 1)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for i, v := range g.Neighbors(graph.NodeID(u)) {
+			j := neighborIndex(g, v, graph.NodeID(u))
+			in[v][j] = out[u][i]
+		}
+	}
+
+	// Initial send sets from the protocol bootstrap.
+	initial := make([]map[graph.NodeID]bool, n)
+	bootstrapTotal := 0
+	for _, s := range proto.Bootstrap() {
+		if initial[s.From] == nil {
+			initial[s.From] = make(map[graph.NodeID]bool)
+		}
+		if !initial[s.From][s.To] {
+			initial[s.From][s.To] = true
+			bootstrapTotal++
+		}
+	}
+
+	ctrl := make([]chan struct{}, n)
+	for v := range ctrl {
+		ctrl[v] = make(chan struct{}, 1)
+	}
+	reports := make(chan report, n)
+
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v graph.NodeID) {
+			defer wg.Done()
+			runNode(g, v, proto.NewNode(v), initial[v], out[v], in[v], ctrl[v], reports)
+		}(graph.NodeID(v))
+	}
+	stopAll := func() {
+		for _, c := range ctrl {
+			close(c)
+		}
+		wg.Wait()
+	}
+
+	pendingCount := bootstrapTotal
+	for round := 1; pendingCount > 0; round++ {
+		if round > maxRounds {
+			stopAll()
+			return res, fmt.Errorf("chanengine: %s on %s: %w (%d)", proto.Name(), g, engine.ErrMaxRounds, maxRounds)
+		}
+		// Release the round on every node, then wait for all reports:
+		// this is the synchroniser barrier.
+		for _, c := range ctrl {
+			c <- struct{}{}
+		}
+		var sends []engine.Send
+		nextCount := 0
+		for i := 0; i < n; i++ {
+			r := <-reports
+			sends = append(sends, r.performed...)
+			nextCount += r.nextCount
+		}
+		sort.Slice(sends, func(i, j int) bool {
+			if sends[i].From != sends[j].From {
+				return sends[i].From < sends[j].From
+			}
+			return sends[i].To < sends[j].To
+		})
+		res.Rounds = round
+		res.TotalMessages += len(sends)
+		if opts.Trace {
+			res.Trace = append(res.Trace, engine.RoundRecord{Round: round, Sends: sends})
+		}
+		if opts.Observer != nil {
+			opts.Observer(engine.RoundRecord{Round: round, Sends: sends})
+		}
+		pendingCount = nextCount
+	}
+	stopAll()
+	res.Terminated = true
+	return res, nil
+}
+
+// runNode is the per-node goroutine body. It performs one round per control
+// signal and exits when the control channel is closed.
+func runNode(
+	g *graph.Graph,
+	v graph.NodeID,
+	automaton engine.NodeAutomaton,
+	sendSet map[graph.NodeID]bool,
+	outCh, inCh []chan token,
+	ctrl chan struct{},
+	reports chan<- report,
+) {
+	nbrs := g.Neighbors(v)
+	round := 0
+	for range ctrl {
+		round++
+		// Phase 1: write one token per outgoing edge.
+		for i, nbr := range nbrs {
+			outCh[i] <- token{has: sendSet[nbr]}
+		}
+		// Phase 2: read one token per incoming edge; collect senders.
+		var senders []graph.NodeID
+		for i, nbr := range nbrs {
+			if t := <-inCh[i]; t.has {
+				senders = append(senders, nbr)
+			}
+		}
+		// senders is sorted already because nbrs is sorted.
+
+		performed := make([]engine.Send, 0, len(sendSet))
+		for _, nbr := range nbrs {
+			if sendSet[nbr] {
+				performed = append(performed, engine.Send{From: v, To: nbr})
+			}
+		}
+
+		next := make(map[graph.NodeID]bool)
+		if len(senders) > 0 {
+			for _, dst := range automaton(round, senders) {
+				next[dst] = true
+			}
+		}
+		reports <- report{v: v, performed: performed, nextCount: len(next)}
+		sendSet = next
+	}
+}
+
+// neighborIndex returns the position of target in g.Neighbors(v). Neighbour
+// lists are sorted, so binary search applies.
+func neighborIndex(g *graph.Graph, v, target graph.NodeID) int {
+	nbrs := g.Neighbors(v)
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(nbrs) || nbrs[lo] != target {
+		panic(fmt.Sprintf("chanengine: %d is not a neighbour of %d", target, v))
+	}
+	return lo
+}

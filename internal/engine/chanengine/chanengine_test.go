@@ -1,0 +1,235 @@
+package chanengine_test
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amnesiacflood/internal/classic"
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges("", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chanengine.Run(g, silentProtocol{}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.Rounds != 0 {
+		t.Fatalf("empty graph run = %+v", res)
+	}
+}
+
+type silentProtocol struct{}
+
+func (silentProtocol) Name() string             { return "silent" }
+func (silentProtocol) Bootstrap() []engine.Send { return nil }
+func (silentProtocol) NewNode(graph.NodeID) engine.NodeAutomaton {
+	return func(int, []graph.NodeID) []graph.NodeID { return nil }
+}
+
+func TestSingleNode(t *testing.T) {
+	g, err := graph.FromEdges("", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood, err := core.NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chanengine.Run(g, flood, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.Rounds != 0 {
+		t.Fatalf("singleton run = %+v", res)
+	}
+}
+
+func TestMatchesSequentialOnFigures(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		source graph.NodeID
+	}{
+		{"fig1 line", gen.Path(4), 1},
+		{"fig2 triangle", gen.Cycle(3), 1},
+		{"fig3 evenCycle", gen.Cycle(6), 0},
+		{"clique", gen.Complete(8), 3},
+		{"petersen", gen.Petersen(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flood, err := core.NewFlood(tc.g, tc.source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := engine.Run(tc.g, flood, engine.Options{Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chn, err := chanengine.Run(tc.g, flood, engine.Options{Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !engine.EqualTraces(seq.Trace, chn.Trace) {
+				t.Fatalf("traces differ:\nseq: %v\nchn: %v", seq.Trace, chn.Trace)
+			}
+			if seq.Rounds != chn.Rounds || seq.TotalMessages != chn.TotalMessages {
+				t.Fatalf("summaries differ: %+v vs %+v", seq, chn)
+			}
+		})
+	}
+}
+
+func TestMatchesSequentialOnRandomGraphsAF(t *testing.T) {
+	// Property: channel engine == sequential engine for amnesiac flooding
+	// on random connected graphs from random sources.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(40), 0.1, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		flood, err := core.NewFlood(g, src)
+		if err != nil {
+			return false
+		}
+		seq, err := engine.Run(g, flood, engine.Options{Trace: true})
+		if err != nil {
+			return false
+		}
+		chn, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+		if err != nil {
+			return false
+		}
+		return engine.EqualTraces(seq.Trace, chn.Trace)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesSequentialClassicFlooding(t *testing.T) {
+	// The channel engine must also agree for stateful protocols (classic
+	// flooding keeps a per-node seen flag).
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(30), 0.1, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		proto, err := classic.NewFlood(g, src)
+		if err != nil {
+			return false
+		}
+		seq, err := engine.Run(g, proto, engine.Options{Trace: true})
+		if err != nil {
+			return false
+		}
+		// Protocols carry per-run node state, so build a fresh instance
+		// for the second engine.
+		proto2, err := classic.NewFlood(g, src)
+		if err != nil {
+			return false
+		}
+		chn, err := chanengine.Run(g, proto2, engine.Options{Trace: true})
+		if err != nil {
+			return false
+		}
+		return engine.EqualTraces(seq.Trace, chn.Trace)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRoundsStopsCleanly(t *testing.T) {
+	// The odd cycle takes n rounds; a lower limit must error out without
+	// deadlocking or leaking goroutines.
+	g := gen.Cycle(9)
+	flood, err := core.NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chanengine.Run(g, flood, engine.Options{MaxRounds: 3})
+	if !errors.Is(err, engine.ErrMaxRounds) {
+		t.Fatalf("error = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestObserverAndNoTrace(t *testing.T) {
+	g := gen.Cycle(6)
+	flood, err := core.NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	res, err := chanengine.Run(g, flood, engine.Options{
+		Observer: func(rec engine.RoundRecord) { seen += len(rec.Sends) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace recorded without Options.Trace")
+	}
+	if seen != res.TotalMessages {
+		t.Fatalf("observer saw %d sends, result says %d", seen, res.TotalMessages)
+	}
+}
+
+func TestNoGoroutineLeaks(t *testing.T) {
+	// Every node goroutine must exit by the time Run returns, both on
+	// normal termination and on the MaxRounds error path.
+	g := gen.RandomNonBipartite(60, 0.06, rand.New(rand.NewSource(3)))
+	flood, err := core.NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := chanengine.Run(g, flood, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := chanengine.Run(g, flood, engine.Options{MaxRounds: 2}); !errors.Is(err, engine.ErrMaxRounds) {
+			t.Fatalf("error = %v", err)
+		}
+	}
+	// Give any stragglers a moment, then compare. A small slack absorbs
+	// runtime background goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew from %d to %d — node goroutines leaked", before, after)
+	}
+}
+
+func TestRepeatedRunsAreDeterministic(t *testing.T) {
+	g := gen.RandomNonBipartite(40, 0.08, rand.New(rand.NewSource(5)))
+	flood, err := core.NewFlood(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.EqualTraces(first.Trace, again.Trace) {
+			t.Fatalf("run %d produced a different trace", i)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package engine implements the synchronous message-passing substrate of the
+// paper's model: computation proceeds in rounds, each round every node
+// receives the messages addressed to it, performs local computation, and
+// emits messages that are delivered in the next round. No messages are lost.
+//
+// The package defines a Protocol abstraction shared by the deterministic
+// sequential engine implemented here and the goroutine/channel engine in the
+// chanengine subpackage; both must produce identical traces (experiment E10).
+//
+// Round numbering follows the paper: the origin's spontaneous sends happen
+// in round 1 and are received in round 1; the messages a node emits in
+// response are received in round 2; and so on. A run terminates at the end
+// of the first round in which no edge carries a message.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"amnesiacflood/internal/graph"
+)
+
+// Send is a message crossing the directed edge From -> To during one round.
+// The flooding protocols studied here carry a single, constant payload M, so
+// the (From, To) pair fully identifies a message within a round.
+type Send struct {
+	From, To graph.NodeID
+}
+
+// String renders the send as "from->to".
+func (s Send) String() string {
+	return fmt.Sprintf("%d->%d", s.From, s.To)
+}
+
+// NodeAutomaton is the per-node behaviour of a protocol. In every round in
+// which node v receives at least one copy of the message, the engine calls
+// its automaton with the round number and the sorted list of distinct
+// senders; the automaton returns the neighbours v sends to in the next
+// round.
+//
+// Implementations may keep internal state across calls (classic flooding
+// keeps a "seen" flag). Amnesiac flooding must not: its automaton is a pure
+// function of the current round's senders, which is exactly the paper's
+// memorylessness requirement.
+type NodeAutomaton func(round int, senders []graph.NodeID) []graph.NodeID
+
+// Protocol is a synchronous message-driven algorithm, instantiated for a
+// specific graph and origin set.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Bootstrap returns the spontaneous sends of round 1.
+	Bootstrap() []Send
+	// NewNode returns a fresh automaton for node v. The engine calls it
+	// once per node per run, so per-run node state lives in the returned
+	// closure.
+	NewNode(v graph.NodeID) NodeAutomaton
+}
+
+// RoundRecord is the trace of a single round: the messages crossing edges
+// during that round, sorted by (From, To).
+type RoundRecord struct {
+	Round int    `json:"round"`
+	Sends []Send `json:"sends"`
+}
+
+// Senders returns the sorted set of distinct nodes sending in this round
+// (the "circled nodes" of the paper's figures).
+func (r RoundRecord) Senders() []graph.NodeID {
+	return distinctFrom(r.Sends)
+}
+
+// Receivers returns the sorted set of distinct nodes receiving in this round
+// (the round-set R_i of the paper's Theorem 3.1 proof).
+func (r RoundRecord) Receivers() []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	for _, s := range r.Sends {
+		seen[s.To] = true
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Result is the outcome of a synchronous run.
+type Result struct {
+	// Protocol is the protocol name, for reports.
+	Protocol string `json:"protocol"`
+	// Terminated is true when the run reached a round with no messages
+	// within the round limit; false means the limit was hit first.
+	Terminated bool `json:"terminated"`
+	// Rounds is the number of rounds in which at least one message was in
+	// flight. For a terminated run, no message exists in round Rounds+1.
+	Rounds int `json:"rounds"`
+	// TotalMessages counts every (sender, receiver) message delivery over
+	// the whole run.
+	TotalMessages int `json:"totalMessages"`
+	// Trace holds one record per round when tracing is enabled, nil
+	// otherwise.
+	Trace []RoundRecord `json:"trace,omitempty"`
+}
+
+// ErrMaxRounds is wrapped into the error returned by Run when the round
+// limit is exceeded, which for the protocols in this repository indicates
+// either a deliberately non-terminating configuration or a bug.
+var ErrMaxRounds = errors.New("round limit exceeded")
+
+// Options configures a run; the zero value means "no trace, default round
+// limit".
+type Options struct {
+	// Trace records every round's sends into Result.Trace.
+	Trace bool
+	// MaxRounds bounds the run; 0 means DefaultMaxRounds.
+	MaxRounds int
+	// Observer, when non-nil, is invoked after every round with the
+	// round's record (regardless of Trace). The record's Sends slice must
+	// not be retained.
+	Observer func(RoundRecord)
+}
+
+// DefaultMaxRounds is the round limit used when Options.MaxRounds is 0. The
+// paper proves termination within 2D+1 <= 2n-1 rounds, so this limit is far
+// beyond any terminating single-message run on graphs this package targets.
+const DefaultMaxRounds = 1 << 20
+
+// Run executes proto on g sequentially and deterministically: nodes are
+// activated in ascending NodeID order and all sorting is stable, so two runs
+// with the same inputs produce byte-identical traces.
+func Run(g *graph.Graph, proto Protocol, opts Options) (Result, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	res := Result{Protocol: proto.Name()}
+
+	automata := make([]NodeAutomaton, g.N())
+	nodeFor := func(v graph.NodeID) NodeAutomaton {
+		if automata[v] == nil {
+			automata[v] = proto.NewNode(v)
+		}
+		return automata[v]
+	}
+
+	pending := normalizeSends(proto.Bootstrap())
+	for round := 1; len(pending) > 0; round++ {
+		if round > maxRounds {
+			return res, fmt.Errorf("engine: %s on %s: %w (%d)", proto.Name(), g, ErrMaxRounds, maxRounds)
+		}
+		res.Rounds = round
+		res.TotalMessages += len(pending)
+		record := RoundRecord{Round: round, Sends: pending}
+		if opts.Trace {
+			res.Trace = append(res.Trace, RoundRecord{Round: round, Sends: append([]Send(nil), pending...)})
+		}
+		if opts.Observer != nil {
+			opts.Observer(record)
+		}
+
+		// Group this round's deliveries by receiver. pending is sorted by
+		// (From, To); re-sort by To to batch per node.
+		byReceiver := groupByReceiver(pending)
+		var next []Send
+		for _, batch := range byReceiver {
+			v := batch.to
+			for _, dst := range nodeFor(v)(round, batch.senders) {
+				next = append(next, Send{From: v, To: dst})
+			}
+		}
+		pending = normalizeSends(next)
+	}
+	res.Terminated = true
+	return res, nil
+}
+
+// receiverBatch is one node's deliveries within a round.
+type receiverBatch struct {
+	to      graph.NodeID
+	senders []graph.NodeID
+}
+
+// groupByReceiver buckets sends by destination, with batches ordered by
+// receiver ID and senders sorted within each batch.
+func groupByReceiver(sends []Send) []receiverBatch {
+	bySender := make(map[graph.NodeID][]graph.NodeID)
+	for _, s := range sends {
+		bySender[s.To] = append(bySender[s.To], s.From)
+	}
+	batches := make([]receiverBatch, 0, len(bySender))
+	for to, senders := range bySender {
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+		batches = append(batches, receiverBatch{to: to, senders: senders})
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].to < batches[j].to })
+	return batches
+}
+
+// normalizeSends sorts sends by (From, To) and drops duplicates, ensuring a
+// canonical per-round representation. Protocols never legitimately emit the
+// same (From, To) twice in one round, but normalising makes trace equality
+// well-defined.
+func normalizeSends(sends []Send) []Send {
+	if len(sends) == 0 {
+		return nil
+	}
+	sort.Slice(sends, func(i, j int) bool {
+		if sends[i].From != sends[j].From {
+			return sends[i].From < sends[j].From
+		}
+		return sends[i].To < sends[j].To
+	})
+	out := sends[:1]
+	for _, s := range sends[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// distinctFrom returns the sorted distinct senders of a send list.
+func distinctFrom(sends []Send) []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	for _, s := range sends {
+		seen[s.From] = true
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EqualTraces reports whether two traces are identical round for round. It
+// is the acceptance predicate of experiment E10 (engine equivalence).
+func EqualTraces(a, b []RoundRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Round != b[i].Round || len(a[i].Sends) != len(b[i].Sends) {
+			return false
+		}
+		for j := range a[i].Sends {
+			if a[i].Sends[j] != b[i].Sends[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/theory"
+)
+
+// namedGraph couples an instance with the family label used in tables.
+type namedGraph struct {
+	family string
+	g      *graph.Graph
+}
+
+// bipartiteFamilies returns the bipartite instance sweep of experiment E4.
+func bipartiteFamilies(cfg Config, rng *rand.Rand) []namedGraph {
+	n := cfg.scaled(1)
+	instances := []namedGraph{
+		{"path", gen.Path(16 * n)},
+		{"path", gen.Path(256 * n)},
+		{"evenCycle", gen.Cycle(16 * n)},
+		{"evenCycle", gen.Cycle(256 * n)},
+		{"star", gen.Star(64 * n)},
+		{"grid", gen.Grid(8*n, 8*n)},
+		{"grid", gen.Grid(16*n, 32*n)},
+		{"binaryTree", gen.CompleteBinaryTree(7)},
+		{"hypercube", gen.Hypercube(6)},
+		{"hypercube", gen.Hypercube(9)},
+		{"completeBipartite", gen.CompleteBipartite(12*n, 20*n)},
+		{"randomTree", gen.RandomTree(512*n, rng)},
+		{"randomBipartite", gen.Connectify(gen.RandomBipartite(40*n, 56*n, 0.05, rng), rng)},
+	}
+	return instances
+}
+
+// nonBipartiteInstance is an E5 sweep entry. strictAboveDiameter marks the
+// source-symmetric classical families on which termination provably takes
+// more than D rounds from every source; on irregular instances the paper's
+// parenthetical "strictly larger than D" does not hold pointwise (see the
+// E5 note and EXPERIMENTS.md) and is only reported, not asserted.
+type nonBipartiteInstance struct {
+	family              string
+	g                   *graph.Graph
+	strictAboveDiameter bool
+}
+
+// nonBipartiteFamilies returns the non-bipartite sweep of experiment E5.
+func nonBipartiteFamilies(cfg Config, rng *rand.Rand) []nonBipartiteInstance {
+	n := cfg.scaled(1)
+	return []nonBipartiteInstance{
+		{"triangle", gen.Cycle(3), true},
+		{"oddCycle", gen.Cycle(15*n + 2), true}, // odd for every scale
+		{"oddCycle", gen.Cycle(255*n + 2), true},
+		{"clique", gen.Complete(8 * n), true},
+		{"clique", gen.Complete(32 * n), true},
+		{"wheel", gen.Wheel(32*n + 1), true},
+		{"petersen", gen.Petersen(), true},
+		{"oddTorus", gen.Torus(5, 7), true},
+		{"lollipop", gen.Lollipop(5, 20*n), false},
+		{"barbell", gen.Barbell(5, 16*n), false},
+		{"randomNonBipartite", gen.RandomNonBipartite(128*n, 0.02, rng), false},
+		{"randomNonBipartite", gen.RandomNonBipartite(512*n, 0.005, rng), false},
+	}
+}
+
+// pickSources returns a deterministic spread of source nodes for an
+// instance: node 0, a middle node, the last node, and two random ones.
+func pickSources(g *graph.Graph, rng *rand.Rand) []graph.NodeID {
+	if g.N() == 0 {
+		return nil
+	}
+	candidates := []graph.NodeID{0, graph.NodeID(g.N() / 2), graph.NodeID(g.N() - 1)}
+	for i := 0; i < 2; i++ {
+		candidates = append(candidates, graph.NodeID(rng.Intn(g.N())))
+	}
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, s := range candidates {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BipartiteTermination is experiment E4: on every bipartite instance and
+// every picked source, amnesiac flooding terminates in exactly e(source)
+// rounds (Lemma 2.1), within the diameter (Corollary 2.2), visiting every
+// node exactly once.
+func BipartiteTermination(cfg Config) ([]*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Table{
+		ID:      "E4",
+		Title:   "Lemma 2.1 / Cor 2.2: AF on connected bipartite graphs",
+		Columns: []string{"family", "graph", "n", "m", "diam", "source", "e(src)", "rounds", "rounds==e(src)", "max receives"},
+	}
+	checked := 0
+	for _, inst := range bipartiteFamilies(cfg, rng) {
+		if !algo.IsBipartite(inst.g) {
+			return nil, fmt.Errorf("E4: instance %s is not bipartite (generator bug)", inst.g)
+		}
+		if !algo.Connected(inst.g) {
+			return nil, fmt.Errorf("E4: instance %s is not connected", inst.g)
+		}
+		diam := algo.Diameter(inst.g)
+		for _, src := range pickSources(inst.g, rng) {
+			rep, err := core.Run(inst.g, core.Sequential, src)
+			if err != nil {
+				return nil, fmt.Errorf("E4: %s from %d: %w", inst.g, src, err)
+			}
+			if err := theory.CheckBipartiteExact(inst.g, rep); err != nil {
+				return nil, fmt.Errorf("E4: %w", err)
+			}
+			ecc := algo.Eccentricity(inst.g, src)
+			t.AddRow(inst.family, inst.g.Name(), inst.g.N(), inst.g.M(), diam, src,
+				ecc, rep.Rounds(), rep.Rounds() == ecc, rep.MaxReceives())
+			checked++
+		}
+	}
+	t.AddNote("%d (instance, source) pairs; every run matched rounds == e(source) <= D with single receipt per node", checked)
+	return []*Table{t}, nil
+}
+
+// NonBipartiteTermination is experiment E5: on every non-bipartite instance
+// amnesiac flooding terminates (Theorem 3.1) strictly after the diameter
+// and within 2D+1 rounds (Theorem 3.3), with no node receiving more than
+// twice.
+func NonBipartiteTermination(cfg Config) ([]*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	t := &Table{
+		ID:      "E5",
+		Title:   "Theorems 3.1 + 3.3: AF on connected non-bipartite graphs",
+		Columns: []string{"family", "graph", "n", "m", "diam", "source", "rounds", "rounds<=2D+1", "rounds>D", "max receives"},
+	}
+	checked, strictHolds := 0, 0
+	for _, inst := range nonBipartiteFamilies(cfg, rng) {
+		if algo.IsBipartite(inst.g) {
+			return nil, fmt.Errorf("E5: instance %s is bipartite (generator bug)", inst.g)
+		}
+		if !algo.Connected(inst.g) {
+			return nil, fmt.Errorf("E5: instance %s is not connected", inst.g)
+		}
+		diam := algo.Diameter(inst.g)
+		for _, src := range pickSources(inst.g, rng) {
+			rep, err := core.Run(inst.g, core.Sequential, src)
+			if err != nil {
+				return nil, fmt.Errorf("E5: %s from %d: %w", inst.g, src, err)
+			}
+			if err := theory.CheckGeneralBounds(inst.g, rep); err != nil {
+				return nil, fmt.Errorf("E5: %w", err)
+			}
+			if inst.strictAboveDiameter {
+				if err := theory.CheckNonBipartiteStrict(inst.g, rep); err != nil {
+					return nil, fmt.Errorf("E5: %w", err)
+				}
+			}
+			aboveD := rep.Rounds() > diam
+			if aboveD {
+				strictHolds++
+			}
+			t.AddRow(inst.family, inst.g.Name(), inst.g.N(), inst.g.M(), diam, src,
+				rep.Rounds(), rep.Rounds() <= 2*diam+1, aboveD, rep.MaxReceives())
+			checked++
+		}
+	}
+	t.AddNote("%d (instance, source) pairs; every run terminated within 2D+1 rounds with <= 2 receipts per node (Theorems 3.1, 3.3)", checked)
+	t.AddNote("reproduction finding: the parenthetical 'strictly larger than D' held on %d/%d pairs — it holds on source-symmetric families (odd cycles, cliques, wheels) but not pointwise on irregular instances, where the odd-cycle echo can die before the primary wave finishes", strictHolds, checked)
+	return []*Table{t}, nil
+}
+
+// RoundSetAnalysis is experiment E6: the proof machinery of Theorem 3.1.
+// For a mixed set of graphs it reconstructs the round-sets R_0, R_1, ...
+// and verifies that no node ever occurs in two round-sets an even duration
+// apart — the paper's set Re stays empty, which is exactly what the two
+// contradiction cases of Figure 4 establish.
+func RoundSetAnalysis(cfg Config) ([]*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	t := &Table{
+		ID:      "E6",
+		Title:   "Figure 4 / Lemma 3.2: even-duration repeats never occur",
+		Columns: []string{"graph", "source", "rounds", "|R| sequences", "|Re| even", "min d", "max d"},
+	}
+	instances := []namedGraph{
+		{"triangle", gen.Cycle(3)},
+		{"oddCycle", gen.Cycle(9)},
+		{"evenCycle", gen.Cycle(10)},
+		{"clique", gen.Complete(7)},
+		{"petersen", gen.Petersen()},
+		{"wheel", gen.Wheel(9)},
+		{"grid", gen.Grid(5, 6)},
+		{"lollipop", gen.Lollipop(3, 6)},
+		{"randomNonBipartite", gen.RandomNonBipartite(60, 0.05, rng)},
+		{"randomConnected", gen.RandomConnected(60, 0.05, rng)},
+	}
+	for _, inst := range instances {
+		for _, src := range pickSources(inst.g, rng) {
+			rep, err := core.Run(inst.g, core.Sequential, src)
+			if err != nil {
+				return nil, fmt.Errorf("E6: %s from %d: %w", inst.g, src, err)
+			}
+			if err := theory.CheckSequenceMachinery(rep); err != nil {
+				return nil, fmt.Errorf("E6: %w", err)
+			}
+			analysis := theory.AnalyzeSequences(rep)
+			t.AddRow(inst.g.Name(), src, rep.Rounds(), len(analysis.Sequences),
+				analysis.EvenCount, analysis.MinDuration, analysis.MaxDuration)
+		}
+	}
+	t.AddNote("|R| is the paper's set of node-repeat sequences (eq. 1); |Re| its even-duration subset, which Figure 4's two contradiction cases force to be empty — never observed non-empty")
+	t.AddNote("all observed durations are odd: on non-bipartite graphs the two receipts of a node differ by an odd gap (cover parities differ)")
+	return []*Table{t}, nil
+}

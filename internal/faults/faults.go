@@ -1,0 +1,283 @@
+// Package faults runs synchronous amnesiac flooding under failure
+// injection: lost messages and crashed nodes. The paper proves termination
+// for the fault-free synchronous model and asks (in its open questions)
+// how robust the process is; this package makes the question executable.
+//
+// The headline finding (experiment E12): amnesiac-flooding termination is
+// NOT robust to message loss. Losing a single message can leave a "lonely
+// wavefront" that circulates around a cycle (even or odd) forever —
+// dropping a message shrinks a node's sender set, which ENLARGES the
+// complement it forwards to, so less communication can mean more flooding.
+// The runner
+// certifies such loops with the same configuration-repeat technique as the
+// asynchronous simulator: with memoryless nodes the global state is exactly
+// the set of in-flight messages, so a repeat under a deterministic injector
+// proves non-termination.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// Injector decides which messages are lost and which nodes are down.
+// Implementations must be deterministic functions of their arguments for
+// non-termination certificates to be sound (all provided injectors are).
+type Injector interface {
+	// Name identifies the injector in reports.
+	Name() string
+	// DropMessage reports whether the copy of M crossing from -> to in
+	// the given round is lost in transit.
+	DropMessage(round int, from, to graph.NodeID) bool
+	// Crashed reports whether node v is down in the given round: it
+	// neither receives nor forwards. Crashes need not be permanent.
+	Crashed(round int, v graph.NodeID) bool
+}
+
+// Outcome classifies a faulty run.
+type Outcome int
+
+// Possible outcomes.
+const (
+	// Terminated: a round with no surviving messages arrived.
+	Terminated Outcome = iota + 1
+	// CycleDetected: the in-flight configuration repeated — the flood
+	// circulates forever under this injector.
+	CycleDetected
+	// RoundLimit: the limit was reached first (only possible for
+	// injectors whose decisions depend on the round number, which breaks
+	// configuration stationarity; the provided random injector is
+	// round-dependent by design).
+	RoundLimit
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Terminated:
+		return "terminated"
+	case CycleDetected:
+		return "non-termination-certified"
+	case RoundLimit:
+		return "round-limit"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result summarises a faulty flood.
+type Result struct {
+	Outcome   Outcome
+	Injector  string
+	Rounds    int
+	Delivered int // messages that survived transit
+	Dropped   int // messages lost in transit
+	Absorbed  int // messages that reached a crashed receiver
+	// Covered[v] is true when v received M (or is an origin).
+	Covered []bool
+	// CycleStart / CycleLength describe the certified loop when Outcome
+	// is CycleDetected.
+	CycleStart, CycleLength int
+	// Trace records surviving deliveries per round when requested.
+	Trace []engine.RoundRecord
+}
+
+// CoverageCount returns how many nodes hold or have held M.
+func (r Result) CoverageCount() int {
+	count := 0
+	for _, c := range r.Covered {
+		if c {
+			count++
+		}
+	}
+	return count
+}
+
+// Options configures a faulty run.
+type Options struct {
+	Trace     bool
+	MaxRounds int // 0 means DefaultMaxRounds
+}
+
+// DefaultMaxRounds bounds faulty runs, which may legitimately never
+// terminate.
+const DefaultMaxRounds = 1 << 16
+
+// Run executes amnesiac flooding from the origins on g with the injector's
+// faults applied. Round semantics match the engine package: messages sent
+// in round r are received in round r (unless dropped), and responses go out
+// in round r+1.
+func Run(g *graph.Graph, inj Injector, opts Options, origins ...graph.NodeID) (Result, error) {
+	if len(origins) == 0 {
+		return Result{}, fmt.Errorf("faults: need at least one origin on %s", g)
+	}
+	for _, o := range origins {
+		if !g.HasNode(o) {
+			return Result{}, fmt.Errorf("faults: origin %d is not a node of %s", o, g)
+		}
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	res := Result{Injector: inj.Name(), Covered: make([]bool, g.N())}
+
+	var pending []engine.Send
+	for _, o := range origins {
+		res.Covered[o] = true
+		for _, nbr := range g.Neighbors(o) {
+			pending = append(pending, engine.Send{From: o, To: nbr})
+		}
+	}
+	pending = dedupSends(pending)
+
+	stationary := isStationary(inj)
+	settled := settledAfter(inj)
+	seen := map[string]int{}
+	for round := 1; len(pending) > 0; round++ {
+		if round > maxRounds {
+			res.Outcome = RoundLimit
+			res.Rounds = maxRounds
+			return res, nil
+		}
+		if stationary && round > settled {
+			key := sendsKey(pending)
+			if first, ok := seen[key]; ok {
+				res.Outcome = CycleDetected
+				res.CycleStart = first
+				res.CycleLength = round - first
+				res.Rounds = round
+				return res, nil
+			}
+			seen[key] = round
+		}
+		res.Rounds = round
+
+		// Apply transit loss and receiver crashes.
+		var delivered []engine.Send
+		for _, s := range pending {
+			switch {
+			case inj.Crashed(round, s.From):
+				// A crashed sender never put the message on the wire;
+				// count it as dropped output.
+				res.Dropped++
+			case inj.DropMessage(round, s.From, s.To):
+				res.Dropped++
+			case inj.Crashed(round, s.To):
+				res.Absorbed++
+			default:
+				delivered = append(delivered, s)
+			}
+		}
+		res.Delivered += len(delivered)
+		if opts.Trace {
+			res.Trace = append(res.Trace, engine.RoundRecord{
+				Round: round,
+				Sends: append([]engine.Send(nil), delivered...),
+			})
+		}
+
+		// Group by receiver, forward to complements.
+		byTo := map[graph.NodeID][]graph.NodeID{}
+		for _, s := range delivered {
+			res.Covered[s.To] = true
+			byTo[s.To] = append(byTo[s.To], s.From)
+		}
+		receivers := make([]graph.NodeID, 0, len(byTo))
+		for v := range byTo {
+			receivers = append(receivers, v)
+		}
+		sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+		var next []engine.Send
+		for _, v := range receivers {
+			senders := byTo[v]
+			sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+			i := 0
+			for _, nbr := range g.Neighbors(v) {
+				for i < len(senders) && senders[i] < nbr {
+					i++
+				}
+				if i < len(senders) && senders[i] == nbr {
+					continue
+				}
+				next = append(next, engine.Send{From: v, To: nbr})
+			}
+		}
+		pending = dedupSends(next)
+	}
+	res.Outcome = Terminated
+	return res, nil
+}
+
+// isStationary reports whether the injector's decisions are independent of
+// the round number, which is what makes configuration repeats a proof of
+// non-termination. Injectors advertise this via the optional interface.
+func isStationary(inj Injector) bool {
+	type stationer interface{ Stationary() bool }
+	if s, ok := inj.(stationer); ok {
+		return s.Stationary()
+	}
+	return false
+}
+
+// settledAfter returns the round after which a stationary-promising
+// injector is actually round-independent (0 for always-stationary ones);
+// configuration recording starts only after it.
+func settledAfter(inj Injector) int {
+	type settler interface{ SettledAfter() int }
+	if s, ok := inj.(settler); ok {
+		return s.SettledAfter()
+	}
+	return 0
+}
+
+func dedupSends(sends []engine.Send) []engine.Send {
+	if len(sends) == 0 {
+		return nil
+	}
+	sort.Slice(sends, func(i, j int) bool {
+		if sends[i].From != sends[j].From {
+			return sends[i].From < sends[j].From
+		}
+		return sends[i].To < sends[j].To
+	})
+	out := sends[:1]
+	for _, s := range sends[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sendsKey(sends []engine.Send) string {
+	parts := make([]string, len(sends))
+	for i, s := range sends {
+		parts[i] = strconv.Itoa(int(s.From)) + ">" + strconv.Itoa(int(s.To))
+	}
+	return strings.Join(parts, ",")
+}
+
+// hash64 gives a deterministic uniform value in [0,1) for loss decisions,
+// independent of evaluation order.
+func hash64(seed int64, parts ...int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(x int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	write(seed)
+	for _, p := range parts {
+		write(int64(p))
+	}
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"amnesiacflood/internal/graph"
+)
+
+// NoFaults injects nothing: the run must match the fault-free engine.
+type NoFaults struct{}
+
+var _ Injector = NoFaults{}
+
+// Name implements Injector.
+func (NoFaults) Name() string { return "none" }
+
+// DropMessage implements Injector.
+func (NoFaults) DropMessage(int, graph.NodeID, graph.NodeID) bool { return false }
+
+// Crashed implements Injector.
+func (NoFaults) Crashed(int, graph.NodeID) bool { return false }
+
+// Stationary marks configuration repeats as sound (vacuously: fault-free
+// synchronous AF never repeats, by the paper's Theorem 3.1).
+func (NoFaults) Stationary() bool { return true }
+
+// DropOnce loses exactly one message: the copy crossing From -> To in the
+// given Round. The minimal adversarial loss — one lost message on an even
+// cycle already breaks termination.
+type DropOnce struct {
+	Round    int
+	From, To graph.NodeID
+}
+
+var _ Injector = DropOnce{}
+
+// Name implements Injector.
+func (d DropOnce) Name() string {
+	return fmt.Sprintf("dropOnce(r%d,%d->%d)", d.Round, d.From, d.To)
+}
+
+// DropMessage implements Injector.
+func (d DropOnce) DropMessage(round int, from, to graph.NodeID) bool {
+	return round == d.Round && from == d.From && to == d.To
+}
+
+// Crashed implements Injector.
+func (DropOnce) Crashed(int, graph.NodeID) bool { return false }
+
+// Stationary: DropOnce is round-dependent, but after Round has passed the
+// injector behaves like NoFaults, so repeats seen strictly after Round are
+// genuine. The runner's map only certifies repeats whose first occurrence
+// is at a round where behaviour is already stationary; to keep the logic
+// simple DropOnce reports non-stationary until Round has passed — the
+// runner handles this via the dynamic check below.
+func (DropOnce) Stationary() bool { return false }
+
+// RandomLoss drops each message independently with probability P, decided
+// by a deterministic hash of (Seed, round, from, to) — reproducible and
+// order-independent, but round-dependent, so loops cannot be certified
+// (runs end in Terminated or RoundLimit).
+type RandomLoss struct {
+	P    float64
+	Seed int64
+}
+
+var _ Injector = RandomLoss{}
+
+// Name implements Injector.
+func (r RandomLoss) Name() string { return fmt.Sprintf("randomLoss(p=%.2f)", r.P) }
+
+// DropMessage implements Injector.
+func (r RandomLoss) DropMessage(round int, from, to graph.NodeID) bool {
+	return hash64(r.Seed, round, int(from), int(to)) < r.P
+}
+
+// Crashed implements Injector.
+func (RandomLoss) Crashed(int, graph.NodeID) bool { return false }
+
+// CrashAt permanently crashes a set of nodes from given rounds on:
+// CrashRound[v] = r means v is down in every round >= r.
+type CrashAt struct {
+	CrashRound map[graph.NodeID]int
+}
+
+var _ Injector = CrashAt{}
+
+// Name implements Injector.
+func (c CrashAt) Name() string {
+	parts := make([]string, 0, len(c.CrashRound))
+	for v, r := range c.CrashRound {
+		parts = append(parts, fmt.Sprintf("%d@r%d", v, r))
+	}
+	sort.Strings(parts)
+	return "crash(" + strings.Join(parts, ",") + ")"
+}
+
+// DropMessage implements Injector.
+func (CrashAt) DropMessage(int, graph.NodeID, graph.NodeID) bool { return false }
+
+// Crashed implements Injector.
+func (c CrashAt) Crashed(round int, v graph.NodeID) bool {
+	r, ok := c.CrashRound[v]
+	return ok && round >= r
+}
+
+// Stationary: crashes are permanent, so once every CrashRound has passed
+// the system is stationary; like DropOnce this is round-dependent early on
+// and reports false, trading certificate power for simplicity.
+func (CrashAt) Stationary() bool { return false }
+
+// AfterRound wraps a round-dependent injector and reports stationary
+// behaviour once the given round has passed; the faults runner uses it to
+// certify loops created by transient faults such as DropOnce.
+type AfterRound struct {
+	Inner Injector
+	// Round is the last round in which Inner may behave
+	// round-dependently.
+	Round int
+}
+
+var _ Injector = AfterRound{}
+
+// Name implements Injector.
+func (a AfterRound) Name() string { return a.Inner.Name() + "+settled" }
+
+// DropMessage implements Injector.
+func (a AfterRound) DropMessage(round int, from, to graph.NodeID) bool {
+	return a.Inner.DropMessage(round, from, to)
+}
+
+// Crashed implements Injector.
+func (a AfterRound) Crashed(round int, v graph.NodeID) bool {
+	return a.Inner.Crashed(round, v)
+}
+
+// Stationary is true: AfterRound promises Inner is settled. The runner
+// begins recording configurations only after a.Round (see settledAfter),
+// so early round-dependent behaviour cannot poison certificates.
+func (a AfterRound) Stationary() bool { return true }
+
+// SettledAfter reports the round after which the injector keeps its
+// promise.
+func (a AfterRound) SettledAfter() int { return a.Round }

@@ -1,0 +1,128 @@
+package algo
+
+import (
+	"amnesiacflood/internal/graph"
+)
+
+// Side is the part of the bipartition a node is assigned by TwoColor.
+type Side int8
+
+// Bipartition sides. Unassigned marks nodes of graphs that are not
+// bipartite (TwoColor stops at the first conflict) or nodes in untouched
+// components when colouring is restricted.
+const (
+	Unassigned Side = 0
+	Left       Side = 1
+	Right      Side = 2
+)
+
+// Coloring is the result of a bipartiteness test.
+type Coloring struct {
+	// Bipartite reports whether the graph is bipartite.
+	Bipartite bool
+	// Sides assigns every node to Left or Right when Bipartite is true.
+	Sides []Side
+	// OddCycle is a witness cycle of odd length when Bipartite is false:
+	// a closed walk c_0, c_1, ..., c_k = c_0 with k odd, as node IDs
+	// without the repeated endpoint (so len(OddCycle) is odd).
+	OddCycle []graph.NodeID
+}
+
+// TwoColor tests bipartiteness by BFS two-colouring. For a bipartite graph
+// it returns the bipartition; otherwise it returns an odd-cycle witness.
+// Disconnected graphs are handled component by component.
+func TwoColor(g *graph.Graph) Coloring {
+	n := g.N()
+	sides := make([]Side, n)
+	parent := make([]graph.NodeID, n)
+	depth := make([]int, n)
+	for start := 0; start < n; start++ {
+		if sides[start] != Unassigned {
+			continue
+		}
+		sides[start] = Left
+		parent[start] = graph.NodeID(start)
+		depth[start] = 0
+		queue := []graph.NodeID{graph.NodeID(start)}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			next := Right
+			if sides[u] == Right {
+				next = Left
+			}
+			for _, v := range g.Neighbors(u) {
+				switch sides[v] {
+				case Unassigned:
+					sides[v] = next
+					parent[v] = u
+					depth[v] = depth[u] + 1
+					queue = append(queue, v)
+				case sides[u]:
+					// Same colour on both endpoints: odd cycle through
+					// the BFS-tree paths of u and v plus edge {u,v}.
+					return Coloring{
+						Bipartite: false,
+						OddCycle:  oddCycleWitness(u, v, parent, depth),
+					}
+				}
+			}
+		}
+	}
+	return Coloring{Bipartite: true, Sides: sides}
+}
+
+// oddCycleWitness builds the odd cycle formed by the tree paths from u and v
+// up to their lowest common ancestor, closed by the non-tree edge {u, v}.
+func oddCycleWitness(u, v graph.NodeID, parent []graph.NodeID, depth []int) []graph.NodeID {
+	var up, vp []graph.NodeID
+	// Lift the deeper endpoint until both are at equal depth.
+	for depth[u] > depth[v] {
+		up = append(up, u)
+		u = parent[u]
+	}
+	for depth[v] > depth[u] {
+		vp = append(vp, v)
+		v = parent[v]
+	}
+	for u != v {
+		up = append(up, u)
+		vp = append(vp, v)
+		u = parent[u]
+		v = parent[v]
+	}
+	cycle := make([]graph.NodeID, 0, len(up)+len(vp)+1)
+	cycle = append(cycle, up...)
+	cycle = append(cycle, u) // the common ancestor
+	for i := len(vp) - 1; i >= 0; i-- {
+		cycle = append(cycle, vp[i])
+	}
+	return cycle
+}
+
+// IsBipartite is a convenience wrapper around TwoColor.
+func IsBipartite(g *graph.Graph) bool {
+	return TwoColor(g).Bipartite
+}
+
+// OddGirth returns the length of the shortest odd cycle, or 0 if the graph
+// is bipartite. It runs one BFS per node and is intended for the moderate
+// graph sizes used in experiments.
+func OddGirth(g *graph.Graph) int {
+	best := 0
+	for s := 0; s < g.N(); s++ {
+		dist := BFS(g, graph.NodeID(s))
+		for _, e := range g.Edges() {
+			du, dv := dist[e.U], dist[e.V]
+			if du == Unreachable || dv == Unreachable {
+				continue
+			}
+			if (du+dv)%2 == 0 { // BFS levels differ by <= 1, so this means du == dv: odd closed walk
+				length := du + dv + 1
+				if best == 0 || length < best {
+					best = length
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,186 @@
+package algo_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+)
+
+func TestTwoColorBipartiteFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", gen.Path(10)},
+		{"evenCycle", gen.Cycle(8)},
+		{"star", gen.Star(9)},
+		{"grid", gen.Grid(4, 5)},
+		{"hypercube", gen.Hypercube(5)},
+		{"tree", gen.CompleteBinaryTree(5)},
+		{"completeBipartite", gen.CompleteBipartite(3, 7)},
+		{"evenTorus", gen.Torus(4, 6)},
+		{"K2", gen.Path(2)},
+		{"singleton", gen.Path(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col := algo.TwoColor(tc.g)
+			if !col.Bipartite {
+				t.Fatalf("%s reported non-bipartite", tc.g)
+			}
+			assertValidColoring(t, tc.g, col)
+		})
+	}
+}
+
+func TestTwoColorNonBipartiteFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"triangle", gen.Cycle(3)},
+		{"oddCycle", gen.Cycle(9)},
+		{"clique", gen.Complete(5)},
+		{"wheel", gen.Wheel(6)},
+		{"petersen", gen.Petersen()},
+		{"oddTorus", gen.Torus(3, 5)},
+		{"lollipop", gen.Lollipop(3, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col := algo.TwoColor(tc.g)
+			if col.Bipartite {
+				t.Fatalf("%s reported bipartite", tc.g)
+			}
+			assertValidOddCycle(t, tc.g, col.OddCycle)
+		})
+	}
+}
+
+// assertValidColoring checks that every edge joins different sides.
+func assertValidColoring(t *testing.T, g *graph.Graph, col algo.Coloring) {
+	t.Helper()
+	if len(col.Sides) != g.N() {
+		t.Fatalf("coloring covers %d nodes, graph has %d", len(col.Sides), g.N())
+	}
+	for _, e := range g.Edges() {
+		if col.Sides[e.U] == algo.Unassigned || col.Sides[e.V] == algo.Unassigned {
+			t.Fatalf("edge %v touches unassigned node", e)
+		}
+		if col.Sides[e.U] == col.Sides[e.V] {
+			t.Fatalf("edge %v is monochromatic", e)
+		}
+	}
+}
+
+// assertValidOddCycle checks the witness is a closed walk of odd length
+// whose consecutive nodes are adjacent.
+func assertValidOddCycle(t *testing.T, g *graph.Graph, cycle []graph.NodeID) {
+	t.Helper()
+	if len(cycle) == 0 {
+		t.Fatal("no odd-cycle witness returned")
+	}
+	if len(cycle)%2 == 0 {
+		t.Fatalf("witness length %d is even: %v", len(cycle), cycle)
+	}
+	for i := range cycle {
+		u, v := cycle[i], cycle[(i+1)%len(cycle)]
+		if !g.HasEdge(u, v) {
+			t.Fatalf("witness step (%d,%d) is not an edge (cycle %v)", u, v, cycle)
+		}
+	}
+}
+
+func TestTwoColorDisconnected(t *testing.T) {
+	// A bipartite component plus a triangle: non-bipartite overall.
+	g, err := graph.FromEdges("", 6, []graph.Edge{
+		{U: 0, V: 1},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := algo.TwoColor(g)
+	if col.Bipartite {
+		t.Fatal("triangle component not detected")
+	}
+	assertValidOddCycle(t, g, col.OddCycle)
+
+	// Two bipartite components: bipartite overall.
+	g2, err := graph.FromEdges("", 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col := algo.TwoColor(g2); !col.Bipartite {
+		t.Fatal("two disjoint edges reported non-bipartite")
+	}
+}
+
+func TestOddGirth(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"bipartite", gen.Grid(3, 3), 0},
+		{"triangle", gen.Cycle(3), 3},
+		{"C9", gen.Cycle(9), 9},
+		{"petersen", gen.Petersen(), 5},
+		{"clique", gen.Complete(6), 3},
+		{"wheel", gen.Wheel(6), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := algo.OddGirth(tc.g); got != tc.want {
+				t.Errorf("algo.OddGirth(%s) = %d, want %d", tc.g, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTwoColorAgreesWithOddGirth(t *testing.T) {
+	// Property: bipartite verdict agrees with the absence of odd cycles.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomGNP(3+rng.Intn(25), 0.15, rng)
+		return algo.TwoColor(g).Bipartite == (algo.OddGirth(g) == 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoColorRandomWitnesses(t *testing.T) {
+	// Property: every verdict on random graphs carries a valid proof —
+	// either a proper two-colouring or a genuine odd cycle.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomGNP(3+rng.Intn(25), 0.2, rng)
+		col := algo.TwoColor(g)
+		if col.Bipartite {
+			for _, e := range g.Edges() {
+				if col.Sides[e.U] == col.Sides[e.V] {
+					return false
+				}
+			}
+			return true
+		}
+		if len(col.OddCycle) == 0 || len(col.OddCycle)%2 == 0 {
+			return false
+		}
+		for i := range col.OddCycle {
+			u, v := col.OddCycle[i], col.OddCycle[(i+1)%len(col.OddCycle)]
+			if !g.HasEdge(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

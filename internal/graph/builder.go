@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common builder errors, matchable with errors.Is.
+var (
+	// ErrSelfLoop is returned when an edge joins a node to itself.
+	ErrSelfLoop = errors.New("self-loop is not allowed in a simple graph")
+	// ErrNodeOutOfRange is returned when an edge references a node outside
+	// 0..n-1.
+	ErrNodeOutOfRange = errors.New("node identifier out of range")
+	// ErrNoNodes is returned when building a graph with a negative node
+	// count.
+	ErrNoNodes = errors.New("node count must be non-negative")
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Duplicate edges are tolerated and collapsed (the result is always a simple
+// graph). Builders are not safe for concurrent use.
+type Builder struct {
+	name  string
+	n     int
+	edges []Edge
+	err   error
+}
+
+// NewBuilder returns a builder for a graph over n nodes (identifiers
+// 0..n-1). A negative n is reported at Build time.
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n}
+	if n < 0 {
+		b.err = fmt.Errorf("builder: %w: %d", ErrNoNodes, n)
+	}
+	return b
+}
+
+// Name sets the human-readable graph name and returns the builder for
+// chaining.
+func (b *Builder) Name(name string) *Builder {
+	b.name = name
+	return b
+}
+
+// AddEdge records the undirected edge {u, v}. Errors (self-loop, out of
+// range) are sticky and reported by Build.
+func (b *Builder) AddEdge(u, v NodeID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if u == v {
+		b.err = fmt.Errorf("builder: edge (%d,%d): %w", u, v, ErrSelfLoop)
+		return b
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		b.err = fmt.Errorf("builder: edge (%d,%d) with n=%d: %w", u, v, b.n, ErrNodeOutOfRange)
+		return b
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v}.Normalize())
+	return b
+}
+
+// AddPath records edges joining consecutive nodes of the given walk.
+func (b *Builder) AddPath(walk ...NodeID) *Builder {
+	for i := 1; i < len(walk); i++ {
+		b.AddEdge(walk[i-1], walk[i])
+	}
+	return b
+}
+
+// Build validates the accumulated edges and returns the immutable graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	adj := make([][]NodeID, b.n)
+	m := 0
+	var prev Edge
+	for i, e := range b.edges {
+		if i > 0 && e == prev {
+			continue // collapse duplicates
+		}
+		prev = e
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+		m++
+	}
+	for _, nbrs := range adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	return &Graph{name: b.name, adj: adj, m: m}, nil
+}
+
+// MustBuild is Build for graphs known to be valid by construction, such as
+// the generators in the gen subpackage. It panics on error and must not be
+// used with untrusted input.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a named graph over n nodes from an edge list.
+func FromEdges(name string, n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n).Name(name)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text edge-list format is line-oriented:
+//
+//	# comment
+//	n <nodeCount>
+//	<u> <v>
+//	...
+//
+// It round-trips through WriteEdgeList / ReadEdgeList and is the on-disk
+// format accepted by the cmd/afsim CLI.
+
+// WriteEdgeList writes g in the text edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if g.Name() != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", g.Name()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		b      *Builder
+		name   string
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if name == "" {
+				name = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+			continue
+		case strings.HasPrefix(line, "n "):
+			if b != nil {
+				return nil, fmt.Errorf("edge list line %d: duplicate node-count line", lineNo)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "n ")))
+			if err != nil {
+				return nil, fmt.Errorf("edge list line %d: parse node count: %w", lineNo, err)
+			}
+			b = NewBuilder(n).Name(name)
+		default:
+			if b == nil {
+				return nil, fmt.Errorf("edge list line %d: edge before node-count line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("edge list line %d: want %q, got %q", lineNo, "u v", line)
+			}
+			u, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("edge list line %d: parse endpoint: %w", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("edge list line %d: parse endpoint: %w", lineNo, err)
+			}
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edge list: scan: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("edge list: missing node-count line")
+	}
+	return b.Build()
+}
+
+// graphJSON is the stable JSON wire form of a Graph.
+type graphJSON struct {
+	Name  string   `json:"name,omitempty"`
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"name", "n", "edges"}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	edges := g.Edges()
+	out := graphJSON{Name: g.name, N: g.N(), Edges: make([][2]int, len(edges))}
+	for i, e := range edges {
+		out.Edges[i] = [2]int{int(e.U), int(e.V)}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the form produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("graph json: %w", err)
+	}
+	b := NewBuilder(in.N).Name(in.Name)
+	for _, e := range in.Edges {
+		b.AddEdge(NodeID(e[0]), NodeID(e[1]))
+	}
+	built, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("graph json: %w", err)
+	}
+	*g = *built
+	return nil
+}
+
+// WriteDOT writes g in Graphviz DOT format, with optional per-node
+// highlighting (used by cmd/afviz to mark the sending nodes of a round, like
+// the circled nodes in the paper's figures).
+func WriteDOT(w io.Writer, g *Graph, highlight map[NodeID]bool) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name()
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(bw, "graph %q {\n", sanitizeDOTName(name)); err != nil {
+		return err
+	}
+	hl := make([]NodeID, 0, len(highlight))
+	for v, on := range highlight {
+		if on {
+			hl = append(hl, v)
+		}
+	}
+	sort.Slice(hl, func(i, j int) bool { return hl[i] < hl[j] })
+	for _, v := range hl {
+		if _, err := fmt.Fprintf(bw, "  %d [style=bold, peripheries=2];\n", v); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func sanitizeDOTName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,206 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+)
+
+// shape asserts the basic invariants of a deterministic family instance.
+func shape(t *testing.T, g *graph.Graph, wantN, wantM int, wantBipartite, wantConnected bool) {
+	t.Helper()
+	if g.N() != wantN {
+		t.Errorf("%s: n = %d, want %d", g, g.N(), wantN)
+	}
+	if g.M() != wantM {
+		t.Errorf("%s: m = %d, want %d", g, g.M(), wantM)
+	}
+	if got := algo.IsBipartite(g); got != wantBipartite {
+		t.Errorf("%s: bipartite = %t, want %t", g, got, wantBipartite)
+	}
+	if got := algo.Connected(g); got != wantConnected {
+		t.Errorf("%s: connected = %t, want %t", g, got, wantConnected)
+	}
+}
+
+func TestPath(t *testing.T) {
+	shape(t, gen.Path(1), 1, 0, true, true)
+	shape(t, gen.Path(2), 2, 1, true, true)
+	shape(t, gen.Path(10), 10, 9, true, true)
+	if d := algo.Diameter(gen.Path(10)); d != 9 {
+		t.Errorf("path(10) diameter = %d, want 9", d)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	shape(t, gen.Cycle(3), 3, 3, false, true)
+	shape(t, gen.Cycle(4), 4, 4, true, true)
+	shape(t, gen.Cycle(17), 17, 17, false, true)
+	shape(t, gen.Cycle(18), 18, 18, true, true)
+	if d := algo.Diameter(gen.Cycle(12)); d != 6 {
+		t.Errorf("cycle(12) diameter = %d, want 6", d)
+	}
+	if d := algo.Diameter(gen.Cycle(13)); d != 6 {
+		t.Errorf("cycle(13) diameter = %d, want 6", d)
+	}
+}
+
+func TestCyclePanicsBelow3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle(2) did not panic")
+		}
+	}()
+	gen.Cycle(2)
+}
+
+func TestComplete(t *testing.T) {
+	shape(t, gen.Complete(1), 1, 0, true, true)
+	shape(t, gen.Complete(2), 2, 1, true, true)
+	shape(t, gen.Complete(3), 3, 3, false, true)
+	shape(t, gen.Complete(6), 6, 15, false, true)
+	if d := algo.Diameter(gen.Complete(6)); d != 1 {
+		t.Errorf("K6 diameter = %d, want 1", d)
+	}
+}
+
+func TestStar(t *testing.T) {
+	shape(t, gen.Star(1), 1, 0, true, true)
+	shape(t, gen.Star(5), 5, 4, true, true)
+	g := gen.Star(8)
+	if g.Degree(0) != 7 {
+		t.Errorf("star hub degree = %d, want 7", g.Degree(0))
+	}
+	for v := graph.NodeID(1); int(v) < 8; v++ {
+		if g.Degree(v) != 1 {
+			t.Errorf("star leaf %d degree = %d, want 1", v, g.Degree(v))
+		}
+	}
+}
+
+func TestWheel(t *testing.T) {
+	// Wheel over n nodes: rim n-1 edges + n-1 spokes.
+	shape(t, gen.Wheel(4), 4, 6, false, true)
+	shape(t, gen.Wheel(9), 9, 16, false, true)
+	g := gen.Wheel(9)
+	if g.Degree(0) != 8 {
+		t.Errorf("wheel hub degree = %d, want 8", g.Degree(0))
+	}
+	for v := graph.NodeID(1); int(v) < 9; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("wheel rim %d degree = %d, want 3", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	shape(t, gen.CompleteBipartite(3, 4), 7, 12, true, true)
+	g := gen.CompleteBipartite(2, 5)
+	for i := graph.NodeID(0); i < 2; i++ {
+		if g.Degree(i) != 5 {
+			t.Errorf("left node %d degree = %d, want 5", i, g.Degree(i))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	shape(t, gen.Grid(1, 1), 1, 0, true, true)
+	shape(t, gen.Grid(1, 5), 5, 4, true, true)
+	shape(t, gen.Grid(3, 4), 12, 17, true, true)
+	if d := algo.Diameter(gen.Grid(3, 4)); d != 5 {
+		t.Errorf("grid(3x4) diameter = %d, want 5", d)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	shape(t, gen.Torus(4, 4), 16, 32, true, true)
+	shape(t, gen.Torus(3, 4), 12, 24, false, true)
+	shape(t, gen.Torus(5, 5), 25, 50, false, true)
+	g := gen.Torus(4, 6)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(graph.NodeID(v)) != 4 {
+			t.Fatalf("torus node %d degree = %d, want 4", v, g.Degree(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	shape(t, gen.Hypercube(0), 1, 0, true, true)
+	shape(t, gen.Hypercube(1), 2, 1, true, true)
+	shape(t, gen.Hypercube(4), 16, 32, true, true)
+	if d := algo.Diameter(gen.Hypercube(5)); d != 5 {
+		t.Errorf("Q5 diameter = %d, want 5", d)
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := gen.Petersen()
+	shape(t, g, 10, 15, false, true)
+	for v := 0; v < 10; v++ {
+		if g.Degree(graph.NodeID(v)) != 3 {
+			t.Fatalf("petersen node %d degree = %d, want 3", v, g.Degree(graph.NodeID(v)))
+		}
+	}
+	if d := algo.Diameter(g); d != 2 {
+		t.Errorf("petersen diameter = %d, want 2", d)
+	}
+	if og := algo.OddGirth(g); og != 5 {
+		t.Errorf("petersen odd girth = %d, want 5", og)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	// Two K4s joined by 2 bridge nodes: 4*3/2*2 + 3 path edges.
+	g := gen.Barbell(4, 2)
+	shape(t, g, 10, 15, false, true)
+	// With pathLen = 0 the cliques join by a single edge.
+	g0 := gen.Barbell(3, 0)
+	shape(t, g0, 6, 7, false, true)
+}
+
+func TestLollipop(t *testing.T) {
+	g := gen.Lollipop(4, 3)
+	shape(t, g, 7, 9, false, true)
+	if d := g.Degree(graph.NodeID(6)); d != 1 {
+		t.Errorf("lollipop tail end degree = %d, want 1", d)
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	shape(t, gen.CompleteBinaryTree(1), 1, 0, true, true)
+	shape(t, gen.CompleteBinaryTree(4), 15, 14, true, true)
+	if d := algo.Diameter(gen.CompleteBinaryTree(4)); d != 6 {
+		t.Errorf("binary tree(4) diameter = %d, want 6", d)
+	}
+}
+
+func TestDeterministicFamiliesHaveNames(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Path(3), gen.Cycle(4), gen.Complete(3), gen.Star(3), gen.Wheel(5),
+		gen.CompleteBipartite(2, 2), gen.Grid(2, 2), gen.Torus(3, 3),
+		gen.Hypercube(2), gen.Petersen(), gen.Barbell(3, 1), gen.Lollipop(3, 1),
+		gen.CompleteBinaryTree(2),
+	}
+	for _, g := range graphs {
+		if g.Name() == "" {
+			t.Errorf("generator produced unnamed graph: %s", g)
+		}
+	}
+}
+
+func TestTreesHaveNMinus1Edges(t *testing.T) {
+	// Property: every random tree is connected, bipartite, with n-1 edges.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := gen.RandomTree(n, rng)
+		return g.N() == n && g.M() == n-1 && algo.Connected(g) && algo.IsBipartite(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"amnesiacflood/internal/graph"
+)
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: nodes
+// arrive one at a time and attach m edges to existing nodes chosen with
+// probability proportional to their current degree. The result is connected
+// with a heavy-tailed degree distribution — the natural stand-in for the
+// social networks of the paper's §1 motivation (and of reference [3]).
+// Requires n >= m+1 and m >= 1.
+func PreferentialAttachment(n, m int, rng *rand.Rand) *graph.Graph {
+	if m < 1 || n < m+1 {
+		panic(fmt.Sprintf("gen: preferential attachment needs n >= m+1 >= 2, got n=%d m=%d", n, m))
+	}
+	b := graph.NewBuilder(n).Name(fmt.Sprintf("prefAttach(%d,%d)", n, m))
+	// Seed clique over the first m+1 nodes.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	// endpoints holds every edge endpoint once; sampling uniformly from
+	// it is degree-proportional sampling.
+	var endpoints []graph.NodeID
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			if i != j {
+				endpoints = append(endpoints, graph.NodeID(i))
+			}
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[graph.NodeID]bool{}
+		for len(chosen) < m {
+			chosen[endpoints[rng.Intn(len(endpoints))]] = true
+		}
+		// Sort targets so edge insertion (and hence future sampling) is a
+		// pure function of the seed.
+		targets := make([]graph.NodeID, 0, m)
+		for target := range chosen {
+			targets = append(targets, target)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, target := range targets {
+			b.AddEdge(graph.NodeID(v), target)
+			endpoints = append(endpoints, graph.NodeID(v), target)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,75 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+)
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.PreferentialAttachment(200, 3, rng)
+	if g.N() != 200 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Seed clique K4 has 6 edges; each of the 196 later nodes adds 3.
+	want := 6 + 196*3
+	if g.M() != want {
+		t.Fatalf("m = %d, want %d", g.M(), want)
+	}
+	if !algo.Connected(g) {
+		t.Fatal("preferential attachment graph disconnected")
+	}
+	if g.MinDegree() < 3 {
+		t.Fatalf("min degree = %d, want >= 3", g.MinDegree())
+	}
+}
+
+func TestPreferentialAttachmentHeavyTail(t *testing.T) {
+	// Hubs must emerge: the max degree should far exceed the attachment
+	// parameter m.
+	rng := rand.New(rand.NewSource(2))
+	g := gen.PreferentialAttachment(500, 2, rng)
+	if g.MaxDegree() < 5*2 {
+		t.Fatalf("max degree = %d; no hubs formed", g.MaxDegree())
+	}
+}
+
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	a := gen.PreferentialAttachment(80, 2, rand.New(rand.NewSource(9)))
+	b := gen.PreferentialAttachment(80, 2, rand.New(rand.NewSource(9)))
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different graphs: %d vs %d edges", a.M(), b.M())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed, edge %d differs", i)
+		}
+	}
+}
+
+func TestPreferentialAttachmentAlwaysConnected(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(3)
+		n := m + 1 + rng.Intn(60)
+		g := gen.PreferentialAttachment(n, m, rng)
+		return g.N() == n && algo.Connected(g) && g.MinDegree() >= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferentialAttachmentPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params accepted")
+		}
+	}()
+	gen.PreferentialAttachment(2, 2, rand.New(rand.NewSource(1)))
+}

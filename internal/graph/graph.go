@@ -1,0 +1,191 @@
+// Package graph provides the immutable undirected-graph substrate used by
+// every simulation in this repository.
+//
+// The amnesiac-flooding paper (Hussak & Trehan, PODC 2019) models the network
+// as a finite simple undirected graph G(V, E). This package implements that
+// model: simple graphs (no self-loops, no parallel edges), dense node
+// identifiers 0..n-1, and adjacency lists that are sorted so every traversal
+// in the repository is deterministic.
+//
+// Graphs are built through a Builder and are immutable afterwards; all
+// accessors are safe for concurrent use.
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node. Node identifiers are dense: a graph over n nodes
+// uses exactly the identifiers 0..n-1.
+type NodeID int
+
+// Edge is an undirected edge between two nodes. Edges returned by Graph
+// methods are normalised so that U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// Normalize returns the same edge with endpoints ordered so that U <= V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not x. The second return is false
+// if x is not an endpoint of e.
+func (e Edge) Other(x NodeID) (NodeID, bool) {
+	switch x {
+	case e.U:
+		return e.V, true
+	case e.V:
+		return e.U, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the edge as "(u,v)".
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d,%d)", e.U, e.V)
+}
+
+// Graph is an immutable simple undirected graph. The zero value is the empty
+// graph with no nodes. Construct non-trivial graphs with a Builder.
+type Graph struct {
+	name string
+	adj  [][]NodeID // sorted neighbour lists, index = NodeID
+	m    int        // number of undirected edges
+}
+
+// Name returns the optional human-readable name given at build time (for
+// example "cycle(6)"). It is used only for reporting.
+func (g *Graph) Name() string {
+	return g.name
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int {
+	return len(g.adj)
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	return g.m
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v NodeID) int {
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbour list of v. The returned slice is
+// shared with the graph and must not be modified; copy it if mutation is
+// needed.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.adj[v]
+}
+
+// HasNode reports whether v is a valid node identifier for this graph.
+func (g *Graph) HasNode(v NodeID) bool {
+	return v >= 0 && int(v) < len(g.adj)
+}
+
+// HasEdge reports whether {u, v} is an edge. It runs in O(log deg(u)) time.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if !g.HasNode(u) || !g.HasNode(v) || u == v {
+		return false
+	}
+	// Search the smaller adjacency list.
+	list := g.adj[u]
+	target := v
+	if len(g.adj[v]) < len(list) {
+		list, target = g.adj[v], u
+	}
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case list[mid] < target:
+			lo = mid + 1
+		case list[mid] > target:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all undirected edges, normalised (U < V) and sorted
+// lexicographically. The slice is freshly allocated.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				edges = append(edges, Edge{U: NodeID(u), V: v})
+			}
+		}
+	}
+	return edges
+}
+
+// Nodes returns all node identifiers 0..n-1. The slice is freshly allocated.
+func (g *Graph) Nodes() []NodeID {
+	nodes := make([]NodeID, g.N())
+	for i := range nodes {
+		nodes[i] = NodeID(i)
+	}
+	return nodes
+}
+
+// MaxDegree returns the maximum degree over all nodes, or 0 for the empty
+// graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum degree over all nodes, or 0 for the empty
+// graph.
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, nbrs := range g.adj[1:] {
+		if len(nbrs) < min {
+			min = len(nbrs)
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the average degree 2m/n, or 0 for the empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// String renders a short human-readable summary such as
+// "cycle(6){n=6 m=6}".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	if g.name != "" {
+		sb.WriteString(g.name)
+	} else {
+		sb.WriteString("graph")
+	}
+	fmt.Fprintf(&sb, "{n=%d m=%d}", g.N(), g.m)
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+// Package integration_test sweeps the full invariant matrix: every claim
+// the repository makes about amnesiac flooding, checked on every instance
+// of the shared workload catalog. Unit tests verify the pieces; this file
+// verifies the assembled system the way a release gate would.
+package integration_test
+
+import (
+	"testing"
+
+	"amnesiacflood/internal/async"
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/detect"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/faults"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/spantree"
+	"amnesiacflood/internal/theory"
+	"amnesiacflood/internal/workload"
+)
+
+const catalogSeed = 20190729
+
+// sourcesFor picks a small deterministic source set: node 0, the middle,
+// and the last node (fewer for symmetric instances, where all sources are
+// equivalent).
+func sourcesFor(inst workload.Instance, g *graph.Graph) []graph.NodeID {
+	if inst.SourceSymmetric {
+		return []graph.NodeID{0}
+	}
+	set := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, s := range []graph.NodeID{0, graph.NodeID(g.N() / 2), graph.NodeID(g.N() - 1)} {
+		if !set[s] {
+			set[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestInvariantMatrix(t *testing.T) {
+	for _, inst := range workload.Catalog() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			t.Parallel()
+			g := inst.Build(catalogSeed)
+			for _, src := range sourcesFor(inst, g) {
+				rep, err := core.Run(g, core.Sequential, src)
+				if err != nil {
+					t.Fatalf("source %d: %v", src, err)
+				}
+
+				// Theorem 3.1 + 3.3 bounds, coverage, receipt caps.
+				if err := theory.CheckGeneralBounds(g, rep); err != nil {
+					t.Errorf("general bounds: %v", err)
+				}
+				// Lemma 2.1 exactness on bipartite instances.
+				if inst.Bipartite {
+					if err := theory.CheckBipartiteExact(g, rep); err != nil {
+						t.Errorf("bipartite exactness: %v", err)
+					}
+				}
+				// The Figure 4 / Lemma 3.2 machinery.
+				if err := theory.CheckSequenceMachinery(rep); err != nil {
+					t.Errorf("sequence machinery: %v", err)
+				}
+				// The double-cover law: exact prediction.
+				if err := theory.CheckDoubleCoverExact(g, rep); err != nil {
+					t.Errorf("double cover: %v", err)
+				}
+				// Paper's predicted termination window.
+				if !theory.PredictTermination(g, src).Holds(rep.Rounds()) {
+					t.Errorf("termination window violated: %d rounds", rep.Rounds())
+				}
+
+				// Engine equivalence on the same protocol instance.
+				flood, err := core.NewFlood(g, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				chn, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+				if err != nil {
+					t.Fatalf("channel engine: %v", err)
+				}
+				if !engine.EqualTraces(rep.Result.Trace, chn.Trace) {
+					t.Error("channel engine trace differs from sequential")
+				}
+
+				// Bipartiteness detection agrees with ground truth.
+				verdict, err := detect.FromReport(g, rep)
+				if err != nil {
+					t.Fatalf("detect: %v", err)
+				}
+				if verdict.Bipartite != algo.IsBipartite(g) {
+					t.Errorf("detection verdict %t disagrees with ground truth", verdict.Bipartite)
+				}
+
+				// Spanning-tree extraction yields a valid BFS tree.
+				tree, err := spantree.FromReport(g, rep)
+				if err != nil {
+					t.Fatalf("spantree: %v", err)
+				}
+				if err := tree.Validate(g); err != nil {
+					t.Errorf("spanning tree: %v", err)
+				}
+
+				// The zero-delay adversary and the zero-fault injector
+				// both reproduce the synchronous run.
+				ares, err := async.Run(g, async.SyncAdversary{}, async.Options{}, src)
+				if err != nil {
+					t.Fatalf("async control: %v", err)
+				}
+				if ares.Outcome != async.Terminated || ares.Rounds != rep.Rounds() {
+					t.Errorf("async control diverged: %v after %d rounds", ares.Outcome, ares.Rounds)
+				}
+				fres, err := faults.Run(g, faults.NoFaults{}, faults.Options{}, src)
+				if err != nil {
+					t.Fatalf("faults control: %v", err)
+				}
+				if fres.Outcome != faults.Terminated || fres.Rounds != rep.Rounds() {
+					t.Errorf("faults control diverged: %v after %d rounds", fres.Outcome, fres.Rounds)
+				}
+			}
+		})
+	}
+}
+
+// TestFigureInstancesExactRounds pins the three paper figures to their
+// exact round counts through the catalog path as well.
+func TestFigureInstancesExactRounds(t *testing.T) {
+	want := map[string]struct {
+		source graph.NodeID
+		rounds int
+	}{
+		"fig1-line":      {1, 2},
+		"fig2-triangle":  {1, 3},
+		"fig3-evenCycle": {0, 3},
+	}
+	for _, inst := range workload.Figures() {
+		expect, ok := want[inst.Name]
+		if !ok {
+			t.Fatalf("unexpected figure instance %q", inst.Name)
+		}
+		rep, err := core.Run(inst.Build(catalogSeed), core.Sequential, expect.source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Rounds() != expect.rounds {
+			t.Errorf("%s: %d rounds, want %d", inst.Name, rep.Rounds(), expect.rounds)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package multiflood runs many amnesiac floods concurrently — the paper's
+// §1 framing of flooding as "a broadcast mechanism" taken at face value: a
+// network where several distinct messages are being flooded at once, each
+// following the amnesiac rule independently (a node's forwarding decision
+// for message k depends only on who delivered message k this round).
+//
+// Because the amnesiac rule is per-message, concurrent floods do not
+// interact logically: each message's schedule equals its solo run (verified
+// by property test). What concurrency changes is *load*: several floods
+// crossing the same edge in the same round congest it. The package tracks
+// per-edge, per-round load so experiment E16 can compare simultaneous
+// versus staggered broadcast, which is exactly the operational question a
+// deployment of flooding-as-broadcast would ask.
+package multiflood
+
+import (
+	"fmt"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// Broadcast is one message to flood: an identifier, its origin, and the
+// round at which its origin starts (1 = immediately; later starts model
+// staggered broadcast).
+type Broadcast struct {
+	ID     int
+	Origin graph.NodeID
+	Start  int
+}
+
+// Result summarises a concurrent multi-flood run.
+type Result struct {
+	// Rounds is the round in which the last flood died.
+	Rounds int
+	// TotalMessages sums deliveries over all floods.
+	TotalMessages int
+	// PerBroadcast holds each flood's own rounds (relative to its start)
+	// and message count, index-aligned with the input broadcasts.
+	PerBroadcast []engine.Result
+	// MaxEdgeLoad is the largest number of distinct messages crossing one
+	// directed edge in one round.
+	MaxEdgeLoad int
+	// MaxRoundLoad is the largest total number of messages in flight in
+	// any single round.
+	MaxRoundLoad int
+}
+
+// Run floods all broadcasts concurrently on g. Each flood is simulated with
+// the deterministic engine (their schedules are independent), then the
+// per-round loads are superimposed according to the start offsets.
+func Run(g *graph.Graph, broadcasts []Broadcast) (Result, error) {
+	if len(broadcasts) == 0 {
+		return Result{}, fmt.Errorf("multiflood: no broadcasts on %s", g)
+	}
+	res := Result{PerBroadcast: make([]engine.Result, len(broadcasts))}
+
+	type slot struct {
+		round int
+		edge  engine.Send
+	}
+	edgeLoad := map[slot]int{}
+	roundLoad := map[int]int{}
+
+	for i, bc := range broadcasts {
+		if bc.Start < 1 {
+			return Result{}, fmt.Errorf("multiflood: broadcast %d starts at round %d, want >= 1", bc.ID, bc.Start)
+		}
+		flood, err := core.NewFlood(g, bc.Origin)
+		if err != nil {
+			return Result{}, fmt.Errorf("multiflood: broadcast %d: %w", bc.ID, err)
+		}
+		solo, err := engine.Run(g, flood, engine.Options{Trace: true})
+		if err != nil {
+			return Result{}, fmt.Errorf("multiflood: broadcast %d: %w", bc.ID, err)
+		}
+		res.PerBroadcast[i] = solo
+		res.TotalMessages += solo.TotalMessages
+		end := bc.Start - 1 + solo.Rounds
+		if end > res.Rounds {
+			res.Rounds = end
+		}
+		for _, rec := range solo.Trace {
+			absolute := bc.Start - 1 + rec.Round
+			roundLoad[absolute] += len(rec.Sends)
+			for _, s := range rec.Sends {
+				edgeLoad[slot{round: absolute, edge: s}]++
+			}
+		}
+	}
+	for _, load := range edgeLoad {
+		if load > res.MaxEdgeLoad {
+			res.MaxEdgeLoad = load
+		}
+	}
+	for _, load := range roundLoad {
+		if load > res.MaxRoundLoad {
+			res.MaxRoundLoad = load
+		}
+	}
+	return res, nil
+}
+
+// AllFromOrigins is a convenience constructor: one broadcast per origin,
+// all starting in round 1 (fully simultaneous broadcast).
+func AllFromOrigins(origins []graph.NodeID) []Broadcast {
+	out := make([]Broadcast, len(origins))
+	for i, o := range origins {
+		out[i] = Broadcast{ID: i, Origin: o, Start: 1}
+	}
+	return out
+}
+
+// Staggered is a convenience constructor: one broadcast per origin, the
+// k-th starting gap rounds after the (k-1)-th.
+func Staggered(origins []graph.NodeID, gap int) []Broadcast {
+	out := make([]Broadcast, len(origins))
+	for i, o := range origins {
+		out[i] = Broadcast{ID: i, Origin: o, Start: 1 + i*gap}
+	}
+	return out
+}
+
+// LoadProfile reconstructs the total in-flight message count per round for
+// a run over the given broadcasts (mirror of the computation in Run,
+// exposed for tables and plots).
+func LoadProfile(g *graph.Graph, broadcasts []Broadcast) ([]int, error) {
+	res, err := Run(g, broadcasts)
+	if err != nil {
+		return nil, err
+	}
+	profile := make([]int, res.Rounds+1) // index = round, 0 unused
+	for i, bc := range broadcasts {
+		for _, rec := range res.PerBroadcast[i].Trace {
+			profile[bc.Start-1+rec.Round] += len(rec.Sends)
+		}
+	}
+	return profile, nil
+}

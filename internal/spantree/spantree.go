@@ -1,0 +1,146 @@
+// Package spantree extracts rooted spanning trees from amnesiac-flooding
+// executions. The paper opens by quoting Aspnes: flooding "gives you both a
+// broadcast mechanism and a way to build rooted spanning trees"; this
+// package shows the amnesiac variant keeps that byproduct, even though
+// nodes themselves remember nothing — the tree is read off the execution
+// trace by an external observer (or, in a deployment, by each node
+// remembering only its first sender, which is exactly the one bit of state
+// amnesiac flooding itself refuses to keep).
+//
+// The parent of node v is the smallest-ID neighbour that delivered M to v
+// in v's first receipt round. Because first receipts happen exactly at BFS
+// distance from the source (the flood's wavefront moves at speed one), the
+// result is always a BFS tree: every tree edge joins consecutive BFS
+// layers.
+package spantree
+
+import (
+	"errors"
+	"fmt"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+)
+
+// ErrNotSingleSource is returned for reports with more than one origin;
+// the rooted-tree notion needs a single root.
+var ErrNotSingleSource = errors.New("spanning tree extraction needs a single-source run")
+
+// Tree is a rooted spanning tree (or forest restricted to the root's
+// component) extracted from a flood.
+type Tree struct {
+	Root graph.NodeID
+	// Parent[v] is v's tree parent; the root and unreached nodes are
+	// their own parent.
+	Parent []graph.NodeID
+	// Depth[v] is the tree depth (root = 0); unreached nodes have -1.
+	Depth []int
+}
+
+// FromReport extracts the tree from an analysed single-source run.
+func FromReport(g *graph.Graph, rep *core.Report) (*Tree, error) {
+	if len(rep.Origins) != 1 {
+		return nil, ErrNotSingleSource
+	}
+	root := rep.Origins[0]
+	tree := &Tree{
+		Root:   root,
+		Parent: make([]graph.NodeID, g.N()),
+		Depth:  make([]int, g.N()),
+	}
+	for v := range tree.Parent {
+		tree.Parent[v] = graph.NodeID(v)
+		tree.Depth[v] = -1
+	}
+	tree.Depth[root] = 0
+
+	for _, rec := range rep.Result.Trace {
+		for _, s := range rec.Sends {
+			v := s.To
+			if tree.Depth[v] != -1 {
+				continue // already adopted in an earlier round
+			}
+			if rec.Round != rep.FirstReceive[v] {
+				continue
+			}
+			// Sends are sorted by (From, To), so the first matching
+			// sender is the smallest-ID one.
+			tree.Parent[v] = s.From
+			tree.Depth[v] = rec.Round
+		}
+	}
+	return tree, nil
+}
+
+// Build runs a flood from root on the sequential engine and extracts the
+// tree in one call.
+func Build(g *graph.Graph, root graph.NodeID) (*Tree, error) {
+	rep, err := core.Run(g, core.Sequential, root)
+	if err != nil {
+		return nil, fmt.Errorf("spantree: flood: %w", err)
+	}
+	return FromReport(g, rep)
+}
+
+// Edges returns the tree edges (parent, child), sorted by child.
+func (t *Tree) Edges() []graph.Edge {
+	var edges []graph.Edge
+	for v, p := range t.Parent {
+		if graph.NodeID(v) != p {
+			edges = append(edges, graph.Edge{U: p, V: graph.NodeID(v)})
+		}
+	}
+	return edges
+}
+
+// Reached reports whether v is in the root's component.
+func (t *Tree) Reached(v graph.NodeID) bool {
+	return t.Depth[v] >= 0
+}
+
+// PathToRoot returns the node sequence from v up to the root, inclusive.
+// It returns nil for unreached nodes.
+func (t *Tree) PathToRoot(v graph.NodeID) []graph.NodeID {
+	if !t.Reached(v) {
+		return nil
+	}
+	path := []graph.NodeID{v}
+	for v != t.Root {
+		v = t.Parent[v]
+		path = append(path, v)
+	}
+	return path
+}
+
+// Validate checks the structural invariants: tree edges are graph edges,
+// depths decrease by exactly one toward the root, every reached non-root
+// node has a reached parent, and the edge count matches the reached count.
+func (t *Tree) Validate(g *graph.Graph) error {
+	reached, edges := 0, 0
+	for v := 0; v < g.N(); v++ {
+		node := graph.NodeID(v)
+		if !t.Reached(node) {
+			continue
+		}
+		reached++
+		if node == t.Root {
+			if t.Depth[v] != 0 {
+				return fmt.Errorf("spantree: root depth %d", t.Depth[v])
+			}
+			continue
+		}
+		edges++
+		p := t.Parent[v]
+		if !g.HasEdge(p, node) {
+			return fmt.Errorf("spantree: tree edge (%d,%d) is not a graph edge", p, node)
+		}
+		if !t.Reached(p) || t.Depth[p] != t.Depth[v]-1 {
+			return fmt.Errorf("spantree: node %d depth %d but parent %d depth %d",
+				node, t.Depth[v], p, t.Depth[p])
+		}
+	}
+	if edges != reached-1 {
+		return fmt.Errorf("spantree: %d edges for %d reached nodes", edges, reached)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package spantree_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/spantree"
+)
+
+func TestBuildOnPath(t *testing.T) {
+	tree, err := spantree.Build(gen.Path(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParent := []graph.NodeID{1, 2, 2, 2, 3}
+	if !reflect.DeepEqual(tree.Parent, wantParent) {
+		t.Fatalf("parents = %v, want %v", tree.Parent, wantParent)
+	}
+	wantDepth := []int{2, 1, 0, 1, 2}
+	if !reflect.DeepEqual(tree.Depth, wantDepth) {
+		t.Fatalf("depths = %v, want %v", tree.Depth, wantDepth)
+	}
+	if err := tree.Validate(gen.Path(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildOnTriangle(t *testing.T) {
+	// From b, both a and c adopt b; nothing adopts later echoes.
+	tree, err := spantree.Build(gen.Cycle(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Parent[0] != 1 || tree.Parent[2] != 1 {
+		t.Fatalf("parents = %v, want both 1", tree.Parent)
+	}
+	if err := tree.Validate(gen.Cycle(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallestSenderWinsTies(t *testing.T) {
+	// On C4 from node 0, node 2 hears from 1 and 3 simultaneously; the
+	// smallest-ID sender must become the parent.
+	tree, err := spantree.Build(gen.Cycle(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Parent[2] != 1 {
+		t.Fatalf("parent of 2 = %d, want 1 (smallest simultaneous sender)", tree.Parent[2])
+	}
+}
+
+func TestEdgesAndPathToRoot(t *testing.T) {
+	g := gen.Grid(3, 3)
+	tree, err := spantree.Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Edges()) != g.N()-1 {
+		t.Fatalf("edges = %d, want %d", len(tree.Edges()), g.N()-1)
+	}
+	path := tree.PathToRoot(8)
+	if path[0] != 8 || path[len(path)-1] != 0 {
+		t.Fatalf("path = %v", path)
+	}
+	if len(path)-1 != tree.Depth[8] {
+		t.Fatalf("path length %d vs depth %d", len(path)-1, tree.Depth[8])
+	}
+}
+
+func TestDisconnectedGraphPartialTree(t *testing.T) {
+	g, err := graph.FromEdges("", 5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := spantree.Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Reached(3) || tree.Reached(4) {
+		t.Fatal("unreachable component marked reached")
+	}
+	if tree.PathToRoot(4) != nil {
+		t.Fatal("path from unreached node")
+	}
+	if err := tree.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromReportRejectsMultiSource(t *testing.T) {
+	g := gen.Path(4)
+	rep, err := core.Run(g, core.Sequential, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spantree.FromReport(g, rep); !errors.Is(err, spantree.ErrNotSingleSource) {
+		t.Fatalf("error = %v, want ErrNotSingleSource", err)
+	}
+}
+
+func TestTreeIsAlwaysBFSTree(t *testing.T) {
+	// Property: on random connected graphs the extracted tree is a valid
+	// BFS tree — depths equal BFS distances and all invariants hold.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(50), 0.08, rng)
+		root := graph.NodeID(rng.Intn(g.N()))
+		tree, err := spantree.Build(g, root)
+		if err != nil {
+			return false
+		}
+		if err := tree.Validate(g); err != nil {
+			return false
+		}
+		dist := algo.BFS(g, root)
+		for v := 0; v < g.N(); v++ {
+			if tree.Depth[v] != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruptTree(t *testing.T) {
+	g := gen.Path(4)
+	tree, err := spantree.Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Parent[3] = 0 // not a graph edge to 3
+	if err := tree.Validate(g); err == nil {
+		t.Fatal("corrupt parent accepted")
+	}
+	tree2, err := spantree.Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2.Depth[2] = 5 // breaks the depth rule
+	if err := tree2.Validate(g); err == nil {
+		t.Fatal("corrupt depth accepted")
+	}
+}

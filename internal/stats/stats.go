@@ -1,0 +1,170 @@
+// Package stats provides the small summary-statistics toolkit the
+// experiment sweeps aggregate with: means, standard deviations, quantiles,
+// fractions, and fixed-width histograms. Stdlib only, deterministic, and
+// tested against hand-computed values.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(sample), Min: sample[0], Max: sample[0]}
+	sum := 0.0
+	for _, x := range sample {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range sample {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Median = Quantile(sample, 0.5)
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.0f med=%.1f max=%.0f",
+		s.N, s.Mean, s.Stddev, s.Min, s.Median, s.Max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sample using linear
+// interpolation between order statistics. It copies and sorts internally;
+// an empty sample yields 0.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Fraction returns the share of true values, or 0 for an empty sample.
+func Fraction(sample []bool) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	count := 0
+	for _, b := range sample {
+		if b {
+			count++
+		}
+	}
+	return float64(count) / float64(len(sample))
+}
+
+// Ints converts an int sample for use with the float64 helpers.
+func Ints(sample []int) []float64 {
+	out := make([]float64, len(sample))
+	for i, x := range sample {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Under   int // observations below Lo
+	Over    int // observations at or above Hi
+	samples int
+}
+
+// NewHistogram creates a histogram with bins equal-width buckets over
+// [lo, hi). It panics on invalid shapes, which indicates a programming
+// error in the experiment code.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%.2f,%.2f) with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.samples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if idx == len(h.Counts) { // x == Hi boundary via float rounding
+			idx--
+		}
+		h.Counts[idx]++
+	}
+}
+
+// N returns the number of recorded observations.
+func (h *Histogram) N() int {
+	return h.samples
+}
+
+// Render draws the histogram with unit-scaled bars, one bin per line.
+func (h *Histogram) Render(barWidth int) string {
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*width
+		bar := strings.Repeat("#", c*barWidth/max)
+		fmt.Fprintf(&sb, "[%8.2f..%8.2f) %5d %s\n", lo, lo+width, c, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&sb, "under: %d\n", h.Under)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&sb, "over: %d\n", h.Over)
+	}
+	return sb.String()
+}

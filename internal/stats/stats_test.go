@@ -1,0 +1,156 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/stats"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5) {
+		t.Fatalf("Mean = %f, want 5", s.Mean)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if !almostEqual(s.Stddev, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("Stddev = %f, want %f", s.Stddev, math.Sqrt(32.0/7.0))
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %f/%f", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Fatalf("Median = %f, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := stats.Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := stats.Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Stddev != 0 || s.Median != 3 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3})
+	if got := s.String(); !strings.Contains(got, "n=3") || !strings.Contains(got, "mean=2.00") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sample := []float64{10, 20, 30, 40}
+	cases := map[float64]float64{
+		0:    10,
+		1:    40,
+		0.5:  25,
+		0.25: 17.5,
+		-1:   10,
+		2:    40,
+	}
+	for q, want := range cases {
+		if got := stats.Quantile(sample, q); !almostEqual(got, want) {
+			t.Errorf("Quantile(%.2f) = %f, want %f", q, got, want)
+		}
+	}
+	if stats.Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile != 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	stats.Quantile(sample, 0.5)
+	if sample[0] != 3 || sample[1] != 1 || sample[2] != 2 {
+		t.Fatalf("input mutated: %v", sample)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	if f := stats.Fraction([]bool{true, false, true, true}); !almostEqual(f, 0.75) {
+		t.Fatalf("Fraction = %f", f)
+	}
+	if stats.Fraction(nil) != 0 {
+		t.Fatal("empty fraction != 0")
+	}
+}
+
+func TestInts(t *testing.T) {
+	out := stats.Ints([]int{1, 2, 3})
+	if len(out) != 3 || out[2] != 3.0 {
+		t.Fatalf("Ints = %v", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := stats.NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.N() != 8 {
+		t.Fatalf("N = %d", h.N())
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Fatalf("counts = %v, want %v", h.Counts, wantCounts)
+		}
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	render := h.Render(20)
+	if !strings.Contains(render, "under: 1") || !strings.Contains(render, "over: 2") {
+		t.Fatalf("render missing overflow lines:\n%s", render)
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram accepted")
+		}
+	}()
+	stats.NewHistogram(5, 5, 3)
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	// Property: quantiles are monotone in q and bounded by min/max.
+	check := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1) // avoid overflow at MinInt64
+		}
+		n := int(seed%31) + 1
+		sample := make([]float64, n)
+		x := float64(seed % 1000)
+		for i := range sample {
+			x = math.Mod(x*1103515245+12345, 1000)
+			sample[i] = x
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			cur := stats.Quantile(sample, q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		s := stats.Summarize(sample)
+		return stats.Quantile(sample, 0) == s.Min && stats.Quantile(sample, 1) == s.Max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package termdetect implements explicit termination detection for classic
+// flooding, the machinery the paper alludes to in its introduction: "often
+// flooding is implemented with a flag ... and with other mechanisms to
+// detect termination of the process (see e.g. [Attiya & Welch])".
+//
+// The detector is Dijkstra–Scholten scoped to flooding: the computation
+// spawned by the origin forms a tree — every node's parent is its first
+// deliverer — and each flood message is acknowledged. A node acknowledges a
+// non-parent delivery immediately, and acknowledges its parent once all its
+// own messages are acknowledged. When the origin collects its last
+// acknowledgement, it *knows* the flood has terminated.
+//
+// The point of the package is the contrast that motivates the paper:
+//
+//   - amnesiac flooding terminates silently — no node ever knows; but it
+//     needs zero persistent state and zero extra messages;
+//   - classic flooding + Dijkstra–Scholten gives the origin a definite
+//     "done" signal at the cost of one ack per flood message (2x message
+//     complexity), per-node parent/counter state, and extra rounds for the
+//     ack wave to drain back.
+//
+// Experiment E17 measures that price across families.
+package termdetect
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiacflood/internal/graph"
+)
+
+// Result summarises a detected flood.
+type Result struct {
+	// DetectionRound is the round in which the origin learned that the
+	// flood was over (its deficit hit zero).
+	DetectionRound int
+	// FloodRounds is the last round in which a flood (non-ack) message
+	// was delivered: when the flood actually finished.
+	FloodRounds int
+	// FloodMessages counts flood deliveries, AckMessages ack deliveries.
+	FloodMessages, AckMessages int
+	// Covered[v] reports whether v received the flood message.
+	Covered []bool
+	// Parent[v] is the Dijkstra–Scholten tree parent (v itself for the
+	// origin and unreached nodes).
+	Parent []graph.NodeID
+}
+
+// TotalMessages returns flood + ack deliveries.
+func (r Result) TotalMessages() int {
+	return r.FloodMessages + r.AckMessages
+}
+
+// CoverageCount returns the number of covered nodes.
+func (r Result) CoverageCount() int {
+	n := 0
+	for _, c := range r.Covered {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// message kinds inside the detector's own synchronous simulation.
+type kind uint8
+
+const (
+	flood kind = iota + 1
+	ack
+)
+
+type message struct {
+	from, to graph.NodeID
+	kind     kind
+}
+
+// nodeState is the per-node Dijkstra–Scholten bookkeeping.
+type nodeState struct {
+	seen    bool
+	parent  graph.NodeID
+	deficit int  // own messages not yet acknowledged
+	engaged bool // still owes its parent an ack
+}
+
+// Run executes classic flooding from origin on g with Dijkstra–Scholten
+// acknowledgements, in the same synchronous round model as the engine
+// package (messages sent in round r are delivered in round r; responses go
+// out in round r+1).
+func Run(g *graph.Graph, origin graph.NodeID) (Result, error) {
+	if !g.HasNode(origin) {
+		return Result{}, fmt.Errorf("termdetect: origin %d is not a node of %s", origin, g)
+	}
+	n := g.N()
+	res := Result{
+		Covered: make([]bool, n),
+		Parent:  make([]graph.NodeID, n),
+	}
+	states := make([]nodeState, n)
+	for v := range res.Parent {
+		res.Parent[v] = graph.NodeID(v)
+	}
+	res.Covered[origin] = true
+	states[origin].seen = true
+	states[origin].engaged = true // engaged until its own deficit drains
+
+	// Round 1: the origin floods its neighbourhood.
+	var pending []message
+	for _, nbr := range g.Neighbors(origin) {
+		pending = append(pending, message{from: origin, to: nbr, kind: flood})
+		states[origin].deficit++
+	}
+	sortMessages(pending)
+
+	detected := 0
+	for round := 1; len(pending) > 0; round++ {
+		if round > 4*n+8 {
+			return Result{}, fmt.Errorf("termdetect: no quiescence after %d rounds on %s (bug)", round, g)
+		}
+		var next []message
+		// Group deliveries by receiver for deterministic processing.
+		byTo := map[graph.NodeID][]message{}
+		var order []graph.NodeID
+		for _, m := range pending {
+			if len(byTo[m.to]) == 0 {
+				order = append(order, m.to)
+			}
+			byTo[m.to] = append(byTo[m.to], m)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+		for _, m := range pending {
+			if m.kind == flood {
+				res.FloodMessages++
+				if round > res.FloodRounds {
+					res.FloodRounds = round
+				}
+			} else {
+				res.AckMessages++
+			}
+		}
+
+		for _, v := range order {
+			st := &states[v]
+			for _, m := range byTo[v] {
+				switch m.kind {
+				case flood:
+					res.Covered[v] = true
+					if !st.seen {
+						// First delivery: adopt the sender as parent,
+						// forward to the complement, defer the parent's
+						// ack until the subtree drains.
+						st.seen = true
+						st.parent = m.from
+						st.engaged = true
+						res.Parent[v] = m.from
+						senders := sendersOf(byTo[v])
+						for _, nbr := range g.Neighbors(v) {
+							if containsNode(senders, nbr) {
+								continue
+							}
+							next = append(next, message{from: v, to: nbr, kind: flood})
+							st.deficit++
+						}
+					} else {
+						// Later copies are acknowledged immediately.
+						next = append(next, message{from: v, to: m.from, kind: ack})
+					}
+				case ack:
+					st.deficit--
+				}
+			}
+			// A drained, engaged, non-origin node releases its parent.
+			if st.engaged && st.deficit == 0 && v != origin && st.seen {
+				next = append(next, message{from: v, to: st.parent, kind: ack})
+				st.engaged = false
+			}
+			if v == origin && st.engaged && st.deficit == 0 {
+				st.engaged = false
+				detected = round
+			}
+		}
+		// First deliveries acknowledge their parent only after the
+		// subtree drains; but a leaf that forwarded nothing drains in the
+		// same round it was reached — handled above because its deficit
+		// is already 0 when checked.
+		sortMessages(next)
+		pending = next
+	}
+	if states[origin].engaged && states[origin].deficit == 0 {
+		// Origin drained exactly when the queue emptied.
+		detected = res.FloodRounds + 1
+	}
+	if detected == 0 {
+		return Result{}, fmt.Errorf("termdetect: origin never detected termination on %s (bug)", g)
+	}
+	res.DetectionRound = detected
+	return res, nil
+}
+
+func sendersOf(msgs []message) []graph.NodeID {
+	var out []graph.NodeID
+	for _, m := range msgs {
+		if m.kind == flood {
+			out = append(out, m.from)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func containsNode(sorted []graph.NodeID, v graph.NodeID) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
+}
+
+func sortMessages(msgs []message) {
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].from != msgs[j].from {
+			return msgs[i].from < msgs[j].from
+		}
+		if msgs[i].to != msgs[j].to {
+			return msgs[i].to < msgs[j].to
+		}
+		return msgs[i].kind < msgs[j].kind
+	})
+}

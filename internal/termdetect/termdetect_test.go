@@ -1,0 +1,159 @@
+package termdetect_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/classic"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/termdetect"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := termdetect.Run(gen.Path(3), 9); err == nil {
+		t.Fatal("bad origin accepted")
+	}
+}
+
+func TestPathDetection(t *testing.T) {
+	g := gen.Path(5)
+	res, err := termdetect.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood reaches node 4 in round 4; acks drain back 4 more rounds.
+	if res.FloodRounds != 4 {
+		t.Fatalf("flood rounds = %d, want 4", res.FloodRounds)
+	}
+	if res.DetectionRound <= res.FloodRounds {
+		t.Fatalf("detection at %d, not after the flood end %d", res.DetectionRound, res.FloodRounds)
+	}
+	if res.FloodMessages != 4 || res.AckMessages != 4 {
+		t.Fatalf("messages = %d flood / %d ack, want 4/4", res.FloodMessages, res.AckMessages)
+	}
+	if res.CoverageCount() != 5 {
+		t.Fatalf("coverage = %d", res.CoverageCount())
+	}
+}
+
+func TestIsolatedOrigin(t *testing.T) {
+	g, err := graph.FromEdges("", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := termdetect.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FloodMessages != 0 || res.DetectionRound == 0 {
+		t.Fatalf("isolated origin: %+v", res)
+	}
+}
+
+func TestFloodPartMatchesClassicEngine(t *testing.T) {
+	// Property: the detector's flood component is exactly classic
+	// flooding — same rounds, same message count, full coverage.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(40), 0.1, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		res, err := termdetect.Run(g, src)
+		if err != nil {
+			return false
+		}
+		proto, err := classic.NewFlood(g, src)
+		if err != nil {
+			return false
+		}
+		cl, err := engine.Run(g, proto, engine.Options{})
+		if err != nil {
+			return false
+		}
+		return res.FloodRounds == cl.Rounds &&
+			res.FloodMessages == cl.TotalMessages &&
+			res.CoverageCount() == g.N()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryFloodMessageAckedOnce(t *testing.T) {
+	// Dijkstra–Scholten invariant: exactly one ack per flood message.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(40), 0.1, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		res, err := termdetect.Run(g, src)
+		if err != nil {
+			return false
+		}
+		return res.AckMessages == res.FloodMessages
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectionAfterFloodEnds(t *testing.T) {
+	// Detection can never precede actual quiescence of the flood wave.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(2+rng.Intn(40), 0.1, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		res, err := termdetect.Run(g, src)
+		if err != nil {
+			return false
+		}
+		return res.DetectionRound >= res.FloodRounds
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentTreeIsValid(t *testing.T) {
+	g := gen.Grid(4, 5)
+	res, err := termdetect.Run(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := algo.BFS(g, 7)
+	edges := 0
+	for v := 0; v < g.N(); v++ {
+		node := graph.NodeID(v)
+		p := res.Parent[v]
+		if p == node {
+			continue
+		}
+		edges++
+		if !g.HasEdge(p, node) {
+			t.Fatalf("parent edge (%d,%d) not in graph", p, node)
+		}
+		if dist[p] != dist[v]-1 {
+			t.Fatalf("parent %d of %d not one BFS level up", p, v)
+		}
+	}
+	if edges != g.N()-1 {
+		t.Fatalf("tree edges = %d, want %d", edges, g.N()-1)
+	}
+}
+
+func TestDetectionOnTriangle(t *testing.T) {
+	// K3 from b: flood takes 2 rounds (classic), acks return; the origin
+	// must detect strictly after round 2.
+	res, err := termdetect.Run(gen.Cycle(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FloodRounds != 2 {
+		t.Fatalf("flood rounds = %d, want 2", res.FloodRounds)
+	}
+	if res.DetectionRound <= 2 {
+		t.Fatalf("detection round = %d, want > 2", res.DetectionRound)
+	}
+}

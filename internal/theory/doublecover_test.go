@@ -1,0 +1,90 @@
+package theory_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/theory"
+)
+
+func TestCheckDoubleCoverExactAcceptsRealRuns(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Path(7), gen.Cycle(6), gen.Cycle(7), gen.Complete(8),
+		gen.Petersen(), gen.Grid(4, 5), gen.Lollipop(4, 6),
+	} {
+		rep := mustRun(t, g, 0)
+		if err := theory.CheckDoubleCoverExact(g, rep); err != nil {
+			t.Errorf("%s: %v", g, err)
+		}
+	}
+}
+
+func TestCheckDoubleCoverExactCatchesTampering(t *testing.T) {
+	g := gen.Cycle(5)
+	rep := mustRun(t, g, 0)
+
+	wrongRounds := *rep
+	wrongRounds.Result.Rounds++
+	if err := theory.CheckDoubleCoverExact(g, &wrongRounds); err == nil {
+		t.Error("tampered rounds accepted")
+	}
+
+	wrongMsgs := *rep
+	wrongMsgs.Result.TotalMessages++
+	if err := theory.CheckDoubleCoverExact(g, &wrongMsgs); err == nil {
+		t.Error("tampered message count accepted")
+	}
+
+	wrongCounts := *rep
+	wrongCounts.ReceiveCounts = append([]int(nil), rep.ReceiveCounts...)
+	wrongCounts.ReceiveCounts[2]++
+	if err := theory.CheckDoubleCoverExact(g, &wrongCounts); err == nil {
+		t.Error("tampered receive counts accepted")
+	}
+}
+
+func TestCheckDoubleCoverExactRejectsMultiSource(t *testing.T) {
+	g := gen.Path(5)
+	rep, err := core.Run(g, core.Sequential, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := theory.CheckDoubleCoverExact(g, rep); err == nil {
+		t.Fatal("multi-source report accepted")
+	}
+}
+
+func TestCheckNonBipartiteExactlyTwice(t *testing.T) {
+	// Holds on every connected non-bipartite instance from every source.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomNonBipartite(3+rng.Intn(40), 0.08, rng)
+		src := graph.NodeID(rng.Intn(g.N()))
+		rep, err := core.Run(g, core.Sequential, src)
+		if err != nil {
+			return false
+		}
+		return theory.CheckNonBipartiteExactlyTwice(g, rep) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckNonBipartiteExactlyTwiceRejectsBipartiteRuns(t *testing.T) {
+	// On bipartite graphs everyone receives once, so the check must fail
+	// loudly — guarding against misuse.
+	g := gen.Cycle(8)
+	if !algo.IsBipartite(g) {
+		t.Fatal("C8 should be bipartite")
+	}
+	rep := mustRun(t, g, 0)
+	if err := theory.CheckNonBipartiteExactlyTwice(g, rep); err == nil {
+		t.Fatal("bipartite run passed the exactly-twice check")
+	}
+}

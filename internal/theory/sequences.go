@@ -1,0 +1,141 @@
+package theory
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+)
+
+// This file makes the combinatorial objects of the Theorem 3.1 proof
+// explicit and queryable. The proof defines round-sets R_0, R_1, ... (R_0 =
+// the origin set, R_i = nodes receiving M in round i) and studies the set R
+// of sequences R_s ... R_{s+d} whose endpoints share a node (equation (1)
+// of the paper), with start-point s and duration d > 0. The subset Re of
+// even-duration sequences must be empty, or the minimal-duration,
+// earliest-start sequence R* triggers one of the two contradiction cases of
+// Figure 4.
+
+// Sequence is one element of the paper's set R: node x occurs in round-sets
+// R_Start and R_Start+Duration.
+type Sequence struct {
+	// Node is the shared node x.
+	Node graph.NodeID
+	// Start is the paper's s: the index of the earlier round-set.
+	Start int
+	// Duration is the paper's d > 0.
+	Duration int
+}
+
+// End returns s + d, the index of the later round-set.
+func (s Sequence) End() int {
+	return s.Start + s.Duration
+}
+
+// String renders the sequence like the paper writes it.
+func (s Sequence) String() string {
+	return fmt.Sprintf("x=%d in R_%d and R_%d (d=%d)", s.Node, s.Start, s.End(), s.Duration)
+}
+
+// SequenceAnalysis summarises the set R for one execution.
+type SequenceAnalysis struct {
+	// Sequences is all of R, sorted by (Start, Duration, Node).
+	Sequences []Sequence
+	// EvenCount is |Re|. Theorem 3.1's proof shows it must be zero.
+	EvenCount int
+	// MinDuration and MaxDuration are over all of R (0 when R is empty).
+	MinDuration, MaxDuration int
+	// DurationHistogram counts sequences per duration.
+	DurationHistogram map[int]int
+}
+
+// AnalyzeSequences reconstructs the paper's sequence set R from a run
+// report, including R_0 (the origin set).
+func AnalyzeSequences(rep *core.Report) SequenceAnalysis {
+	n := len(rep.ReceiveCounts)
+	occurrences := make([][]int, n)
+	for _, o := range rep.Origins {
+		occurrences[o] = append(occurrences[o], 0)
+	}
+	for i, set := range rep.RoundSets {
+		for _, v := range set {
+			occurrences[v] = append(occurrences[v], i+1)
+		}
+	}
+	analysis := SequenceAnalysis{DurationHistogram: map[int]int{}}
+	for v, rounds := range occurrences {
+		for i := 0; i < len(rounds); i++ {
+			for j := i + 1; j < len(rounds); j++ {
+				seq := Sequence{
+					Node:     graph.NodeID(v),
+					Start:    rounds[i],
+					Duration: rounds[j] - rounds[i],
+				}
+				analysis.Sequences = append(analysis.Sequences, seq)
+				analysis.DurationHistogram[seq.Duration]++
+				if seq.Duration%2 == 0 {
+					analysis.EvenCount++
+				}
+				if analysis.MinDuration == 0 || seq.Duration < analysis.MinDuration {
+					analysis.MinDuration = seq.Duration
+				}
+				if seq.Duration > analysis.MaxDuration {
+					analysis.MaxDuration = seq.Duration
+				}
+			}
+		}
+	}
+	sort.Slice(analysis.Sequences, func(i, j int) bool {
+		a, b := analysis.Sequences[i], analysis.Sequences[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Duration != b.Duration {
+			return a.Duration < b.Duration
+		}
+		return a.Node < b.Node
+	})
+	return analysis
+}
+
+// MinimalEvenSequence returns the paper's R*: among even-duration
+// sequences, one with minimum duration and, among those, earliest start —
+// the object both Figure 4 contradiction cases are built on. ok is false
+// when Re is empty (which Theorem 3.1 proves always holds for real
+// executions; doctored reports exercise the true branch in tests).
+func (a SequenceAnalysis) MinimalEvenSequence() (Sequence, bool) {
+	best := Sequence{}
+	found := false
+	for _, s := range a.Sequences {
+		if s.Duration%2 != 0 {
+			continue
+		}
+		if !found ||
+			s.Duration < best.Duration ||
+			(s.Duration == best.Duration && s.Start < best.Start) {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// CheckSequenceMachinery re-verifies the odd-gap invariant through the
+// explicit sequence set and cross-checks AnalyzeSequences against
+// CheckOddGapInvariant: the two must agree that Re is empty.
+func CheckSequenceMachinery(rep *core.Report) error {
+	analysis := AnalyzeSequences(rep)
+	gapErr := CheckOddGapInvariant(rep)
+	if analysis.EvenCount > 0 {
+		seq, _ := analysis.MinimalEvenSequence()
+		if gapErr == nil {
+			return fmt.Errorf("theory: sequence analysis found %s but the gap check passed (internal inconsistency)", seq)
+		}
+		return fmt.Errorf("theory: Re is non-empty, minimal sequence %s (Figure 4 contradiction applies)", seq)
+	}
+	if gapErr != nil {
+		return fmt.Errorf("theory: gap check failed but sequence analysis found Re empty: %w", gapErr)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// SVG rendering reproduces the paper's figure style as vector graphics:
+// nodes on a circle, idle edges in light grey, the edges carrying M in the
+// rendered round as directed arrows, and the sending nodes drawn with a
+// double outline — the paper's "circled nodes". One SVG per round, like the
+// sub-figures (a), (b), (c) of Figures 1-3 and 5.
+
+// SVGOptions controls rendering; the zero value gives a 480x480 canvas with
+// letter labels for small graphs.
+type SVGOptions struct {
+	// Size is the canvas width and height in pixels (default 480).
+	Size int
+	// Label maps nodes to display labels (default Letters for graphs of
+	// at most 26 nodes, Numbers otherwise).
+	Label Labeler
+}
+
+func (o SVGOptions) withDefaults(g *graph.Graph) SVGOptions {
+	if o.Size <= 0 {
+		o.Size = 480
+	}
+	if o.Label == nil {
+		if g.N() <= 26 {
+			o.Label = Letters
+		} else {
+			o.Label = Numbers
+		}
+	}
+	return o
+}
+
+// WriteSVG renders one round of a trace over g as an SVG document: the
+// graph on a circular layout, the round's message edges as arrows, and the
+// senders double-circled.
+func WriteSVG(w io.Writer, g *graph.Graph, rec engine.RoundRecord, opts SVGOptions) error {
+	opts = opts.withDefaults(g)
+	size := float64(opts.Size)
+	center := size / 2
+	radius := size*0.5 - 60
+	if g.N() == 1 {
+		radius = 0
+	}
+
+	pos := make([][2]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		angle := 2*math.Pi*float64(v)/float64(g.N()) - math.Pi/2
+		pos[v] = [2]float64{
+			center + radius*math.Cos(angle),
+			center + radius*math.Sin(angle),
+		}
+	}
+	senders := map[graph.NodeID]bool{}
+	for _, s := range rec.Senders() {
+		senders[s] = true
+	}
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Size, opts.Size, opts.Size, opts.Size); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"  <defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" refY=\"5\" markerWidth=\"7\" markerHeight=\"7\" orient=\"auto-start-reverse\"><path d=\"M 0 0 L 10 5 L 0 10 z\"/></marker></defs>\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  <title>round %d</title>\n", rec.Round); err != nil {
+		return err
+	}
+
+	// Idle edges first (light), then active message arrows on top.
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w,
+			"  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#cccccc\" stroke-width=\"1.5\"/>\n",
+			pos[e.U][0], pos[e.U][1], pos[e.V][0], pos[e.V][1]); err != nil {
+			return err
+		}
+	}
+	for _, s := range rec.Sends {
+		// Shorten the arrow so the head stops at the node circle.
+		x1, y1 := pos[s.From][0], pos[s.From][1]
+		x2, y2 := pos[s.To][0], pos[s.To][1]
+		dx, dy := x2-x1, y2-y1
+		length := math.Hypot(dx, dy)
+		if length == 0 {
+			continue
+		}
+		trim := 22.0
+		x1, y1 = x1+dx/length*trim, y1+dy/length*trim
+		x2, y2 = x2-dx/length*trim, y2-dy/length*trim
+		if _, err := fmt.Fprintf(w,
+			"  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#000000\" stroke-width=\"2.5\" marker-end=\"url(#arrow)\"/>\n",
+			x1, y1, x2, y2); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		node := graph.NodeID(v)
+		if _, err := fmt.Fprintf(w,
+			"  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"16\" fill=\"#ffffff\" stroke=\"#333333\" stroke-width=\"1.5\"/>\n",
+			pos[v][0], pos[v][1]); err != nil {
+			return err
+		}
+		if senders[node] {
+			// The paper's circled (sending) node: a second outline.
+			if _, err := fmt.Fprintf(w,
+				"  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"20\" fill=\"none\" stroke=\"#333333\" stroke-width=\"1.5\"/>\n",
+				pos[v][0], pos[v][1]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w,
+			"  <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" dominant-baseline=\"central\" font-family=\"sans-serif\" font-size=\"13\">%s</text>\n",
+			pos[v][0], pos[v][1], opts.Label(node)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"  <text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"15\">round %d</text>\n",
+		center, opts.Size-14, rec.Round); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

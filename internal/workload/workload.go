@@ -1,0 +1,161 @@
+// Package workload is the instance catalog shared by integration tests and
+// anyone extending the experiment suite: a curated set of graph instances
+// with declared properties (family, bipartiteness, connectivity, symmetry)
+// that the rest of the repository can sweep without re-deciding which
+// graphs matter.
+//
+// Catalog entries are constructors, not graphs: random families rebuild
+// from the caller's seed so every consumer controls reproducibility.
+package workload
+
+import (
+	"math/rand"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+)
+
+// Class describes what an instance is for.
+type Class int
+
+// Instance classes.
+const (
+	// PaperFigure instances appear verbatim in the paper.
+	PaperFigure Class = iota + 1
+	// Structured instances are classical parametrised families.
+	Structured
+	// Randomized instances are seeded random families.
+	Randomized
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case PaperFigure:
+		return "paper-figure"
+	case Structured:
+		return "structured"
+	case Randomized:
+		return "randomized"
+	default:
+		return "unknown"
+	}
+}
+
+// Instance is one catalog entry.
+type Instance struct {
+	// Name is unique within the catalog.
+	Name string
+	// Class classifies the instance (paper figure, structured, random).
+	Class Class
+	// Bipartite and SourceSymmetric declare expected properties; the
+	// workload tests verify them against ground truth.
+	Bipartite bool
+	// SourceSymmetric marks vertex-transitive instances on which every
+	// source behaves identically (cycles, cliques, hypercubes, tori,
+	// Petersen).
+	SourceSymmetric bool
+	// Build constructs the graph; random families consume the seed.
+	Build func(seed int64) *graph.Graph
+}
+
+// fixed adapts a deterministic constructor.
+func fixed(g func() *graph.Graph) func(int64) *graph.Graph {
+	return func(int64) *graph.Graph { return g() }
+}
+
+// Catalog returns the full instance set. The slice is freshly allocated;
+// callers may reorder or filter it.
+func Catalog() []Instance {
+	return []Instance{
+		// The paper's figures.
+		{Name: "fig1-line", Class: PaperFigure, Bipartite: true,
+			Build: fixed(func() *graph.Graph { return gen.Path(4) })},
+		{Name: "fig2-triangle", Class: PaperFigure, Bipartite: false, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Cycle(3) })},
+		{Name: "fig3-evenCycle", Class: PaperFigure, Bipartite: true, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Cycle(6) })},
+
+		// Structured bipartite.
+		{Name: "path-64", Class: Structured, Bipartite: true,
+			Build: fixed(func() *graph.Graph { return gen.Path(64) })},
+		{Name: "evenCycle-64", Class: Structured, Bipartite: true, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Cycle(64) })},
+		{Name: "star-33", Class: Structured, Bipartite: true,
+			Build: fixed(func() *graph.Graph { return gen.Star(33) })},
+		{Name: "grid-8x13", Class: Structured, Bipartite: true,
+			Build: fixed(func() *graph.Graph { return gen.Grid(8, 13) })},
+		{Name: "binaryTree-6", Class: Structured, Bipartite: true,
+			Build: fixed(func() *graph.Graph { return gen.CompleteBinaryTree(6) })},
+		{Name: "hypercube-7", Class: Structured, Bipartite: true, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Hypercube(7) })},
+		{Name: "completeBipartite-9x14", Class: Structured, Bipartite: true,
+			Build: fixed(func() *graph.Graph { return gen.CompleteBipartite(9, 14) })},
+		{Name: "evenTorus-6x8", Class: Structured, Bipartite: true, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Torus(6, 8) })},
+
+		// Structured non-bipartite.
+		{Name: "oddCycle-65", Class: Structured, Bipartite: false, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Cycle(65) })},
+		{Name: "clique-17", Class: Structured, Bipartite: false, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Complete(17) })},
+		{Name: "wheel-18", Class: Structured, Bipartite: false,
+			Build: fixed(func() *graph.Graph { return gen.Wheel(18) })},
+		{Name: "petersen", Class: Structured, Bipartite: false, SourceSymmetric: true,
+			Build: fixed(gen.Petersen)},
+		{Name: "lollipop-5x12", Class: Structured, Bipartite: false,
+			Build: fixed(func() *graph.Graph { return gen.Lollipop(5, 12) })},
+		{Name: "barbell-5x9", Class: Structured, Bipartite: false,
+			Build: fixed(func() *graph.Graph { return gen.Barbell(5, 9) })},
+		{Name: "oddTorus-5x7", Class: Structured, Bipartite: false, SourceSymmetric: true,
+			Build: fixed(func() *graph.Graph { return gen.Torus(5, 7) })},
+
+		// Randomized.
+		{Name: "randomTree-150", Class: Randomized, Bipartite: true,
+			Build: func(seed int64) *graph.Graph {
+				return gen.RandomTree(150, rand.New(rand.NewSource(seed)))
+			}},
+		{Name: "randomBipartite-40x45", Class: Randomized, Bipartite: true,
+			Build: func(seed int64) *graph.Graph {
+				rng := rand.New(rand.NewSource(seed))
+				return gen.Connectify(gen.RandomBipartite(40, 45, 0.06, rng), rng)
+			}},
+		{Name: "randomConnected-150", Class: Randomized, Bipartite: false, // almost surely
+			Build: func(seed int64) *graph.Graph {
+				return gen.RandomConnected(150, 0.04, rand.New(rand.NewSource(seed)))
+			}},
+		{Name: "randomNonBipartite-150", Class: Randomized, Bipartite: false,
+			Build: func(seed int64) *graph.Graph {
+				return gen.RandomNonBipartite(150, 0.03, rand.New(rand.NewSource(seed)))
+			}},
+		{Name: "prefAttach-150x3", Class: Randomized, Bipartite: false, // triangles abound
+			Build: func(seed int64) *graph.Graph {
+				return gen.PreferentialAttachment(150, 3, rand.New(rand.NewSource(seed)))
+			}},
+	}
+}
+
+// Figures returns only the paper-figure instances.
+func Figures() []Instance {
+	return filter(func(i Instance) bool { return i.Class == PaperFigure })
+}
+
+// Bipartites returns the declared-bipartite instances.
+func Bipartites() []Instance {
+	return filter(func(i Instance) bool { return i.Bipartite })
+}
+
+// NonBipartites returns the declared-non-bipartite instances.
+func NonBipartites() []Instance {
+	return filter(func(i Instance) bool { return !i.Bipartite })
+}
+
+func filter(keep func(Instance) bool) []Instance {
+	var out []Instance
+	for _, inst := range Catalog() {
+		if keep(inst) {
+			out = append(out, inst)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package workload_test
+
+import (
+	"testing"
+
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/workload"
+)
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, inst := range workload.Catalog() {
+		if inst.Name == "" {
+			t.Error("instance with empty name")
+		}
+		if seen[inst.Name] {
+			t.Errorf("duplicate instance name %q", inst.Name)
+		}
+		seen[inst.Name] = true
+	}
+}
+
+func TestCatalogDeclaredPropertiesHold(t *testing.T) {
+	for _, inst := range workload.Catalog() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			g := inst.Build(1)
+			if g.N() == 0 {
+				t.Fatal("empty instance")
+			}
+			if !algo.Connected(g) {
+				t.Fatal("catalog instance must be connected")
+			}
+			if got := algo.IsBipartite(g); got != inst.Bipartite {
+				t.Fatalf("bipartite = %t, declared %t", got, inst.Bipartite)
+			}
+		})
+	}
+}
+
+func TestCatalogBuildersDeterministic(t *testing.T) {
+	for _, inst := range workload.Catalog() {
+		a, b := inst.Build(7), inst.Build(7)
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Errorf("%s: same seed built different graphs", inst.Name)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	total := len(workload.Catalog())
+	figs := len(workload.Figures())
+	bip := len(workload.Bipartites())
+	non := len(workload.NonBipartites())
+	if figs != 3 {
+		t.Errorf("figures = %d, want 3", figs)
+	}
+	if bip+non != total {
+		t.Errorf("bipartite %d + non-bipartite %d != total %d", bip, non, total)
+	}
+	if bip < 8 || non < 8 {
+		t.Errorf("catalog unbalanced: %d bipartite vs %d non-bipartite", bip, non)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if workload.PaperFigure.String() != "paper-figure" ||
+		workload.Structured.String() != "structured" ||
+		workload.Randomized.String() != "randomized" ||
+		workload.Class(99).String() != "unknown" {
+		t.Fatal("class strings wrong")
+	}
+}
