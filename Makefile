@@ -1,0 +1,39 @@
+# Development entry points. CI runs the same steps (see
+# .github/workflows/ci.yml); `make bench` records the perf trajectory
+# across PRs into a dated JSON file.
+
+DATE := $(shell date +%Y-%m-%d)
+BENCHFILE := BENCH_$(DATE).json
+
+.PHONY: all build test vet race fuzz bench bench-smoke
+
+all: vet build test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/engine/... ./internal/core
+
+fuzz:
+	go test -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine/fastengine
+
+# bench runs the full benchmark suite once and archives it as structured
+# JSON (one {"name", "ns_per_op", "allocs_per_op", metrics...} object per
+# benchmark) so successive PRs can diff the trajectory. The raw output goes
+# through a temp file so a failing benchmark fails the target instead of
+# being swallowed by the pipe.
+bench:
+	go test -run '^$$' -bench . -benchmem -benchtime 1x ./... > $(BENCHFILE).raw
+	./scripts/benchjson.sh < $(BENCHFILE).raw > $(BENCHFILE)
+	@rm -f $(BENCHFILE).raw
+	@echo wrote $(BENCHFILE)
+
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...

@@ -19,6 +19,7 @@ import (
 	"amnesiacflood/internal/dynamic"
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/engine/fastengine"
 	"amnesiacflood/internal/experiments"
 	"amnesiacflood/internal/faults"
 	"amnesiacflood/internal/graph"
@@ -29,15 +30,22 @@ import (
 	"amnesiacflood/internal/theory"
 )
 
-// benchFlood runs AF once per iteration and reports rounds/messages metrics.
-func benchFlood(b *testing.B, g *graph.Graph, source graph.NodeID) {
+// benchEngines is the engine dimension of the substrate benchmarks: the
+// sequential reference, the zero-allocation CSR engine, and its sharded
+// parallel mode. The channel engine is benchmarked separately (E10 only);
+// it exists to demonstrate concurrency, not to be fast.
+var benchEngines = []core.EngineKind{core.Sequential, core.Fast, core.Parallel}
+
+// benchFlood runs AF once per iteration on the given engine and reports
+// rounds/messages metrics.
+func benchFlood(b *testing.B, g *graph.Graph, kind core.EngineKind, source graph.NodeID) {
 	b.Helper()
 	var rep *core.Report
 	var err error
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err = core.Run(g, core.Sequential, source)
+		rep, err = core.Run(g, kind, source)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,17 +57,17 @@ func benchFlood(b *testing.B, g *graph.Graph, source graph.NodeID) {
 
 // E1: Figure 1 — the 4-node line from b.
 func BenchmarkFig1Line(b *testing.B) {
-	benchFlood(b, gen.Path(4), 1)
+	benchFlood(b, gen.Path(4), core.Sequential, 1)
 }
 
 // E2: Figure 2 — the triangle from b.
 func BenchmarkFig2Triangle(b *testing.B) {
-	benchFlood(b, gen.Cycle(3), 1)
+	benchFlood(b, gen.Cycle(3), core.Sequential, 1)
 }
 
 // E3: Figure 3 — the even cycle C6.
 func BenchmarkFig3EvenCycle(b *testing.B) {
-	benchFlood(b, gen.Cycle(6), 0)
+	benchFlood(b, gen.Cycle(6), core.Sequential, 0)
 }
 
 // E4: Lemma 2.1 / Corollary 2.2 — bipartite families at increasing sizes.
@@ -83,25 +91,27 @@ func BenchmarkBipartiteTermination(b *testing.B) {
 	for _, fam := range families {
 		for _, n := range []int{64, 512, 4096} {
 			g := fam.make(n)
-			b.Run(fmt.Sprintf("%s/n=%d", fam.name, g.N()), func(b *testing.B) {
-				ecc := algo.Eccentricity(g, 0)
-				var rep *core.Report
-				var err error
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					rep, err = core.Run(g, core.Sequential, 0)
-					if err != nil {
-						b.Fatal(err)
+			ecc := algo.Eccentricity(g, 0)
+			for _, kind := range benchEngines {
+				b.Run(fmt.Sprintf("%s/n=%d/%s", fam.name, g.N(), kind), func(b *testing.B) {
+					var rep *core.Report
+					var err error
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						rep, err = core.Run(g, kind, 0)
+						if err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-				b.StopTimer()
-				if rep.Rounds() != ecc {
-					b.Fatalf("rounds %d != e(source) %d (Lemma 2.1)", rep.Rounds(), ecc)
-				}
-				b.ReportMetric(float64(rep.Rounds()), "rounds")
-				b.ReportMetric(float64(rep.TotalMessages()), "messages")
-			})
+					b.StopTimer()
+					if rep.Rounds() != ecc {
+						b.Fatalf("rounds %d != e(source) %d (Lemma 2.1)", rep.Rounds(), ecc)
+					}
+					b.ReportMetric(float64(rep.Rounds()), "rounds")
+					b.ReportMetric(float64(rep.TotalMessages()), "messages")
+				})
+			}
 		}
 	}
 }
@@ -115,25 +125,27 @@ func BenchmarkNonBipartiteTermination(b *testing.B) {
 		gen.Lollipop(5, 128), gen.Torus(5, 13),
 	}
 	for _, g := range instances {
-		b.Run(g.Name(), func(b *testing.B) {
-			diam := algo.Diameter(g)
-			var rep *core.Report
-			var err error
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				rep, err = core.Run(g, core.Sequential, 0)
-				if err != nil {
-					b.Fatal(err)
+		diam := algo.Diameter(g)
+		for _, kind := range benchEngines {
+			b.Run(g.Name()+"/"+kind.String(), func(b *testing.B) {
+				var rep *core.Report
+				var err error
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err = core.Run(g, kind, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.StopTimer()
-			if rep.Rounds() > 2*diam+1 {
-				b.Fatalf("rounds %d > 2D+1 = %d (Theorem 3.3)", rep.Rounds(), 2*diam+1)
-			}
-			b.ReportMetric(float64(rep.Rounds()), "rounds")
-			b.ReportMetric(float64(rep.TotalMessages()), "messages")
-		})
+				b.StopTimer()
+				if rep.Rounds() > 2*diam+1 {
+					b.Fatalf("rounds %d > 2D+1 = %d (Theorem 3.3)", rep.Rounds(), 2*diam+1)
+				}
+				b.ReportMetric(float64(rep.Rounds()), "rounds")
+				b.ReportMetric(float64(rep.TotalMessages()), "messages")
+			})
+		}
 	}
 }
 
@@ -202,7 +214,10 @@ func BenchmarkClassicComparison(b *testing.B) {
 	}
 	for _, g := range instances {
 		b.Run("amnesiac/"+g.Name(), func(b *testing.B) {
-			benchFlood(b, g, 0)
+			benchFlood(b, g, core.Sequential, 0)
+		})
+		b.Run("amnesiacFast/"+g.Name(), func(b *testing.B) {
+			benchFlood(b, g, core.Fast, 0)
 		})
 		b.Run("classic/"+g.Name(), func(b *testing.B) {
 			var res engine.Result
@@ -270,6 +285,34 @@ func BenchmarkEngines(b *testing.B) {
 			}
 		}
 	})
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fastengine.Run(g, flood, engine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fastReused", func(b *testing.B) {
+		e := fastengine.New(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(flood, engine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fastParallel", func(b *testing.B) {
+		e := fastengine.New(g).Parallel(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(flood, engine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // E11: double-cover prediction vs simulation — the analytical shortcut
@@ -286,7 +329,10 @@ func BenchmarkDoubleCoverPrediction(b *testing.B) {
 		b.ReportMetric(float64(pred.Rounds), "rounds")
 	})
 	b.Run("simulate", func(b *testing.B) {
-		benchFlood(b, g, 0)
+		benchFlood(b, g, core.Sequential, 0)
+	})
+	b.Run("simulateFast", func(b *testing.B) {
+		benchFlood(b, g, core.Fast, 0)
 	})
 }
 
@@ -453,15 +499,19 @@ func BenchmarkWavefrontProfile(b *testing.B) {
 func BenchmarkFloodScaling(b *testing.B) {
 	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
 		g := gen.Cycle(n)
-		b.Run(fmt.Sprintf("cycle/n=%d", n), func(b *testing.B) {
-			benchFlood(b, g, 0)
-		})
+		for _, kind := range benchEngines {
+			b.Run(fmt.Sprintf("cycle/n=%d/%s", n, kind), func(b *testing.B) {
+				benchFlood(b, g, kind, 0)
+			})
+		}
 	}
 	for _, d := range []int{8, 11, 14} {
 		g := gen.Hypercube(d)
-		b.Run(fmt.Sprintf("hypercube/d=%d", d), func(b *testing.B) {
-			benchFlood(b, g, 0)
-		})
+		for _, kind := range benchEngines {
+			b.Run(fmt.Sprintf("hypercube/d=%d/%s", d, kind), func(b *testing.B) {
+				benchFlood(b, g, kind, 0)
+			})
+		}
 	}
 }
 

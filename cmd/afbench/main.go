@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	afbench [-seed N] [-scale N] [-only E4,E7]
+//	afbench [-seed N] [-scale N] [-only E4,E7] [-engine fast]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/experiments"
 )
 
@@ -30,12 +31,18 @@ func run(args []string) error {
 	seed := fs.Int64("seed", cfg.Seed, "seed for all random instances")
 	scale := fs.Int("scale", cfg.Scale, "instance size multiplier")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default all)")
+	engineName := fs.String("engine", core.Sequential.String(), "engine for the single-run experiments: "+strings.Join(core.EngineNames(), ", "))
 	asJSON := fs.Bool("json", false, "emit the tables as a JSON array instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg.Seed = *seed
 	cfg.Scale = *scale
+	kind, err := core.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	cfg.Engine = kind
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

@@ -9,6 +9,7 @@
 //
 //	afsim -topo cycle -n 6 -source 0 -render
 //	afsim -topo path -n 4 -source 1 -engine channels -render
+//	afsim -topo grid -n 64 -source 0 -engine parallel
 //	afsim -topo cycle -n 3 -source 1 -async collision
 //	afsim -file mygraph.txt -source 0 -json
 package main
@@ -48,7 +49,7 @@ func run(args []string) error {
 	sourceFlag := fs.Int("source", 0, "origin node")
 	originsFlag := fs.String("origins", "", "comma-separated origin nodes (multi-source; overrides -source)")
 	protocol := fs.String("protocol", "amnesiac", "protocol: amnesiac or classic")
-	engineName := fs.String("engine", "sequential", "engine: sequential or channels")
+	engineName := fs.String("engine", "sequential", "engine: "+strings.Join(core.EngineNames(), ", "))
 	asyncAdv := fs.String("async", "", "run the asynchronous variant under an adversary: sync, collision, uniform, random")
 	seed := fs.Int64("seed", 1, "seed for the random adversary")
 	maxRounds := fs.Int("maxrounds", 0, "round limit (0 = default)")
@@ -98,16 +99,11 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := engine.Options{Trace: true, MaxRounds: *maxRounds}
-	var res engine.Result
-	switch *engineName {
-	case "sequential":
-		res, err = engine.Run(g, proto, opts)
-	case "channels":
-		res, err = chanRun(g, proto, opts)
-	default:
-		return fmt.Errorf("unknown engine %q (want sequential or channels)", *engineName)
+	kind, err := core.ParseEngine(*engineName)
+	if err != nil {
+		return err
 	}
+	res, err := core.RunEngine(kind, g, proto, engine.Options{Trace: true, MaxRounds: *maxRounds})
 	if err != nil {
 		return err
 	}
@@ -203,12 +199,6 @@ func runPredict(g *graph.Graph, source graph.NodeID, label trace.Labeler) error 
 		return fmt.Errorf("prediction diverged from simulation — this is a bug")
 	}
 	return nil
-}
-
-// chanRun avoids importing chanengine at top level twice; kept as a helper
-// for symmetry with runAsync.
-func chanRun(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
-	return cli.ChanRun(g, proto, opts)
 }
 
 func runAsync(g *graph.Graph, advName string, seed int64, maxRounds int, origins []graph.NodeID, render, asJSON bool, label trace.Labeler) error {

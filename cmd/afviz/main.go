@@ -38,6 +38,7 @@ func run(args []string) error {
 	sourceFlag := fs.Int("source", 0, "origin node")
 	format := fs.String("format", "rounds", "output: rounds, timeline, csv, json, dot, or svg")
 	out := fs.String("out", ".", "output directory for -format dot/svg frames")
+	engineName := fs.String("engine", core.Sequential.String(), "engine: "+strings.Join(core.EngineNames(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,7 +51,11 @@ func run(args []string) error {
 	if !g.HasNode(source) {
 		return fmt.Errorf("source %d is not a node of %s", source, g)
 	}
-	rep, err := core.Run(g, core.Sequential, source)
+	kind, err := core.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	rep, err := core.Run(g, kind, source)
 	if err != nil {
 		return err
 	}

@@ -13,19 +13,24 @@
 // alive forever by a scheduling adversary.
 //
 // The repository reproduces every evaluation artifact of the paper (Figures
-// 1-5 and Theorems 3.1/3.3, see DESIGN.md and EXPERIMENTS.md) on two
-// interchangeable synchronous substrates — a deterministic sequential engine
-// and a goroutine-per-node, channel-per-edge engine — plus an asynchronous
-// simulator with pluggable adversaries and configuration-cycle
-// non-termination certificates.
+// 1-5 and Theorems 3.1/3.3, see DESIGN.md and EXPERIMENTS.md) on three
+// interchangeable synchronous substrates — a deterministic sequential
+// reference engine, a goroutine-per-node channel engine, and a
+// zero-allocation compressed-sparse-row engine with an optional parallel
+// sharded-delivery mode — plus an asynchronous simulator with pluggable
+// adversaries and configuration-cycle non-termination certificates. The
+// engines are trace-equivalent: byte-identical traces on every protocol,
+// asserted by differential and fuzz tests (internal/engine/README.md
+// documents the determinism contract and the performance numbers).
 //
 // Packages:
 //
-//	internal/graph            immutable simple graphs, builder, encodings
+//	internal/graph            immutable simple graphs, builder, CSR view, encodings
 //	internal/graph/gen        deterministic and random graph families
 //	internal/graph/algo       BFS, diameter, bipartiteness ground truth
 //	internal/engine           synchronous round engine + Protocol interface
 //	internal/engine/chanengine concurrent channel-based engine
+//	internal/engine/fastengine zero-allocation CSR engine, parallel mode
 //	internal/core             Amnesiac Flooding protocol and run reports
 //	internal/classic          flag-based flooding baseline
 //	internal/async            asynchronous variant, adversaries, certificates

@@ -1,0 +1,3 @@
+module amnesiacflood
+
+go 1.24

@@ -1,6 +1,7 @@
 // Package cli holds the small helpers shared by the cmd/ binaries: built-in
-// topology lookup, graph loading, adversary lookup, and a thin channel-engine
-// wrapper. It exists so the binaries stay single-purpose mains.
+// topology lookup, graph loading, and adversary lookup. It exists so the
+// binaries stay single-purpose mains. (Engine selection lives in core:
+// ParseEngine and RunEngine.)
 package cli
 
 import (
@@ -11,8 +12,6 @@ import (
 	"strings"
 
 	"amnesiacflood/internal/async"
-	"amnesiacflood/internal/engine"
-	"amnesiacflood/internal/engine/chanengine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 )
@@ -103,8 +102,3 @@ func Adversary(name string, seed int64) (async.Adversary, error) {
 	}
 }
 
-// ChanRun executes a protocol on the channel engine; it exists so binaries
-// need only this package.
-func ChanRun(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
-	return chanengine.Run(g, proto, opts)
-}

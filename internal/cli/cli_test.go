@@ -6,8 +6,6 @@ import (
 	"testing"
 
 	"amnesiacflood/internal/cli"
-	"amnesiacflood/internal/engine"
-	"amnesiacflood/internal/graph"
 )
 
 func TestTopologyNamesSortedAndNonEmpty(t *testing.T) {
@@ -85,26 +83,3 @@ func TestAdversaryLookup(t *testing.T) {
 	}
 }
 
-func TestChanRun(t *testing.T) {
-	g, err := cli.LoadGraph("path", 4, "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := cli.ChanRun(g, stubProtocol{g: g}, engine.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Terminated {
-		t.Fatal("stub run did not terminate")
-	}
-}
-
-type stubProtocol struct{ g *graph.Graph }
-
-func (s stubProtocol) Name() string { return "stub" }
-func (s stubProtocol) Bootstrap() []engine.Send {
-	return []engine.Send{{From: 0, To: 1}}
-}
-func (s stubProtocol) NewNode(graph.NodeID) engine.NodeAutomaton {
-	return func(int, []graph.NodeID) []graph.NodeID { return nil }
-}

@@ -3,21 +3,29 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/engine/fastengine"
 	"amnesiacflood/internal/graph"
 )
 
 // EngineKind selects which synchronous engine executes a run.
 type EngineKind int
 
-// Available engines.
+// Available engines. All four produce byte-identical traces on every
+// protocol in this repository (asserted by experiment E10 and the
+// fastengine differential tests).
 const (
-	// Sequential is the deterministic single-goroutine engine.
+	// Sequential is the deterministic single-goroutine reference engine.
 	Sequential EngineKind = iota + 1
 	// Channels is the goroutine-per-node, channel-per-edge engine.
 	Channels
+	// Fast is the zero-allocation CSR engine (fastengine package).
+	Fast
+	// Parallel is the fast engine with GOMAXPROCS sharded delivery workers.
+	Parallel
 )
 
 // String implements fmt.Stringer.
@@ -27,8 +35,53 @@ func (k EngineKind) String() string {
 		return "sequential"
 	case Channels:
 		return "channels"
+	case Fast:
+		return "fast"
+	case Parallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// EngineNames lists the accepted ParseEngine spellings, for flag usage
+// strings.
+func EngineNames() []string {
+	return []string{"sequential", "channels", "fast", "parallel"}
+}
+
+// ParseEngine resolves an engine name (as accepted by the -engine CLI
+// flags) into its kind.
+func ParseEngine(name string) (EngineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "sequential", "seq":
+		return Sequential, nil
+	case "channels", "chan":
+		return Channels, nil
+	case "fast":
+		return Fast, nil
+	case "parallel", "fastparallel":
+		return Parallel, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine %q (want one of %s)", name, strings.Join(EngineNames(), ", "))
+	}
+}
+
+// RunEngine executes any protocol on the engine selected by kind. It is the
+// single dispatch point shared by RunWithOptions, the experiment suite, and
+// the CLIs.
+func RunEngine(kind EngineKind, g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
+	switch kind {
+	case Sequential:
+		return engine.Run(g, proto, opts)
+	case Channels:
+		return chanengine.Run(g, proto, opts)
+	case Fast:
+		return fastengine.Run(g, proto, opts)
+	case Parallel:
+		return fastengine.RunParallel(g, proto, opts)
+	default:
+		return engine.Result{}, fmt.Errorf("core: unknown engine kind %d", int(kind))
 	}
 }
 
@@ -106,15 +159,7 @@ func RunWithOptions(g *graph.Graph, kind EngineKind, opts engine.Options, origin
 		return nil, err
 	}
 	opts.Trace = true
-	var res engine.Result
-	switch kind {
-	case Sequential:
-		res, err = engine.Run(g, flood, opts)
-	case Channels:
-		res, err = chanengine.Run(g, flood, opts)
-	default:
-		return nil, fmt.Errorf("core: unknown engine kind %d", int(kind))
-	}
+	res, err := RunEngine(kind, g, flood, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: run flood: %w", err)
 	}

@@ -16,6 +16,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"amnesiacflood/internal/graph"
@@ -58,6 +59,31 @@ type Protocol interface {
 	NewNode(v graph.NodeID) NodeAutomaton
 }
 
+// RoundAppender is the allocation-free fast path used by the fastengine
+// subpackage: instead of one automaton closure per node returning a fresh
+// destination slice, a single per-run object appends the sends of node v
+// directly onto the engine's reusable arena.
+//
+// AppendSends must emit the sends of v in ascending destination order (the
+// engines normalise otherwise, at a cost) and must not retain senders or
+// out. The parallel engine calls AppendSends concurrently for distinct v
+// (never twice for the same v in a round), so any per-node run state must be
+// independently addressable — a slice indexed by node works, a shared map
+// does not.
+type RoundAppender interface {
+	AppendSends(round int, v graph.NodeID, senders []graph.NodeID, out []Send) []Send
+}
+
+// DenseProtocol is an optional extension of Protocol for engines that
+// exploit dense node identifiers. NewRun returns a fresh appender per run,
+// playing the role NewNode's closures play in the generic path; per-run
+// protocol state lives in the returned value. Protocols implementing it run
+// allocation-free on fastengine; others fall back to NewNode transparently.
+type DenseProtocol interface {
+	Protocol
+	NewRun() RoundAppender
+}
+
 // RoundRecord is the trace of a single round: the messages crossing edges
 // during that round, sorted by (From, To).
 type RoundRecord struct {
@@ -68,22 +94,32 @@ type RoundRecord struct {
 // Senders returns the sorted set of distinct nodes sending in this round
 // (the "circled nodes" of the paper's figures).
 func (r RoundRecord) Senders() []graph.NodeID {
-	return distinctFrom(r.Sends)
+	out := make([]graph.NodeID, len(r.Sends))
+	for i, s := range r.Sends {
+		out[i] = s.From
+	}
+	return sortedDistinct(out)
 }
 
 // Receivers returns the sorted set of distinct nodes receiving in this round
 // (the round-set R_i of the paper's Theorem 3.1 proof).
 func (r RoundRecord) Receivers() []graph.NodeID {
-	seen := map[graph.NodeID]bool{}
-	for _, s := range r.Sends {
-		seen[s.To] = true
+	out := make([]graph.NodeID, len(r.Sends))
+	for i, s := range r.Sends {
+		out[i] = s.To
 	}
-	out := make([]graph.NodeID, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+	return sortedDistinct(out)
+}
+
+// sortedDistinct sorts ids in place and drops duplicates. Normalised records
+// deliver the ids nearly (Receivers) or fully (Senders) sorted, so the sort
+// is cheap and the whole helper costs one allocation.
+func sortedDistinct(ids []graph.NodeID) []graph.NodeID {
+	if len(ids) == 0 {
+		return ids
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }
 
 // Result is the outcome of a synchronous run.
@@ -185,12 +221,12 @@ type receiverBatch struct {
 // groupByReceiver buckets sends by destination, with batches ordered by
 // receiver ID and senders sorted within each batch.
 func groupByReceiver(sends []Send) []receiverBatch {
-	bySender := make(map[graph.NodeID][]graph.NodeID)
+	byReceiver := make(map[graph.NodeID][]graph.NodeID)
 	for _, s := range sends {
-		bySender[s.To] = append(bySender[s.To], s.From)
+		byReceiver[s.To] = append(byReceiver[s.To], s.From)
 	}
-	batches := make([]receiverBatch, 0, len(bySender))
-	for to, senders := range bySender {
+	batches := make([]receiverBatch, 0, len(byReceiver))
+	for to, senders := range byReceiver {
 		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 		batches = append(batches, receiverBatch{to: to, senders: senders})
 	}
@@ -221,17 +257,22 @@ func normalizeSends(sends []Send) []Send {
 	return out
 }
 
-// distinctFrom returns the sorted distinct senders of a send list.
-func distinctFrom(sends []Send) []graph.NodeID {
-	seen := map[graph.NodeID]bool{}
-	for _, s := range sends {
-		seen[s.From] = true
+// AppendComplement appends Send{from, nbr} for every nbr in nbrs that does
+// not appear in senders, preserving order. Both inputs must be sorted
+// ascending. It is the flooding protocols' shared "forward to everyone who
+// did not just send to me" merge, shaped for RoundAppender implementations:
+// a two-pointer pass with zero allocation beyond out's growth.
+func AppendComplement(out []Send, from graph.NodeID, nbrs, senders []graph.NodeID) []Send {
+	i := 0
+	for _, nbr := range nbrs {
+		for i < len(senders) && senders[i] < nbr {
+			i++
+		}
+		if i < len(senders) && senders[i] == nbr {
+			continue
+		}
+		out = append(out, Send{From: from, To: nbr})
 	}
-	out := make([]graph.NodeID, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,10 @@
+package fastengine
+
+// SetShardingThresholdForTest lowers the receiver count above which the
+// parallel mode shards, so tests and the fuzzer can drive the sharded
+// delivery path on small graphs. It returns a restore function.
+func SetShardingThresholdForTest(n int) (restore func()) {
+	old := parallelMinReceivers
+	parallelMinReceivers = n
+	return func() { parallelMinReceivers = old }
+}

@@ -1,0 +1,291 @@
+package fastengine_test
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"amnesiacflood/internal/classic"
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/engine/fastengine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+)
+
+// opaque hides a protocol's DenseProtocol implementation, forcing the
+// fastengine onto the generic NewNode fallback path.
+type opaque struct {
+	engine.Protocol
+}
+
+// instances is the differential corpus: bipartite and non-bipartite, trees,
+// dense and sparse, random and structured. The acceptance bar is ≥ 20
+// instances with non-bipartite ones included.
+func instances(tb testing.TB) []*graph.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	gs := []*graph.Graph{
+		gen.Path(2),
+		gen.Path(33),
+		gen.Cycle(3), // non-bipartite
+		gen.Cycle(4),
+		gen.Cycle(33),  // non-bipartite
+		gen.Cycle(101), // non-bipartite
+		gen.Star(17),
+		gen.Wheel(16),     // non-bipartite
+		gen.Complete(2),   // single edge
+		gen.Complete(17),  // non-bipartite
+		gen.Grid(7, 9),
+		gen.Torus(4, 5),   // non-bipartite (odd dimension)
+		gen.Hypercube(5),
+		gen.Petersen(),        // non-bipartite
+		gen.Lollipop(5, 20),   // non-bipartite
+		gen.Barbell(4, 12),    // non-bipartite
+		gen.CompleteBinaryTree(6),
+		gen.RandomTree(64, rng),
+		gen.RandomBipartite(16, 20, 0.2, rng),
+		gen.RandomNonBipartite(80, 0.06, rng), // non-bipartite
+		gen.RandomConnected(120, 0.04, rng),
+		gen.RandomGNP(60, 0.08, rng), // possibly disconnected
+	}
+	if len(gs) < 20 {
+		tb.Fatalf("differential corpus has %d instances, want >= 20", len(gs))
+	}
+	return gs
+}
+
+type runner struct {
+	name string
+	run  func(*graph.Graph, engine.Protocol, engine.Options) (engine.Result, error)
+}
+
+func allRunners() []runner {
+	return []runner{
+		{"chan", chanengine.Run},
+		{"fast", fastengine.Run},
+		{"fastParallel", fastengine.RunParallel},
+		{"fastFallback", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+			return fastengine.Run(g, opaque{p}, o)
+		}},
+		// Sharded delivery on every round (threshold 1), both protocol
+		// paths: the test graphs are far smaller than the production
+		// sharding threshold, so without this the parallel code path —
+		// including concurrent lazy automaton creation in the fallback —
+		// would never run under the differential corpus or the race
+		// detector.
+		{"fastSharded", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+			defer fastengine.SetShardingThresholdForTest(1)()
+			return fastengine.RunParallel(g, p, o)
+		}},
+		{"fastShardedFallback", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+			defer fastengine.SetShardingThresholdForTest(1)()
+			return fastengine.RunParallel(g, opaque{p}, o)
+		}},
+	}
+}
+
+// assertSameRun compares a runner's outcome against the sequential reference
+// on one protocol instance.
+func assertSameRun(t *testing.T, g *graph.Graph, proto engine.Protocol) {
+	t.Helper()
+	opts := engine.Options{Trace: true}
+	want, err := engine.Run(g, proto, opts)
+	if err != nil {
+		t.Fatalf("sequential on %s: %v", g, err)
+	}
+	for _, r := range allRunners() {
+		got, err := r.run(g, proto, opts)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", r.name, g, err)
+		}
+		if !engine.EqualTraces(want.Trace, got.Trace) {
+			t.Errorf("%s on %s: trace differs from sequential", r.name, g)
+		}
+		if got.Rounds != want.Rounds || got.TotalMessages != want.TotalMessages ||
+			got.Terminated != want.Terminated || got.Protocol != want.Protocol {
+			t.Errorf("%s on %s: result %+v, want %+v", r.name, g, got, want)
+		}
+	}
+}
+
+func TestEngineEquivalenceAmnesiac(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range instances(t) {
+		src := graph.NodeID(rng.Intn(g.N()))
+		assertSameRun(t, g, core.MustNewFlood(g, src))
+	}
+}
+
+func TestEngineEquivalenceMultiSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, g := range instances(t) {
+		origins := []graph.NodeID{
+			graph.NodeID(rng.Intn(g.N())),
+			graph.NodeID(rng.Intn(g.N())),
+			graph.NodeID(rng.Intn(g.N())),
+		}
+		assertSameRun(t, g, core.MustNewFlood(g, origins...))
+	}
+}
+
+func TestEngineEquivalenceClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, g := range instances(t) {
+		src := graph.NodeID(rng.Intn(g.N()))
+		assertSameRun(t, g, classic.MustNewFlood(g, src))
+	}
+}
+
+// TestParallelCrossesShardingThreshold makes sure the parallel runs above
+// actually exercise the sharded path on at least one instance: a complete
+// graph floods every node in round 2, far beyond the sharding threshold.
+func TestParallelCrossesShardingThreshold(t *testing.T) {
+	g := gen.Complete(400)
+	flood := core.MustNewFlood(g, 0)
+	opts := engine.Options{Trace: true}
+	want, err := engine.Run(g, flood, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		got, err := fastengine.New(g).Parallel(workers).Run(flood, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.EqualTraces(want.Trace, got.Trace) {
+			t.Errorf("workers=%d: trace differs", workers)
+		}
+	}
+}
+
+// TestEngineReuse runs the same Engine repeatedly and across protocols: the
+// arenas must carry no state between runs.
+func TestEngineReuse(t *testing.T) {
+	g := gen.Lollipop(5, 30)
+	e := fastengine.New(g)
+	flood := core.MustNewFlood(g, 3)
+	want, err := engine.Run(g, flood, engine.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := e.Run(flood, engine.Options{Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.EqualTraces(want.Trace, got.Trace) {
+			t.Fatalf("run %d: trace differs", i)
+		}
+	}
+	cl := classic.MustNewFlood(g, 3)
+	wantCl, err := engine.Run(g, cl, engine.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCl, err := e.Run(cl, engine.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.EqualTraces(wantCl.Trace, gotCl.Trace) {
+		t.Fatal("classic after amnesiac on a reused engine: trace differs")
+	}
+}
+
+func TestMaxRoundsError(t *testing.T) {
+	g := gen.Cycle(64)
+	flood := core.MustNewFlood(g, 0)
+	_, err := fastengine.Run(g, flood, engine.Options{MaxRounds: 3})
+	if !errors.Is(err, engine.ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+	res, err := fastengine.Run(g, flood, engine.Options{MaxRounds: 64})
+	if err != nil {
+		t.Fatalf("64 rounds on C64 must suffice: %v", err)
+	}
+	if !res.Terminated || res.Rounds != 32 {
+		t.Fatalf("C64 from 0: rounds=%d terminated=%t, want 32 true", res.Rounds, res.Terminated)
+	}
+}
+
+func TestObserverSeesEveryRound(t *testing.T) {
+	g := gen.Path(9)
+	flood := core.MustNewFlood(g, 0)
+	var rounds []int
+	var msgs int
+	_, err := fastengine.Run(g, flood, engine.Options{Observer: func(r engine.RoundRecord) {
+		rounds = append(rounds, r.Round)
+		msgs += len(r.Sends)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 8 || rounds[0] != 1 || rounds[7] != 8 {
+		t.Fatalf("observer rounds = %v", rounds)
+	}
+	if msgs != 8 {
+		t.Fatalf("observer saw %d messages on P9 from an end, want 8", msgs)
+	}
+}
+
+// misbehaved emits its bootstrap and per-node responses out of order and
+// with duplicates, exercising the engine's normalisation fallback.
+type misbehaved struct {
+	g *graph.Graph
+}
+
+func (m misbehaved) Name() string { return "misbehaved" }
+
+func (m misbehaved) Bootstrap() []engine.Send {
+	nbrs := m.g.Neighbors(0)
+	var sends []engine.Send
+	for i := len(nbrs) - 1; i >= 0; i-- {
+		sends = append(sends, engine.Send{From: 0, To: nbrs[i]})
+		sends = append(sends, engine.Send{From: 0, To: nbrs[i]}) // duplicate
+	}
+	return sends
+}
+
+func (m misbehaved) NewNode(v graph.NodeID) engine.NodeAutomaton {
+	nbrs := m.g.Neighbors(v)
+	return func(_ int, senders []graph.NodeID) []graph.NodeID {
+		// Reversed complement, with the first entry doubled.
+		var out []graph.NodeID
+		for i := len(nbrs) - 1; i >= 0; i-- {
+			skip := false
+			for _, s := range senders {
+				if s == nbrs[i] {
+					skip = true
+				}
+			}
+			if !skip {
+				out = append(out, nbrs[i])
+			}
+		}
+		if len(out) > 0 {
+			out = append(out, out[0])
+		}
+		return out
+	}
+}
+
+func TestNormalizationFallback(t *testing.T) {
+	g := gen.Cycle(9)
+	proto := misbehaved{g: g}
+	want, err := engine.Run(g, proto, engine.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fastengine.Run(g, proto, engine.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.EqualTraces(want.Trace, got.Trace) {
+		t.Fatal("misbehaved protocol: fastengine trace differs from sequential")
+	}
+	if got.Rounds != want.Rounds || got.TotalMessages != want.TotalMessages {
+		t.Fatalf("misbehaved protocol: result %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,67 @@
+package fastengine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/engine/fastengine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+)
+
+// FuzzEngineEquivalence drives random G(n, p) graphs through the
+// sequential, channel, and fast (sequential + parallel) engines and demands
+// identical traces and Result fields. Every input triple deterministically
+// derives a graph, so failures reproduce exactly.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(30))
+	f.Add(int64(2), uint8(3), uint8(100)) // triangle-ish, dense
+	f.Add(int64(3), uint8(40), uint8(10))
+	f.Add(int64(20190729), uint8(64), uint8(5))
+	f.Add(int64(-7), uint8(2), uint8(0)) // edgeless pair
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, pRaw uint8) {
+		n := 2 + int(nRaw)%63 // 2..64 nodes keeps the goroutine engine cheap
+		p := float64(pRaw%101) / 100
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomGNP(n, p, rng)
+		src := graph.NodeID(rng.Intn(n))
+		flood := core.MustNewFlood(g, src)
+
+		opts := engine.Options{Trace: true}
+		want, err := engine.Run(g, flood, opts)
+		if err != nil {
+			t.Fatalf("sequential on %s from %d: %v", g, src, err)
+		}
+		engines := []struct {
+			name string
+			run  func(*graph.Graph, engine.Protocol, engine.Options) (engine.Result, error)
+		}{
+			{"chan", chanengine.Run},
+			{"fast", fastengine.Run},
+			{"fastParallel", fastengine.RunParallel},
+			// The fuzz graphs are below the production sharding
+			// threshold; lowering it to 1 makes every round take the
+			// sharded path.
+			{"fastSharded", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+				defer fastengine.SetShardingThresholdForTest(1)()
+				return fastengine.RunParallel(g, p, o)
+			}},
+		}
+		for _, e := range engines {
+			got, err := e.run(g, flood, opts)
+			if err != nil {
+				t.Fatalf("%s on %s from %d: %v", e.name, g, src, err)
+			}
+			if !engine.EqualTraces(want.Trace, got.Trace) {
+				t.Errorf("%s on %s from %d: trace differs from sequential", e.name, g, src)
+			}
+			if got.Rounds != want.Rounds || got.TotalMessages != want.TotalMessages ||
+				got.Terminated != want.Terminated || got.Protocol != want.Protocol {
+				t.Errorf("%s on %s from %d: result %+v, want %+v", e.name, g, src, got, want)
+			}
+		}
+	})
+}

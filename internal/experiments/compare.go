@@ -44,7 +44,7 @@ func ClassicComparison(cfg Config) ([]*Table, error) {
 		bip := algo.IsBipartite(inst.g)
 		src := graph.NodeID(rng.Intn(inst.g.N()))
 
-		afRep, err := core.Run(inst.g, core.Sequential, src)
+		afRep, err := core.Run(inst.g, cfg.EngineKind(), src)
 		if err != nil {
 			return nil, fmt.Errorf("E8: AF on %s: %w", inst.g, err)
 		}
@@ -52,7 +52,7 @@ func ClassicComparison(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E8: classic on %s: %w", inst.g, err)
 		}
-		clRes, err := engine.Run(inst.g, clProto, engine.Options{})
+		clRes, err := core.RunEngine(cfg.EngineKind(), inst.g, clProto, engine.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E8: classic on %s: %w", inst.g, err)
 		}

@@ -47,7 +47,7 @@ func DoubleCoverPrediction(cfg Config) ([]*Table, error) {
 	}
 	for _, inst := range instances {
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, core.Sequential, src)
+			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
 			if err != nil {
 				return nil, fmt.Errorf("E11: %s from %d: %w", inst.g, src, err)
 			}

@@ -6,21 +6,21 @@ import (
 
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/engine"
-	"amnesiacflood/internal/engine/chanengine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 )
 
-// EngineEquivalence is experiment E10: the deterministic sequential engine
-// and the goroutine-per-node channel engine must produce byte-identical
-// traces for amnesiac flooding on every instance. This validates that the
-// paper's round semantics survive a genuinely concurrent implementation
-// where Go channels carry the per-round messages.
+// EngineEquivalence is experiment E10: every synchronous engine — the
+// deterministic sequential reference, the goroutine-per-node channel engine,
+// and the zero-allocation CSR engine in sequential and parallel mode — must
+// produce byte-identical traces for amnesiac flooding on every instance.
+// This validates that the paper's round semantics survive both a genuinely
+// concurrent substrate and an aggressively optimised one.
 func EngineEquivalence(cfg Config) ([]*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 5))
 	t := &Table{
 		ID:      "E10",
-		Title:   "Engine equivalence: sequential vs goroutine/channel engine",
+		Title:   "Engine equivalence: sequential vs channels vs fast vs fast-parallel",
 		Columns: []string{"graph", "source", "rounds", "messages", "traces identical"},
 	}
 	instances := []namedGraph{
@@ -31,34 +31,39 @@ func EngineEquivalence(cfg Config) ([]*Table, error) {
 		{"grid", gen.Grid(8, 8)},
 		{"petersen", gen.Petersen()},
 		{"wheel", gen.Wheel(17)},
+		{"lollipop", gen.Lollipop(5, 40)},
+		{"torus", gen.Torus(5, 7)},
 		{"randomTree", gen.RandomTree(100, rng)},
 		{"randomNonBipartite", gen.RandomNonBipartite(100, 0.04, rng)},
 		{"randomConnected", gen.RandomConnected(100, 0.04, rng)},
 	}
+	others := []core.EngineKind{core.Channels, core.Fast, core.Parallel}
 	for _, inst := range instances {
 		src := graph.NodeID(rng.Intn(inst.g.N()))
 		flood, err := core.NewFlood(inst.g, src)
 		if err != nil {
 			return nil, fmt.Errorf("E10: %s: %w", inst.g, err)
 		}
-		seq, err := engine.Run(inst.g, flood, engine.Options{Trace: true})
+		seq, err := core.RunEngine(core.Sequential, inst.g, flood, engine.Options{Trace: true})
 		if err != nil {
 			return nil, fmt.Errorf("E10: sequential on %s: %w", inst.g, err)
 		}
-		chn, err := chanengine.Run(inst.g, flood, engine.Options{Trace: true})
-		if err != nil {
-			return nil, fmt.Errorf("E10: channels on %s: %w", inst.g, err)
-		}
-		same := engine.EqualTraces(seq.Trace, chn.Trace)
-		if !same {
-			return nil, fmt.Errorf("E10: %s from %d: traces differ", inst.g, src)
-		}
-		if seq.Rounds != chn.Rounds || seq.TotalMessages != chn.TotalMessages {
-			return nil, fmt.Errorf("E10: %s from %d: summary mismatch (%d/%d rounds, %d/%d msgs)",
-				inst.g, src, seq.Rounds, chn.Rounds, seq.TotalMessages, chn.TotalMessages)
+		same := true
+		for _, kind := range others {
+			res, err := core.RunEngine(kind, inst.g, flood, engine.Options{Trace: true})
+			if err != nil {
+				return nil, fmt.Errorf("E10: %s on %s: %w", kind, inst.g, err)
+			}
+			if !engine.EqualTraces(seq.Trace, res.Trace) {
+				return nil, fmt.Errorf("E10: %s on %s from %d: traces differ", kind, inst.g, src)
+			}
+			if seq.Rounds != res.Rounds || seq.TotalMessages != res.TotalMessages {
+				return nil, fmt.Errorf("E10: %s on %s from %d: summary mismatch (%d/%d rounds, %d/%d msgs)",
+					kind, inst.g, src, seq.Rounds, res.Rounds, seq.TotalMessages, res.TotalMessages)
+			}
 		}
 		t.AddRow(inst.g.Name(), src, seq.Rounds, seq.TotalMessages, same)
 	}
-	t.AddNote("the two substrates implement the same synchronous round abstraction; every trace compared byte-identical")
+	t.AddNote("all four substrates implement the same synchronous round abstraction; every trace compared byte-identical")
 	return []*Table{t}, nil
 }

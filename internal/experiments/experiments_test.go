@@ -2,9 +2,11 @@ package experiments_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
+	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/experiments"
 )
 
@@ -111,5 +113,39 @@ func TestDefaultConfig(t *testing.T) {
 	cfg := experiments.DefaultConfig()
 	if cfg.Seed == 0 || cfg.Scale != 1 {
 		t.Fatalf("default config = %+v", cfg)
+	}
+}
+
+func TestSuiteEngineInvariance(t *testing.T) {
+	// The engine is an execution substrate, not a parameter of the claims:
+	// every experiment must emit identical tables whichever engine runs it.
+	want := map[string][]*experiments.Table{}
+	base := experiments.DefaultConfig()
+	picked := map[string]bool{"E1": true, "E3": true, "E5": true, "E8": true, "E13": true}
+	for _, exp := range experiments.All() {
+		if !picked[exp.ID] {
+			continue
+		}
+		tables, err := exp.Run(base)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", exp.ID, err)
+		}
+		want[exp.ID] = tables
+	}
+	for _, kind := range []core.EngineKind{core.Fast, core.Parallel} {
+		cfg := base
+		cfg.Engine = kind
+		for _, exp := range experiments.All() {
+			if !picked[exp.ID] {
+				continue
+			}
+			tables, err := exp.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", exp.ID, kind, err)
+			}
+			if !reflect.DeepEqual(tables, want[exp.ID]) {
+				t.Errorf("%s: tables differ between sequential and %s engines", exp.ID, kind)
+			}
+		}
 	}
 }

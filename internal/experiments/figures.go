@@ -15,8 +15,8 @@ import (
 // figureTable renders a single-source run as a per-round table in the style
 // of the paper's figures: the circled (sending) nodes and the message edges
 // of every round.
-func figureTable(id, title string, g *graph.Graph, source graph.NodeID) (*Table, *core.Report, error) {
-	rep, err := core.Run(g, core.Sequential, source)
+func figureTable(id, title string, kind core.EngineKind, g *graph.Graph, source graph.NodeID) (*Table, *core.Report, error) {
+	rep, err := core.Run(g, kind, source)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -42,10 +42,10 @@ func figureTable(id, title string, g *graph.Graph, source graph.NodeID) (*Table,
 
 // Fig1Line regenerates Figure 1: amnesiac flooding on the 4-node line
 // a-b-c-d starting from b terminates in 2 rounds, less than the diameter 3.
-func Fig1Line(Config) ([]*Table, error) {
+func Fig1Line(cfg Config) ([]*Table, error) {
 	g := gen.Path(4) // a=0, b=1, c=2, d=3
 	source := graph.NodeID(1)
-	t, rep, err := figureTable("E1", "Figure 1: AF on the line a-b-c-d from b", g, source)
+	t, rep, err := figureTable("E1", "Figure 1: AF on the line a-b-c-d from b", cfg.EngineKind(), g, source)
 	if err != nil {
 		return nil, err
 	}
@@ -65,10 +65,10 @@ func Fig1Line(Config) ([]*Table, error) {
 // Fig2Triangle regenerates Figure 2: amnesiac flooding on the triangle
 // (a, b, c) from b; a and c exchange M in round 2 and return it to b in
 // round 3, terminating in 3 = 2D+1 rounds (D = 1).
-func Fig2Triangle(Config) ([]*Table, error) {
+func Fig2Triangle(cfg Config) ([]*Table, error) {
 	g := gen.Cycle(3) // a=0, b=1, c=2
 	source := graph.NodeID(1)
-	t, rep, err := figureTable("E2", "Figure 2: AF on the triangle from b", g, source)
+	t, rep, err := figureTable("E2", "Figure 2: AF on the triangle from b", cfg.EngineKind(), g, source)
 	if err != nil {
 		return nil, err
 	}
@@ -102,9 +102,9 @@ func Fig2Triangle(Config) ([]*Table, error) {
 // Fig3EvenCycle regenerates Figure 3: amnesiac flooding on the 6-cycle
 // terminates in diameter (= 3) rounds from every starting node, visiting
 // each node exactly once.
-func Fig3EvenCycle(Config) ([]*Table, error) {
+func Fig3EvenCycle(cfg Config) ([]*Table, error) {
 	g := gen.Cycle(6)
-	t, rep, err := figureTable("E3", "Figure 3: AF on the even cycle C6 from a", g, 0)
+	t, rep, err := figureTable("E3", "Figure 3: AF on the even cycle C6 from a", cfg.EngineKind(), g, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +122,7 @@ func Fig3EvenCycle(Config) ([]*Table, error) {
 		Columns: []string{"source", "rounds", "diameter", "each node visited once"},
 	}
 	for s := 0; s < g.N(); s++ {
-		repS, err := core.Run(g, core.Sequential, graph.NodeID(s))
+		repS, err := core.Run(g, cfg.EngineKind(), graph.NodeID(s))
 		if err != nil {
 			return nil, err
 		}

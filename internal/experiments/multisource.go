@@ -61,7 +61,7 @@ func MultiSource(cfg Config) ([]*Table, error) {
 	}
 
 	for _, tc := range cases {
-		rep, err := core.Run(tc.g, core.Sequential, tc.origins...)
+		rep, err := core.Run(tc.g, cfg.EngineKind(), tc.origins...)
 		if err != nil {
 			return nil, fmt.Errorf("E13: %s from %v: %w", tc.g, tc.origins, err)
 		}

@@ -110,7 +110,7 @@ func BipartiteTermination(cfg Config) ([]*Table, error) {
 		}
 		diam := algo.Diameter(inst.g)
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, core.Sequential, src)
+			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
 			if err != nil {
 				return nil, fmt.Errorf("E4: %s from %d: %w", inst.g, src, err)
 			}
@@ -148,7 +148,7 @@ func NonBipartiteTermination(cfg Config) ([]*Table, error) {
 		}
 		diam := algo.Diameter(inst.g)
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, core.Sequential, src)
+			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
 			if err != nil {
 				return nil, fmt.Errorf("E5: %s from %d: %w", inst.g, src, err)
 			}
@@ -200,7 +200,7 @@ func RoundSetAnalysis(cfg Config) ([]*Table, error) {
 	}
 	for _, inst := range instances {
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, core.Sequential, src)
+			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
 			if err != nil {
 				return nil, fmt.Errorf("E6: %s from %d: %w", inst.g, src, err)
 			}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"amnesiacflood/internal/core"
 )
 
 // Table is a printable experiment result: a title, a header row, data rows,
@@ -106,6 +108,19 @@ type Config struct {
 	// suite, smaller values (the benchmarks use Scale handled per
 	// experiment) shrink runtimes.
 	Scale int
+	// Engine selects the synchronous engine executing the single-run
+	// experiments; the zero value means core.Sequential. Every engine
+	// produces identical tables (the engines are trace-equivalent), so
+	// this only changes how fast the suite runs.
+	Engine core.EngineKind
+}
+
+// EngineKind resolves the configured engine, defaulting to core.Sequential.
+func (c Config) EngineKind() core.EngineKind {
+	if c.Engine == 0 {
+		return core.Sequential
+	}
+	return c.Engine
 }
 
 // DefaultConfig is the configuration used by cmd/afbench and the recorded

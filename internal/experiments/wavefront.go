@@ -26,7 +26,7 @@ import (
 //   - cliques: a 3-round spike (n-1, then (n-1)(n-2), then n-1);
 //   - non-bipartite graphs in general: the double-cover law makes the
 //     series the layer cuts of the cover.
-func WavefrontProfile(Config) ([]*Table, error) {
+func WavefrontProfile(cfg Config) ([]*Table, error) {
 	t := &Table{
 		ID:      "E18",
 		Title:   "Wavefront profile: messages in flight per round",
@@ -48,7 +48,7 @@ func WavefrontProfile(Config) ([]*Table, error) {
 		{gen.Lollipop(4, 6), 9},
 	}
 	for _, tc := range cases {
-		rep, err := core.Run(tc.g, core.Sequential, tc.source)
+		rep, err := core.Run(tc.g, cfg.EngineKind(), tc.source)
 		if err != nil {
 			return nil, fmt.Errorf("E18: %s: %w", tc.g, err)
 		}
@@ -64,7 +64,7 @@ func WavefrontProfile(Config) ([]*Table, error) {
 	}
 
 	// Assertions on the characteristic shapes.
-	odd, err := core.Run(gen.Cycle(11), core.Sequential, 0)
+	odd, err := core.Run(gen.Cycle(11), cfg.EngineKind(), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func WavefrontProfile(Config) ([]*Table, error) {
 			return nil, fmt.Errorf("E18: odd cycle round %d carries %d messages, want constant 2", i+1, m)
 		}
 	}
-	clique, err := core.Run(gen.Complete(8), core.Sequential, 0)
+	clique, err := core.Run(gen.Complete(8), cfg.EngineKind(), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +84,7 @@ func WavefrontProfile(Config) ([]*Table, error) {
 	}
 	// Bipartite: the profile equals the BFS layer cuts.
 	bip := gen.Grid(4, 5)
-	bipRep, err := core.Run(bip, core.Sequential, 0)
+	bipRep, err := core.Run(bip, cfg.EngineKind(), 0)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -16,6 +17,9 @@ var (
 	// ErrNoNodes is returned when building a graph with a negative node
 	// count.
 	ErrNoNodes = errors.New("node count must be non-negative")
+	// ErrTooManyEdges is returned when the graph exceeds the CSR view's
+	// int32 offset capacity of 2^31-1 directed edges.
+	ErrTooManyEdges = errors.New("graph exceeds 2^31-1 directed edges (CSR offset capacity)")
 )
 
 // Builder accumulates nodes and edges and produces an immutable Graph.
@@ -97,7 +101,24 @@ func (b *Builder) Build() (*Graph, error) {
 	for _, nbrs := range adj {
 		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 	}
-	return &Graph{name: b.name, adj: adj, m: m}, nil
+	if uint64(m) > math.MaxInt32/2 {
+		return nil, fmt.Errorf("builder: %d edges: %w", m, ErrTooManyEdges)
+	}
+	return &Graph{name: b.name, adj: adj, csr: buildCSR(adj, m), m: m}, nil
+}
+
+// buildCSR flattens sorted adjacency lists into the compressed-sparse-row
+// view shared by the graph's accessors.
+func buildCSR(adj [][]NodeID, m int) CSR {
+	csr := CSR{
+		Offsets: make([]int32, len(adj)+1),
+		Targets: make([]NodeID, 0, 2*m),
+	}
+	for v, nbrs := range adj {
+		csr.Targets = append(csr.Targets, nbrs...)
+		csr.Offsets[v+1] = int32(len(csr.Targets))
+	}
+	return csr
 }
 
 // MustBuild is Build for graphs known to be valid by construction, such as

@@ -57,7 +57,53 @@ func (e Edge) String() string {
 type Graph struct {
 	name string
 	adj  [][]NodeID // sorted neighbour lists, index = NodeID
+	csr  CSR        // flat adjacency view over the same data
 	m    int        // number of undirected edges
+}
+
+// CSR is a compressed-sparse-row view of a graph's adjacency: one flat arena
+// of neighbour identifiers plus per-node offsets into it. Row v occupies
+// Targets[Offsets[v]:Offsets[v+1]] and is sorted ascending, mirroring
+// Neighbors(v) exactly.
+//
+// The layout exists for the hot simulation loops: a single contiguous arena
+// keeps neighbour scans cache-friendly and lets engines index adjacency with
+// no per-node slice headers or pointer chasing. Offsets are int32, which caps
+// supported graphs at ~2^31 directed edges — far beyond anything this
+// repository simulates.
+//
+// Both slices are shared with the graph and must not be modified.
+type CSR struct {
+	// Offsets has length n+1; Offsets[0] is 0 and Offsets[n] is 2m.
+	Offsets []int32
+	// Targets concatenates all sorted neighbour lists; length 2m.
+	Targets []NodeID
+}
+
+// Row returns the sorted neighbour list of v as a subslice of the arena. It
+// is the flat-view equivalent of Graph.Neighbors.
+func (c CSR) Row(v NodeID) []NodeID {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// Degree returns the number of neighbours of v.
+func (c CSR) Degree(v NodeID) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}
+
+// N returns the number of nodes covered by the view.
+func (c CSR) N() int {
+	if len(c.Offsets) == 0 {
+		return 0
+	}
+	return len(c.Offsets) - 1
+}
+
+// CSR returns the compressed-sparse-row view of the adjacency, built once at
+// construction time. For the zero-value empty graph the view has no rows
+// (Row must not be called). Safe for concurrent use, like all accessors.
+func (g *Graph) CSR() CSR {
+	return g.csr
 }
 
 // Name returns the optional human-readable name given at build time (for

@@ -276,3 +276,61 @@ func TestDegreeSumEqualsTwiceEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCSRMatchesNeighbors(t *testing.T) {
+	check := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			u, v := NodeID(local.Intn(n)), NodeID(local.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		csr := g.CSR()
+		if csr.N() != g.N() || len(csr.Offsets) != g.N()+1 {
+			return false
+		}
+		if csr.Offsets[0] != 0 || int(csr.Offsets[g.N()]) != 2*g.M() || len(csr.Targets) != 2*g.M() {
+			return false
+		}
+		for v := NodeID(0); int(v) < n; v++ {
+			row := csr.Row(v)
+			nbrs := g.Neighbors(v)
+			if len(row) != len(nbrs) || csr.Degree(v) != g.Degree(v) {
+				return false
+			}
+			for i := range row {
+				if row[i] != nbrs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSREmptyAndZeroValue(t *testing.T) {
+	var zero Graph
+	if csr := zero.CSR(); csr.N() != 0 {
+		t.Fatalf("zero-value CSR has %d rows, want 0", csr.N())
+	}
+	g := mustBuild(t, NewBuilder(3)) // 3 isolated nodes
+	csr := g.CSR()
+	if csr.N() != 3 || len(csr.Targets) != 0 {
+		t.Fatalf("isolated-node CSR: rows=%d targets=%d", csr.N(), len(csr.Targets))
+	}
+	for v := NodeID(0); v < 3; v++ {
+		if len(csr.Row(v)) != 0 {
+			t.Fatalf("isolated node %d has CSR neighbours", v)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Convert `go test -bench` output on stdin into a JSON array, one object
+# per benchmark line, keeping ns/op, B/op, allocs/op, and every custom
+# metric (rounds, messages, ...). Used by `make bench` to archive
+# BENCH_<date>.json files tracking the perf trajectory across PRs.
+exec awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, val)
+    }
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\": \"%s\", \"iterations\": %s%s}", name, iters, line)
+}
+END { if (!first) printf("\n"); print "]" }
+'
