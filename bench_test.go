@@ -7,6 +7,7 @@
 package amnesiacflood_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/multiflood"
+	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/termdetect"
 	"amnesiacflood/internal/theory"
 )
@@ -34,21 +36,46 @@ import (
 // sequential reference, the zero-allocation CSR engine, and its sharded
 // parallel mode. The channel engine is benchmarked separately (E10 only);
 // it exists to demonstrate concurrency, not to be fast.
-var benchEngines = []core.EngineKind{core.Sequential, core.Fast, core.Parallel}
+var benchEngines = []sim.EngineKind{sim.Sequential, sim.Fast, sim.Parallel}
+
+// benchReport runs a traced flood through the sim façade and analyses it,
+// the per-iteration body of the engine-parameterised benchmarks. A session
+// is built once per benchmark, so the fast engines amortise their arenas
+// exactly as a serving deployment would.
+func benchReport(b *testing.B, sess *sim.Session, g *graph.Graph, source graph.NodeID) *core.Report {
+	b.Helper()
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Analyze(g, []graph.NodeID{source}, res)
+}
+
+// newBenchSession builds the traced amnesiac session for one engine.
+func newBenchSession(b *testing.B, g *graph.Graph, kind sim.EngineKind, source graph.NodeID) *sim.Session {
+	b.Helper()
+	sess, err := sim.New(g,
+		sim.WithProtocol("amnesiac"),
+		sim.WithEngine(kind),
+		sim.WithOrigins(source),
+		sim.WithTrace(true),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
 
 // benchFlood runs AF once per iteration on the given engine and reports
 // rounds/messages metrics.
-func benchFlood(b *testing.B, g *graph.Graph, kind core.EngineKind, source graph.NodeID) {
+func benchFlood(b *testing.B, g *graph.Graph, kind sim.EngineKind, source graph.NodeID) {
 	b.Helper()
+	sess := newBenchSession(b, g, kind, source)
 	var rep *core.Report
-	var err error
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err = core.Run(g, kind, source)
-		if err != nil {
-			b.Fatal(err)
-		}
+		rep = benchReport(b, sess, g, source)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(rep.Rounds()), "rounds")
@@ -57,17 +84,17 @@ func benchFlood(b *testing.B, g *graph.Graph, kind core.EngineKind, source graph
 
 // E1: Figure 1 — the 4-node line from b.
 func BenchmarkFig1Line(b *testing.B) {
-	benchFlood(b, gen.Path(4), core.Sequential, 1)
+	benchFlood(b, gen.Path(4), sim.Sequential, 1)
 }
 
 // E2: Figure 2 — the triangle from b.
 func BenchmarkFig2Triangle(b *testing.B) {
-	benchFlood(b, gen.Cycle(3), core.Sequential, 1)
+	benchFlood(b, gen.Cycle(3), sim.Sequential, 1)
 }
 
 // E3: Figure 3 — the even cycle C6.
 func BenchmarkFig3EvenCycle(b *testing.B) {
-	benchFlood(b, gen.Cycle(6), core.Sequential, 0)
+	benchFlood(b, gen.Cycle(6), sim.Sequential, 0)
 }
 
 // E4: Lemma 2.1 / Corollary 2.2 — bipartite families at increasing sizes.
@@ -94,15 +121,12 @@ func BenchmarkBipartiteTermination(b *testing.B) {
 			ecc := algo.Eccentricity(g, 0)
 			for _, kind := range benchEngines {
 				b.Run(fmt.Sprintf("%s/n=%d/%s", fam.name, g.N(), kind), func(b *testing.B) {
+					sess := newBenchSession(b, g, kind, 0)
 					var rep *core.Report
-					var err error
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						rep, err = core.Run(g, kind, 0)
-						if err != nil {
-							b.Fatal(err)
-						}
+						rep = benchReport(b, sess, g, 0)
 					}
 					b.StopTimer()
 					if rep.Rounds() != ecc {
@@ -128,15 +152,12 @@ func BenchmarkNonBipartiteTermination(b *testing.B) {
 		diam := algo.Diameter(g)
 		for _, kind := range benchEngines {
 			b.Run(g.Name()+"/"+kind.String(), func(b *testing.B) {
+				sess := newBenchSession(b, g, kind, 0)
 				var rep *core.Report
-				var err error
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					rep, err = core.Run(g, kind, 0)
-					if err != nil {
-						b.Fatal(err)
-					}
+					rep = benchReport(b, sess, g, 0)
 				}
 				b.StopTimer()
 				if rep.Rounds() > 2*diam+1 {
@@ -154,7 +175,7 @@ func BenchmarkNonBipartiteTermination(b *testing.B) {
 func BenchmarkRoundSetAnalysis(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	g := gen.RandomNonBipartite(512, 0.01, rng)
-	rep, err := core.Run(g, core.Sequential, 0)
+	rep, err := core.Run(g, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -214,10 +235,10 @@ func BenchmarkClassicComparison(b *testing.B) {
 	}
 	for _, g := range instances {
 		b.Run("amnesiac/"+g.Name(), func(b *testing.B) {
-			benchFlood(b, g, core.Sequential, 0)
+			benchFlood(b, g, sim.Sequential, 0)
 		})
 		b.Run("amnesiacFast/"+g.Name(), func(b *testing.B) {
-			benchFlood(b, g, core.Fast, 0)
+			benchFlood(b, g, sim.Fast, 0)
 		})
 		b.Run("classic/"+g.Name(), func(b *testing.B) {
 			var res engine.Result
@@ -228,7 +249,7 @@ func BenchmarkClassicComparison(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err = engine.Run(g, proto, engine.Options{})
+				res, err = engine.Run(context.Background(), g, proto, engine.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -272,7 +293,7 @@ func BenchmarkEngines(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Run(g, flood, engine.Options{}); err != nil {
+			if _, err := engine.Run(context.Background(), g, flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -280,7 +301,7 @@ func BenchmarkEngines(b *testing.B) {
 	b.Run("channels", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := chanengine.Run(g, flood, engine.Options{}); err != nil {
+			if _, err := chanengine.Run(context.Background(), g, flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -288,7 +309,7 @@ func BenchmarkEngines(b *testing.B) {
 	b.Run("fast", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := fastengine.Run(g, flood, engine.Options{}); err != nil {
+			if _, err := fastengine.Run(context.Background(), g, flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -298,7 +319,7 @@ func BenchmarkEngines(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Run(flood, engine.Options{}); err != nil {
+			if _, err := e.Run(context.Background(), flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -308,7 +329,7 @@ func BenchmarkEngines(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Run(flood, engine.Options{}); err != nil {
+			if _, err := e.Run(context.Background(), flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -329,10 +350,10 @@ func BenchmarkDoubleCoverPrediction(b *testing.B) {
 		b.ReportMetric(float64(pred.Rounds), "rounds")
 	})
 	b.Run("simulate", func(b *testing.B) {
-		benchFlood(b, g, core.Sequential, 0)
+		benchFlood(b, g, sim.Sequential, 0)
 	})
 	b.Run("simulateFast", func(b *testing.B) {
-		benchFlood(b, g, core.Fast, 0)
+		benchFlood(b, g, sim.Fast, 0)
 	})
 }
 
@@ -381,7 +402,7 @@ func BenchmarkMultiSource(b *testing.B) {
 			var err error
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rep, err = core.Run(g, core.Sequential, origins...)
+				rep, err = core.Run(g, origins...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -476,7 +497,7 @@ func BenchmarkTerminationDetection(b *testing.B) {
 // E18: wavefront profile extraction (trace post-processing cost).
 func BenchmarkWavefrontProfile(b *testing.B) {
 	g := gen.Cycle(4097)
-	rep, err := core.Run(g, core.Sequential, 0)
+	rep, err := core.Run(g, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -512,6 +533,26 @@ func BenchmarkFloodScaling(b *testing.B) {
 				benchFlood(b, g, kind, 0)
 			})
 		}
+	}
+}
+
+// Reference-engine round loop: the sequential engine's per-round grouping
+// (re-sort of the normalised send set, no map, no per-batch slices) on
+// workloads where grouping dominates. Dense rounds (clique) maximise sends
+// per receiver; the grid maximises distinct receivers per round. Allocation
+// counts are the regression signal: the former map-based grouping allocated
+// per receiver per round.
+func BenchmarkSequentialGrouping(b *testing.B) {
+	for _, g := range []*graph.Graph{gen.Complete(256), gen.Grid(64, 64)} {
+		flood := core.MustNewFlood(g, 0)
+		b.Run(g.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(context.Background(), g, flood, engine.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -14,8 +14,8 @@ import (
 	"os"
 	"strings"
 
-	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/experiments"
+	"amnesiacflood/internal/sim"
 )
 
 func main() {
@@ -31,14 +31,14 @@ func run(args []string) error {
 	seed := fs.Int64("seed", cfg.Seed, "seed for all random instances")
 	scale := fs.Int("scale", cfg.Scale, "instance size multiplier")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default all)")
-	engineName := fs.String("engine", core.Sequential.String(), "engine for the single-run experiments: "+strings.Join(core.EngineNames(), ", "))
+	engineName := fs.String("engine", sim.Sequential.String(), "engine for the single-run experiments: "+strings.Join(sim.EngineNames(), ", "))
 	asJSON := fs.Bool("json", false, "emit the tables as a JSON array instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg.Seed = *seed
 	cfg.Scale = *scale
-	kind, err := core.ParseEngine(*engineName)
+	kind, err := sim.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}

@@ -1,20 +1,23 @@
 // Command afsim runs a single flooding simulation and prints the result.
 //
 // Topologies come either from a built-in family (-topo) or from an edge-list
-// file (-file, format of internal/graph.WriteEdgeList). Protocols: amnesiac
-// flooding (default), classic flag-based flooding (-protocol classic), or
-// the asynchronous variant under an adversary (-async).
+// file (-file, format of internal/graph.WriteEdgeList). Protocols come from
+// the sim façade's registry — every registered protocol runs on every
+// engine — or the asynchronous variant under an adversary (-async).
 //
 // Examples:
 //
 //	afsim -topo cycle -n 6 -source 0 -render
 //	afsim -topo path -n 4 -source 1 -engine channels -render
 //	afsim -topo grid -n 64 -source 0 -engine parallel
+//	afsim -topo cycle -n 12 -origins 0,3 -protocol multiflood
+//	afsim -topo cycle -n 6 -source 0 -protocol faulty -param loss=0.05 -maxrounds 512
 //	afsim -topo cycle -n 3 -source 1 -async collision
 //	afsim -file mygraph.txt -source 0 -json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,15 +26,23 @@ import (
 	"strings"
 
 	"amnesiacflood/internal/async"
-	"amnesiacflood/internal/classic"
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/doublecover"
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/trace"
 
 	"amnesiacflood/internal/cli"
+
+	// Self-registering protocols: importing a protocol package adds it to
+	// the sim registry, which is all the wiring -protocol needs.
+	_ "amnesiacflood/internal/classic"
+	_ "amnesiacflood/internal/detect"
+	_ "amnesiacflood/internal/faults"
+	_ "amnesiacflood/internal/multiflood"
+	_ "amnesiacflood/internal/spantree"
 )
 
 func main() {
@@ -41,6 +52,20 @@ func main() {
 	}
 }
 
+// paramFlags collects repeatable -param key=value flags.
+type paramFlags map[string]string
+
+func (p paramFlags) String() string { return "" }
+
+func (p paramFlags) Set(kv string) error {
+	key, value, ok := strings.Cut(kv, "=")
+	if !ok || strings.TrimSpace(key) == "" {
+		return fmt.Errorf("want key=value, got %q", kv)
+	}
+	p[strings.TrimSpace(key)] = strings.TrimSpace(value)
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("afsim", flag.ContinueOnError)
 	topo := fs.String("topo", "", "built-in topology: "+strings.Join(cli.TopologyNames(), ", "))
@@ -48,10 +73,12 @@ func run(args []string) error {
 	file := fs.String("file", "", "edge-list file (alternative to -topo)")
 	sourceFlag := fs.Int("source", 0, "origin node")
 	originsFlag := fs.String("origins", "", "comma-separated origin nodes (multi-source; overrides -source)")
-	protocol := fs.String("protocol", "amnesiac", "protocol: amnesiac or classic")
-	engineName := fs.String("engine", "sequential", "engine: "+strings.Join(core.EngineNames(), ", "))
+	protocol := fs.String("protocol", "amnesiac", "protocol: "+strings.Join(sim.Protocols(), ", "))
+	engineName := fs.String("engine", "sequential", "engine: "+strings.Join(sim.EngineNames(), ", "))
+	params := paramFlags{}
+	fs.Var(params, "param", "protocol parameter key=value (repeatable, e.g. -param loss=0.05)")
 	asyncAdv := fs.String("async", "", "run the asynchronous variant under an adversary: sync, collision, uniform, random")
-	seed := fs.Int64("seed", 1, "seed for the random adversary")
+	seed := fs.Int64("seed", 1, "seed for the random adversary and randomised protocols")
 	maxRounds := fs.Int("maxrounds", 0, "round limit (0 = default)")
 	render := fs.Bool("render", false, "print the per-round trace")
 	timeline := fs.Bool("timeline", false, "print the per-node timeline grid")
@@ -86,24 +113,26 @@ func run(args []string) error {
 		return runPredict(g, source, label)
 	}
 
-	var proto engine.Protocol
-	switch *protocol {
-	case "amnesiac":
-		proto, err = core.NewFlood(g, origins...)
-	case "classic":
-		proto, err = classic.NewFlood(g, origins...)
-	default:
-		return fmt.Errorf("unknown protocol %q (want amnesiac or classic)", *protocol)
-	}
+	kind, err := sim.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
-
-	kind, err := core.ParseEngine(*engineName)
+	sessOpts := []sim.Option{
+		sim.WithProtocol(*protocol),
+		sim.WithEngine(kind),
+		sim.WithOrigins(origins...),
+		sim.WithSeed(*seed),
+		sim.WithMaxRounds(*maxRounds),
+		sim.WithTrace(true),
+	}
+	for key, value := range params {
+		sessOpts = append(sessOpts, sim.WithParam(key, value))
+	}
+	sess, err := sim.New(g, sessOpts...)
 	if err != nil {
 		return err
 	}
-	res, err := core.RunEngine(kind, g, proto, engine.Options{Trace: true, MaxRounds: *maxRounds})
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		return err
 	}
@@ -113,8 +142,9 @@ func run(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	fmt.Printf("%s on %s from %s: terminated=%t rounds=%d messages=%d\n",
-		res.Protocol, g, labelAll(origins, label), res.Terminated, res.Rounds, res.TotalMessages)
+	fmt.Printf("%s on %s from %s via %s: terminated=%t rounds=%d messages=%d (%.3fms)\n",
+		res.Protocol, g, labelAll(origins, label), res.Engine,
+		res.Terminated, res.Rounds, res.TotalMessages, float64(res.WallTime.Microseconds())/1000)
 	fmt.Printf("graph: diameter=%d eccentricity(source)=%d bipartite=%t\n",
 		algo.Diameter(g), algo.Eccentricity(g, source), algo.IsBipartite(g))
 	if *render {
@@ -122,12 +152,8 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *timeline && *protocol == "amnesiac" {
-		flood, err := core.NewFlood(g, origins...)
-		if err != nil {
-			return err
-		}
-		rep := core.Analyze(g, flood.Origins(), res)
+	if *timeline {
+		rep := core.Analyze(g, origins, res)
 		if err := trace.Timeline(os.Stdout, g, rep, label); err != nil {
 			return err
 		}
@@ -178,7 +204,7 @@ func labelAll(origins []graph.NodeID, label trace.Labeler) string {
 // fails loudly if they ever disagree (they cannot, per experiment E11).
 func runPredict(g *graph.Graph, source graph.NodeID, label trace.Labeler) error {
 	pred := doublecover.Predict(g, source)
-	rep, err := core.Run(g, core.Sequential, source)
+	rep, err := core.Run(g, source)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"amnesiacflood/internal/sim"
 )
 
 func TestRunHappyPaths(t *testing.T) {
@@ -46,6 +48,22 @@ func TestRunErrors(t *testing.T) {
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestEveryProtocolOnEveryEngine drives the full registry × engine matrix
+// through the CLI — the acceptance criterion that no per-protocol switch
+// remains: every registered protocol name must work with every engine.
+func TestEveryProtocolOnEveryEngine(t *testing.T) {
+	for _, protocol := range sim.Protocols() {
+		for _, engineName := range sim.EngineNames() {
+			// faulty runs fault-free here (no -param loss): a lossy flood
+			// may legitimately never terminate (the paper's E12 finding).
+			args := []string{"-topo", "petersen", "-source", "0", "-protocol", protocol, "-engine", engineName}
+			if err := run(args); err != nil {
+				t.Errorf("run(%v): %v", args, err)
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"amnesiacflood/internal/cli"
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/trace"
 )
 
@@ -38,7 +40,7 @@ func run(args []string) error {
 	sourceFlag := fs.Int("source", 0, "origin node")
 	format := fs.String("format", "rounds", "output: rounds, timeline, csv, json, dot, or svg")
 	out := fs.String("out", ".", "output directory for -format dot/svg frames")
-	engineName := fs.String("engine", core.Sequential.String(), "engine: "+strings.Join(core.EngineNames(), ", "))
+	engineName := fs.String("engine", sim.Sequential.String(), "engine: "+strings.Join(sim.EngineNames(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,14 +53,24 @@ func run(args []string) error {
 	if !g.HasNode(source) {
 		return fmt.Errorf("source %d is not a node of %s", source, g)
 	}
-	kind, err := core.ParseEngine(*engineName)
+	kind, err := sim.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
-	rep, err := core.Run(g, kind, source)
+	sess, err := sim.New(g,
+		sim.WithProtocol("amnesiac"),
+		sim.WithEngine(kind),
+		sim.WithOrigins(source),
+		sim.WithTrace(true),
+	)
 	if err != nil {
 		return err
 	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	rep := core.Analyze(g, []graph.NodeID{source}, res)
 	label := trace.Numbers
 	if g.N() <= 26 {
 		label = trace.Letters

@@ -13,7 +13,7 @@
 // alive forever by a scheduling adversary.
 //
 // The repository reproduces every evaluation artifact of the paper (Figures
-// 1-5 and Theorems 3.1/3.3, see DESIGN.md and EXPERIMENTS.md) on three
+// 1-5 and Theorems 3.1/3.3, see DESIGN.md and EXPERIMENTS.md) on four
 // interchangeable synchronous substrates — a deterministic sequential
 // reference engine, a goroutine-per-node channel engine, and a
 // zero-allocation compressed-sparse-row engine with an optional parallel
@@ -23,12 +23,22 @@
 // asserted by differential and fuzz tests (internal/engine/README.md
 // documents the determinism contract and the performance numbers).
 //
+// The public face of the simulator is the internal/sim façade: protocols
+// self-register by name (amnesiac, classic, multiflood, detect, spantree,
+// faulty), engines are one EngineKind enum, and a Session composed from
+// functional options runs any protocol × engine pair under a cancellable
+// context.Context with stop-capable streaming RoundObservers:
+//
+//	sess, _ := sim.New(g, sim.WithProtocol("amnesiac"), sim.WithEngine(sim.Parallel))
+//	res, err := sess.Run(ctx)
+//
 // Packages:
 //
+//	internal/sim              façade: protocol registry, session API, observers
 //	internal/graph            immutable simple graphs, builder, CSR view, encodings
 //	internal/graph/gen        deterministic and random graph families
 //	internal/graph/algo       BFS, diameter, bipartiteness ground truth
-//	internal/engine           synchronous round engine + Protocol interface
+//	internal/engine           synchronous round engine + Protocol/RoundObserver
 //	internal/engine/chanengine concurrent channel-based engine
 //	internal/engine/fastengine zero-allocation CSR engine, parallel mode
 //	internal/core             Amnesiac Flooding protocol and run reports
@@ -36,17 +46,18 @@
 //	internal/async            asynchronous variant, adversaries, certificates
 //	internal/doublecover      exact prediction via the bipartite double cover
 //	internal/theory           the paper's lemmas/theorems as executable checks
-//	internal/faults           message-loss and crash injection
+//	internal/faults           message-loss and crash injection (+ engine-hosted protocol)
 //	internal/dynamic          dynamic networks (edge churn schedules)
-//	internal/detect           bipartiteness detection via a single flood
-//	internal/spantree         BFS spanning trees extracted from floods
-//	internal/multiflood       concurrent broadcasts with congestion accounting
+//	internal/detect           bipartiteness detection, streaming early-stop probe
+//	internal/spantree         BFS spanning trees, streaming tree recorder
+//	internal/multiflood       concurrent broadcasts, union replay protocol
 //	internal/termdetect       Dijkstra-Scholten termination detection baseline
 //	internal/workload         shared instance catalog (integration matrix)
 //	internal/stats            summary statistics for aggregate sweeps
 //	internal/trace            figure-style trace rendering and export
 //	internal/experiments      one registered experiment per paper artifact
 //
-// Binaries: cmd/afsim (single runs), cmd/afbench (full experiment suite),
-// cmd/afviz (trace rendering). Runnable examples live under examples/.
+// Binaries: cmd/afsim (single runs, any registered protocol on any engine),
+// cmd/afbench (full experiment suite), cmd/afviz (trace rendering).
+// Runnable examples live under examples/.
 package amnesiacflood

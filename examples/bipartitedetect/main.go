@@ -4,10 +4,15 @@
 // e(source) rounds and nobody hears the message twice; any odd cycle makes
 // some node hear it twice and the flood outlive e(source).
 //
+// The demo uses detect.Probe, which attaches a streaming observer to the
+// flood through the sim façade and stops the run at the first odd-cycle
+// witness — non-bipartite verdicts arrive without flooding to completion.
+//
 //	go run ./examples/bipartitedetect [-seed 7]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +22,7 @@ import (
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 )
 
 func main() {
@@ -42,11 +48,12 @@ func run(seed int64) error {
 		{"random graph B", gen.RandomConnected(60, 0.04, rng)},
 		{"hypercube Q5", gen.Hypercube(5)},
 	}
-	fmt.Println("probing networks with a single amnesiac flood each:")
+	fmt.Println("probing networks with a single amnesiac flood each (stopped at the first witness):")
 	fmt.Println()
+	ctx := context.Background()
 	for _, p := range probes {
 		source := graph.NodeID(rng.Intn(p.g.N()))
-		verdict, err := detect.Bipartiteness(p.g, source)
+		verdict, err := detect.Probe(ctx, p.g, source, sim.Fast)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.label, err)
 		}
@@ -55,7 +62,11 @@ func run(seed int64) error {
 		if verdict.Bipartite != truth {
 			status = "DISAGREES with ground truth"
 		}
-		fmt.Printf("%-16s %s\n", p.label+":", verdict)
+		saved := ""
+		if !verdict.Bipartite {
+			saved = fmt.Sprintf(" (stopped at round %d of a >%d-round flood)", verdict.Rounds, verdict.Eccentricity)
+		}
+		fmt.Printf("%-16s bipartite=%t%s\n", p.label+":", verdict.Bipartite, saved)
 		fmt.Printf("%-16s two-colouring says bipartite=%t — flood verdict %s\n\n", "", truth, status)
 	}
 	return nil

@@ -1,18 +1,23 @@
 // Quickstart: run amnesiac flooding on the paper's three figure topologies
+// through the sim façade — protocol selected by name from the registry,
+// engine chosen per run, rounds streamed to an observer as they happen —
 // and print the per-round traces and termination statistics.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/theory"
 	"amnesiacflood/internal/trace"
 )
@@ -28,25 +33,51 @@ func run() error {
 		title  string
 		g      *graph.Graph
 		source graph.NodeID
+		kind   sim.EngineKind
 	}{
-		{"Figure 1 — line a-b-c-d from b (bipartite)", gen.Path(4), 1},
-		{"Figure 2 — triangle from b (non-bipartite)", gen.Cycle(3), 1},
-		{"Figure 3 — even cycle C6 from a (bipartite)", gen.Cycle(6), 0},
+		{"Figure 1 — line a-b-c-d from b (bipartite)", gen.Path(4), 1, sim.Sequential},
+		{"Figure 2 — triangle from b (non-bipartite)", gen.Cycle(3), 1, sim.Channels},
+		{"Figure 3 — even cycle C6 from a (bipartite)", gen.Cycle(6), 0, sim.Fast},
 	}
+	fmt.Printf("registered protocols: %v\n\n", sim.Protocols())
 	for _, d := range demos {
-		fmt.Printf("## %s\n\n", d.title)
-		rep, err := core.Run(d.g, core.Sequential, d.source)
+		fmt.Printf("## %s (engine: %s)\n\n", d.title, d.kind)
+
+		// Stream rounds through an observer while also recording the
+		// trace for the analysis below — the same run serves both.
+		recorder := &sim.TraceRecorder{}
+		sess, err := sim.New(d.g,
+			sim.WithProtocol("amnesiac"),
+			sim.WithEngine(d.kind),
+			sim.WithOrigins(d.source),
+			sim.WithObserver(sim.MultiObserver{
+				recorder,
+				engine.ObserverFunc(func(rec engine.RoundRecord) (bool, error) {
+					fmt.Printf("  [live] round %d: %d messages in flight\n", rec.Round, len(rec.Sends))
+					return false, nil
+				}),
+			}),
+		)
 		if err != nil {
 			return err
 		}
-		if err := trace.RenderRounds(os.Stdout, rep.Result.Trace, trace.Letters); err != nil {
+		res, err := sess.Run(context.Background())
+		if err != nil {
 			return err
 		}
+		fmt.Println()
+		if err := trace.RenderRounds(os.Stdout, recorder.Trace, trace.Letters); err != nil {
+			return err
+		}
+
+		res.Trace = recorder.Trace
+		rep := core.Analyze(d.g, []graph.NodeID{d.source}, res)
 		bound := theory.PredictTermination(d.g, d.source)
 		fmt.Printf("\nterminated in %d rounds (paper's window: %d..%d), %d messages, max receives per node %d\n",
 			rep.Rounds(), bound.Lower, bound.Upper, rep.TotalMessages(), rep.MaxReceives())
-		fmt.Printf("graph: diameter %d, e(source) %d, bipartite %t\n\n",
-			algo.Diameter(d.g), algo.Eccentricity(d.g, d.source), algo.IsBipartite(d.g))
+		fmt.Printf("graph: diameter %d, e(source) %d, bipartite %t; engine %s in %v\n\n",
+			algo.Diameter(d.g), algo.Eccentricity(d.g, d.source), algo.IsBipartite(d.g),
+			res.Engine, res.WallTime)
 	}
 	return nil
 }

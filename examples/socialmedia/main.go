@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,10 +20,10 @@ import (
 
 	"amnesiacflood/internal/classic"
 	"amnesiacflood/internal/core"
-	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 )
 
 func main() {
@@ -43,7 +44,26 @@ func run(n int, seed int64) error {
 	fmt.Printf("rumour starts at user %d (eccentricity %d)\n\n",
 		patientZero, algo.Eccentricity(network, patientZero))
 
-	amnesiac, err := core.Run(network, core.Sequential, patientZero)
+	// Both forwarders run through the sim façade: same graph, same patient
+	// zero, protocol selected by registry name.
+	runProtocol := func(name string) (*core.Report, error) {
+		sess, err := sim.New(network,
+			sim.WithProtocol(name),
+			sim.WithEngine(sim.Fast),
+			sim.WithOrigins(patientZero),
+			sim.WithTrace(true),
+		)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		return core.Analyze(network, []graph.NodeID{patientZero}, res), nil
+	}
+
+	amnesiac, err := runProtocol("amnesiac")
 	if err != nil {
 		return err
 	}
@@ -57,14 +77,11 @@ func run(n int, seed int64) error {
 	fmt.Printf("  quiet after %d rounds, %d forwards, %d/%d users saw the rumour twice\n\n",
 		amnesiac.Rounds(), amnesiac.TotalMessages(), multi, network.N())
 
-	proto, err := classic.NewFlood(network, patientZero)
+	classicRep, err := runProtocol("classic")
 	if err != nil {
 		return err
 	}
-	classicRes, err := engine.Run(network, proto, engine.Options{})
-	if err != nil {
-		return err
-	}
+	classicRes := classicRep.Result
 	fmt.Println("classic forwarder (every user remembers the rumour):")
 	fmt.Printf("  quiet after %d rounds, %d forwards, %d persistent bit(s) per user\n\n",
 		classicRes.Rounds, classicRes.TotalMessages, classic.PersistentBitsPerNode())

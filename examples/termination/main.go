@@ -38,7 +38,7 @@ func run(seed int64) error {
 	source := graph.NodeID(rng.Intn(g.N()))
 	fmt.Printf("network: %s, flood from node %d\n\n", g, source)
 
-	amnesiac, err := core.Run(g, core.Sequential, source)
+	amnesiac, err := core.Run(g, source)
 	if err != nil {
 		return err
 	}

@@ -24,7 +24,7 @@ func TestUniformDelayerPreservesTermination(t *testing.T) {
 		if err != nil || res.Outcome != async.Terminated {
 			return false
 		}
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package async_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -41,7 +42,7 @@ func TestSyncAdversaryMatchesSynchronousEngine(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		syncRes, err := engine.Run(g, flood, engine.Options{Trace: true})
+		syncRes, err := engine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package classic_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -21,7 +22,7 @@ func runClassic(t *testing.T, g *graph.Graph, origins ...graph.NodeID) engine.Re
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.Run(g, proto, engine.Options{Trace: true})
+	res, err := engine.Run(context.Background(), g, proto, engine.Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestClassicEveryNodeForwardsAtMostOnce(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := engine.Run(g, proto, engine.Options{Trace: true})
+		res, err := engine.Run(context.Background(), g, proto, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
@@ -108,7 +109,7 @@ func TestClassicCoversEveryNodeAtBFSDistance(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := engine.Run(g, proto, engine.Options{Trace: true})
+		res, err := engine.Run(context.Background(), g, proto, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
@@ -149,7 +150,7 @@ func TestClassicVsAmnesiacOnBipartite(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		clRes, err := engine.Run(g, cl, engine.Options{Trace: true})
+		clRes, err := engine.Run(context.Background(), g, cl, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
@@ -157,7 +158,7 @@ func TestClassicVsAmnesiacOnBipartite(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		afRes, err := engine.Run(g, af, engine.Options{Trace: true})
+		afRes, err := engine.Run(context.Background(), g, af, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
@@ -177,11 +178,11 @@ func TestClassicNeverSendsMoreThanAmnesiac(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		clRes, err := engine.Run(g, cl, engine.Options{})
+		clRes, err := engine.Run(context.Background(), g, cl, engine.Options{})
 		if err != nil {
 			return false
 		}
-		afRep, err := core.Run(g, core.Sequential, src)
+		afRep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

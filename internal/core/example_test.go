@@ -14,7 +14,7 @@ import (
 // triangle from node b terminates in 3 = 2D+1 rounds.
 func Example() {
 	g := gen.Cycle(3)
-	rep, err := core.Run(g, core.Sequential, 1) // b is node 1
+	rep, err := core.Run(g, 1) // b is node 1
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func Example() {
 // parallel BFS ending after exactly e(source) rounds.
 func ExampleRun_bipartite() {
 	g := gen.Cycle(6)
-	rep, err := core.Run(g, core.Sequential, 0)
+	rep, err := core.Run(g, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func ExampleRun_bipartite() {
 // in round 1 and the process still terminates.
 func ExampleRun_multiSource() {
 	g := gen.Path(9)
-	rep, err := core.Run(g, core.Sequential, 0, 8)
+	rep, err := core.Run(g, 0, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,89 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
 
 	"amnesiacflood/internal/engine"
-	"amnesiacflood/internal/engine/chanengine"
-	"amnesiacflood/internal/engine/fastengine"
 	"amnesiacflood/internal/graph"
 )
-
-// EngineKind selects which synchronous engine executes a run.
-type EngineKind int
-
-// Available engines. All four produce byte-identical traces on every
-// protocol in this repository (asserted by experiment E10 and the
-// fastengine differential tests).
-const (
-	// Sequential is the deterministic single-goroutine reference engine.
-	Sequential EngineKind = iota + 1
-	// Channels is the goroutine-per-node, channel-per-edge engine.
-	Channels
-	// Fast is the zero-allocation CSR engine (fastengine package).
-	Fast
-	// Parallel is the fast engine with GOMAXPROCS sharded delivery workers.
-	Parallel
-)
-
-// String implements fmt.Stringer.
-func (k EngineKind) String() string {
-	switch k {
-	case Sequential:
-		return "sequential"
-	case Channels:
-		return "channels"
-	case Fast:
-		return "fast"
-	case Parallel:
-		return "parallel"
-	default:
-		return fmt.Sprintf("EngineKind(%d)", int(k))
-	}
-}
-
-// EngineNames lists the accepted ParseEngine spellings, for flag usage
-// strings.
-func EngineNames() []string {
-	return []string{"sequential", "channels", "fast", "parallel"}
-}
-
-// ParseEngine resolves an engine name (as accepted by the -engine CLI
-// flags) into its kind.
-func ParseEngine(name string) (EngineKind, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "sequential", "seq":
-		return Sequential, nil
-	case "channels", "chan":
-		return Channels, nil
-	case "fast":
-		return Fast, nil
-	case "parallel", "fastparallel":
-		return Parallel, nil
-	default:
-		return 0, fmt.Errorf("core: unknown engine %q (want one of %s)", name, strings.Join(EngineNames(), ", "))
-	}
-}
-
-// RunEngine executes any protocol on the engine selected by kind. It is the
-// single dispatch point shared by RunWithOptions, the experiment suite, and
-// the CLIs.
-func RunEngine(kind EngineKind, g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
-	switch kind {
-	case Sequential:
-		return engine.Run(g, proto, opts)
-	case Channels:
-		return chanengine.Run(g, proto, opts)
-	case Fast:
-		return fastengine.Run(g, proto, opts)
-	case Parallel:
-		return fastengine.RunParallel(g, proto, opts)
-	default:
-		return engine.Result{}, fmt.Errorf("core: unknown engine kind %d", int(kind))
-	}
-}
 
 // Report is the analysed outcome of an amnesiac-flooding run. It extends the
 // raw engine result with the quantities the paper reasons about.
@@ -144,22 +68,28 @@ func (r *Report) MaxReceives() int {
 	return max
 }
 
-// Run executes amnesiac flooding on g from the given origins using the
-// selected engine and returns the analysed report. Tracing is always
-// enabled, since every analysis quantity derives from the trace.
-func Run(g *graph.Graph, kind EngineKind, origins ...graph.NodeID) (*Report, error) {
-	return RunWithOptions(g, kind, engine.Options{}, origins...)
+// Run executes amnesiac flooding on g from the given origins on the
+// deterministic sequential reference engine and returns the analysed
+// report. Tracing is always enabled, since every analysis quantity derives
+// from the trace.
+//
+// Run is the analysis convenience for tests and theory checks; engine
+// selection, cancellation, and streaming observers live in the sim façade
+// (sim.New + WithProtocol("amnesiac")), whose traced Result this package's
+// Analyze turns into the same Report.
+func Run(g *graph.Graph, origins ...graph.NodeID) (*Report, error) {
+	return RunWithOptions(g, engine.Options{}, origins...)
 }
 
 // RunWithOptions is Run with explicit engine options. Options.Trace is
 // forced on; MaxRounds and Observer are honoured.
-func RunWithOptions(g *graph.Graph, kind EngineKind, opts engine.Options, origins ...graph.NodeID) (*Report, error) {
+func RunWithOptions(g *graph.Graph, opts engine.Options, origins ...graph.NodeID) (*Report, error) {
 	flood, err := NewFlood(g, origins...)
 	if err != nil {
 		return nil, err
 	}
 	opts.Trace = true
-	res, err := RunEngine(kind, g, flood, opts)
+	res, err := engine.Run(context.Background(), g, flood, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: run flood: %w", err)
 	}

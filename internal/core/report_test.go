@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -10,11 +11,12 @@ import (
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 )
 
 func TestRunFig1Line(t *testing.T) {
 	// Figure 1: line a-b-c-d from b, 2 rounds.
-	rep, err := core.Run(gen.Path(4), core.Sequential, 1)
+	rep, err := core.Run(gen.Path(4), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestRunFig1Line(t *testing.T) {
 func TestRunFig2Triangle(t *testing.T) {
 	// Figure 2: triangle from b: 3 rounds, a and c receive twice... no:
 	// a receives in rounds 1 and 2, c likewise, b receives in round 3.
-	rep, err := core.Run(gen.Cycle(3), core.Sequential, 1)
+	rep, err := core.Run(gen.Cycle(3), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,14 +60,24 @@ func TestRunFig2Triangle(t *testing.T) {
 
 func TestRunBothEnginesAgree(t *testing.T) {
 	g := gen.Petersen()
-	seq, err := core.Run(g, core.Sequential, 0)
+	seq, err := core.Run(g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	chn, err := core.Run(g, core.Channels, 0)
+	sess, err := sim.New(g,
+		sim.WithProtocol("amnesiac"),
+		sim.WithEngine(sim.Channels),
+		sim.WithOrigins(0),
+		sim.WithTrace(true),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chn := core.Analyze(g, []graph.NodeID{0}, res)
 	if seq.Rounds() != chn.Rounds() || seq.TotalMessages() != chn.TotalMessages() {
 		t.Fatalf("engines disagree: %d/%d rounds, %d/%d messages",
 			seq.Rounds(), chn.Rounds(), seq.TotalMessages(), chn.TotalMessages())
@@ -75,27 +87,12 @@ func TestRunBothEnginesAgree(t *testing.T) {
 	}
 }
 
-func TestRunUnknownEngine(t *testing.T) {
-	if _, err := core.Run(gen.Path(3), core.EngineKind(99), 0); err == nil {
-		t.Fatal("unknown engine kind accepted")
-	}
-}
-
 func TestRunPropagatesOriginErrors(t *testing.T) {
-	if _, err := core.Run(gen.Path(3), core.Sequential); err == nil {
+	if _, err := core.Run(gen.Path(3)); err == nil {
 		t.Fatal("run with no origins succeeded")
 	}
-	if _, err := core.Run(gen.Path(3), core.Sequential, 99); err == nil {
+	if _, err := core.Run(gen.Path(3), 99); err == nil {
 		t.Fatal("run with invalid origin succeeded")
-	}
-}
-
-func TestEngineKindString(t *testing.T) {
-	if core.Sequential.String() != "sequential" || core.Channels.String() != "channels" {
-		t.Fatal("EngineKind.String names wrong")
-	}
-	if core.EngineKind(42).String() != "EngineKind(42)" {
-		t.Fatalf("unknown kind string = %q", core.EngineKind(42).String())
 	}
 }
 
@@ -105,7 +102,7 @@ func TestCoveredFalseWhenUnreached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := core.Run(g, core.Sequential, 0)
+	rep, err := core.Run(g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +116,7 @@ func TestSingletonOriginTerminatesImmediately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := core.Run(g, core.Sequential, 0)
+	rep, err := core.Run(g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +129,7 @@ func TestMultiSourceAllNodes(t *testing.T) {
 	// Every node an origin on an even cycle: each node hears from both
 	// neighbours in round 1, complement empty, terminates in 1 round.
 	g := gen.Cycle(6)
-	rep, err := core.Run(g, core.Sequential, 0, 1, 2, 3, 4, 5)
+	rep, err := core.Run(g, 0, 1, 2, 3, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +149,7 @@ func TestBipartiteParallelBFSProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := gen.Connectify(gen.RandomBipartite(2+rng.Intn(20), 2+rng.Intn(20), 0.2, rng), rng)
 		src := graph.NodeID(rng.Intn(g.N()))
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}
@@ -186,7 +183,7 @@ func TestGeneralTerminationProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := gen.RandomConnected(2+rng.Intn(50), 0.08, rng)
 		src := graph.NodeID(rng.Intn(g.N()))
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}
@@ -215,7 +212,7 @@ func TestMultiSourceTerminationProperty(t *testing.T) {
 		for i := 0; i < k; i++ {
 			origins = append(origins, graph.NodeID(rng.Intn(g.N())))
 		}
-		rep, err := core.Run(g, core.Sequential, origins...)
+		rep, err := core.Run(g, origins...)
 		if err != nil {
 			return false
 		}

@@ -61,7 +61,7 @@ func Bipartiteness(g *graph.Graph, source graph.NodeID) (Verdict, error) {
 	if !algo.Connected(g) {
 		return Verdict{}, ErrDisconnected
 	}
-	rep, err := core.Run(g, core.Sequential, source)
+	rep, err := core.Run(g, source)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("detect: probe flood: %w", err)
 	}

@@ -65,7 +65,7 @@ func TestDisconnectedRejected(t *testing.T) {
 
 func TestFromReportReusesRun(t *testing.T) {
 	g := gen.Cycle(7)
-	rep, err := core.Run(g, core.Sequential, 2)
+	rep, err := core.Run(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestFromReportReusesRun(t *testing.T) {
 
 func TestFromReportRejectsMultiSource(t *testing.T) {
 	g := gen.Cycle(6)
-	rep, err := core.Run(g, core.Sequential, 0, 3)
+	rep, err := core.Run(g, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestWitnessesAreGenuineDoubleReceivers(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := gen.RandomNonBipartite(3+rng.Intn(40), 0.05, rng)
 		src := graph.NodeID(rng.Intn(g.N()))
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,108 @@
+package detect
+
+import (
+	"context"
+	"fmt"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/sim"
+)
+
+// Monitor is a streaming odd-cycle detector: attached to a single-source
+// flood as an engine.RoundObserver, it watches receipts round by round and
+// stops the run at the first witness — a node hearing M in two distinct
+// rounds, or the source hearing M at all. On a bipartite graph neither can
+// happen (Lemma 2.1: every node hears M exactly once, strictly away from
+// the source), so a stopped run certifies non-bipartiteness without
+// flooding to completion; a run that dies unstopped certifies
+// bipartiteness.
+type Monitor struct {
+	source graph.NodeID
+	// firstHeard[v] is the first round v received M, 0 if not yet.
+	firstHeard []int
+	witness    graph.NodeID
+	found      bool
+}
+
+var _ engine.RoundObserver = (*Monitor)(nil)
+
+// NewMonitor returns a monitor for a flood from source on g.
+func NewMonitor(g *graph.Graph, source graph.NodeID) *Monitor {
+	return &Monitor{source: source, firstHeard: make([]int, g.N())}
+}
+
+// ObserveRound implements engine.RoundObserver, stopping at the first
+// odd-cycle witness.
+func (m *Monitor) ObserveRound(rec engine.RoundRecord) (bool, error) {
+	for _, s := range rec.Sends {
+		v := s.To
+		if v == m.source || (m.firstHeard[v] != 0 && m.firstHeard[v] != rec.Round) {
+			m.witness = v
+			m.found = true
+			return true, nil
+		}
+		if m.firstHeard[v] == 0 {
+			m.firstHeard[v] = rec.Round
+		}
+	}
+	return false, nil
+}
+
+// Witness returns the odd-cycle witness node and whether one was found.
+func (m *Monitor) Witness() (graph.NodeID, bool) {
+	return m.witness, m.found
+}
+
+// Probe decides bipartiteness with early termination: the probe flood runs
+// on the selected engine under a Monitor and is stopped the moment an
+// odd-cycle witness appears, instead of flooding to completion as
+// Bipartiteness does. Rounds in the verdict is the stopping round for
+// non-bipartite graphs.
+func Probe(ctx context.Context, g *graph.Graph, source graph.NodeID, kind sim.EngineKind) (Verdict, error) {
+	if !algo.Connected(g) {
+		return Verdict{}, ErrDisconnected
+	}
+	monitor := NewMonitor(g, source)
+	sess, err := sim.New(g,
+		sim.WithProtocol("detect"),
+		sim.WithEngine(kind),
+		sim.WithOrigins(source),
+		sim.WithObserver(monitor),
+	)
+	if err != nil {
+		return Verdict{}, err
+	}
+	res, err := sess.Run(ctx)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("detect: probe flood: %w", err)
+	}
+	v := Verdict{
+		Source:       source,
+		Rounds:       res.Rounds,
+		Eccentricity: algo.Eccentricity(g, source),
+		Bipartite:    !res.Stopped,
+	}
+	if w, ok := monitor.Witness(); ok {
+		v.DoubleReceivers = []graph.NodeID{w}
+	}
+	return v, nil
+}
+
+// init self-registers the bipartiteness probe with the sim façade's
+// protocol registry: a single-source amnesiac flood under its probe name,
+// rejecting multi-origin specs (the detection signals need one source).
+func init() {
+	sim.Register("detect", func(spec sim.Spec) (engine.Protocol, error) {
+		if len(spec.Origins) != 1 {
+			return nil, fmt.Errorf("detect: the bipartiteness probe needs exactly one origin, got %d", len(spec.Origins))
+		}
+		flood, err := core.NewFlood(spec.Graph, spec.Origins...)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Rename(flood, "bipartite-probe"), nil
+	})
+}

@@ -1,0 +1,73 @@
+package detect_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"amnesiacflood/internal/detect"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
+)
+
+// TestProbeMatchesGroundTruth: the early-stopping streaming probe must
+// agree with BFS two-colouring on every instance and every engine.
+func TestProbeMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	graphs := []*graph.Graph{
+		gen.Path(16), gen.Cycle(20), gen.Cycle(21), gen.Grid(6, 6),
+		gen.Petersen(), gen.Hypercube(4), gen.Wheel(12),
+		gen.RandomTree(40, rng), gen.RandomConnected(50, 0.08, rng),
+	}
+	ctx := context.Background()
+	for _, g := range graphs {
+		truth := algo.IsBipartite(g)
+		for _, kind := range []sim.EngineKind{sim.Sequential, sim.Channels, sim.Fast, sim.Parallel} {
+			src := graph.NodeID(rng.Intn(g.N()))
+			verdict, err := detect.Probe(ctx, g, src, kind)
+			if err != nil {
+				t.Fatalf("%s from %d on %s: %v", g, src, kind, err)
+			}
+			if verdict.Bipartite != truth {
+				t.Errorf("%s from %d on %s: probe says %t, two-colouring says %t",
+					g, src, kind, verdict.Bipartite, truth)
+			}
+		}
+	}
+}
+
+// TestProbeStopsBeforeFullFlood: on a non-bipartite graph the probe's
+// stopping round must be at most the full verdict's round count, and a
+// witness must be reported.
+func TestProbeStopsBeforeFullFlood(t *testing.T) {
+	g := gen.Cycle(41)
+	full, err := detect.Bipartiteness(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := detect.Probe(context.Background(), g, 0, sim.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Bipartite {
+		t.Fatal("odd cycle declared bipartite")
+	}
+	if len(probe.DoubleReceivers) == 0 {
+		t.Fatal("no witness reported")
+	}
+	if probe.Rounds >= full.Rounds {
+		t.Fatalf("probe ran %d rounds, full flood %d — expected an early stop", probe.Rounds, full.Rounds)
+	}
+}
+
+func TestProbeRejectsDisconnected(t *testing.T) {
+	g, err := graph.FromEdges("", 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := detect.Probe(context.Background(), g, 0, sim.Sequential); err == nil {
+		t.Fatal("disconnected probe accepted")
+	}
+}

@@ -157,7 +157,7 @@ func TestPredictFigure2Exactly(t *testing.T) {
 	if pred.Rounds != 3 || pred.TotalMessages != 6 {
 		t.Fatalf("prediction = %d rounds %d messages, want 3/6", pred.Rounds, pred.TotalMessages)
 	}
-	rep, err := core.Run(g, core.Sequential, 1)
+	rep, err := core.Run(g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestPredictMatchesSimulationEverywhere(t *testing.T) {
 		}
 		src := graph.NodeID(rng.Intn(g.N()))
 		pred := doublecover.Predict(g, src)
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package dynamic_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -37,7 +38,7 @@ func TestStaticMatchesEngine(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sres, err := engine.Run(g, flood, engine.Options{Trace: true})
+		sres, err := engine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}

@@ -16,6 +16,7 @@
 package chanengine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -38,8 +39,11 @@ type report struct {
 }
 
 // Run executes proto on g with one goroutine per node. Results and traces
-// are identical to engine.Run for any deterministic protocol.
-func Run(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
+// are identical to engine.Run for any deterministic protocol. Cancellation
+// of ctx is checked once per round, before the coordinator releases the
+// barrier; a cancelled run shuts the node goroutines down cleanly and
+// returns the partial Result alongside the context's error.
+func Run(ctx context.Context, g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = engine.DefaultMaxRounds
@@ -107,6 +111,10 @@ func Run(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Res
 
 	pendingCount := bootstrapTotal
 	for round := 1; pendingCount > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			stopAll()
+			return res, fmt.Errorf("chanengine: %s on %s: %w", proto.Name(), g, err)
+		}
 		if round > maxRounds {
 			stopAll()
 			return res, fmt.Errorf("chanengine: %s on %s: %w (%d)", proto.Name(), g, engine.ErrMaxRounds, maxRounds)
@@ -134,8 +142,15 @@ func Run(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Res
 		if opts.Trace {
 			res.Trace = append(res.Trace, engine.RoundRecord{Round: round, Sends: sends})
 		}
-		if opts.Observer != nil {
-			opts.Observer(engine.RoundRecord{Round: round, Sends: sends})
+		stop, err := opts.Observe(engine.RoundRecord{Round: round, Sends: sends})
+		if err != nil {
+			stopAll()
+			return res, fmt.Errorf("chanengine: %s on %s: observer at round %d: %w", proto.Name(), g, round, err)
+		}
+		if stop {
+			stopAll()
+			res.Stopped = true
+			return res, nil
 		}
 		pendingCount = nextCount
 	}

@@ -1,6 +1,7 @@
 package chanengine_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -21,7 +22,7 @@ func TestEmptyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := chanengine.Run(g, silentProtocol{}, engine.Options{})
+	res, err := chanengine.Run(context.Background(), g, silentProtocol{}, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestSingleNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := chanengine.Run(g, flood, engine.Options{})
+	res, err := chanengine.Run(context.Background(), g, flood, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestMatchesSequentialOnFigures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seq, err := engine.Run(tc.g, flood, engine.Options{Trace: true})
+			seq, err := engine.Run(context.Background(), tc.g, flood, engine.Options{Trace: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			chn, err := chanengine.Run(tc.g, flood, engine.Options{Trace: true})
+			chn, err := chanengine.Run(context.Background(), tc.g, flood, engine.Options{Trace: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,11 +104,11 @@ func TestMatchesSequentialOnRandomGraphsAF(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		seq, err := engine.Run(g, flood, engine.Options{Trace: true})
+		seq, err := engine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
-		chn, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+		chn, err := chanengine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
@@ -129,7 +130,7 @@ func TestMatchesSequentialClassicFlooding(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		seq, err := engine.Run(g, proto, engine.Options{Trace: true})
+		seq, err := engine.Run(context.Background(), g, proto, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
@@ -139,7 +140,7 @@ func TestMatchesSequentialClassicFlooding(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		chn, err := chanengine.Run(g, proto2, engine.Options{Trace: true})
+		chn, err := chanengine.Run(context.Background(), g, proto2, engine.Options{Trace: true})
 		if err != nil {
 			return false
 		}
@@ -158,7 +159,7 @@ func TestMaxRoundsStopsCleanly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = chanengine.Run(g, flood, engine.Options{MaxRounds: 3})
+	_, err = chanengine.Run(context.Background(), g, flood, engine.Options{MaxRounds: 3})
 	if !errors.Is(err, engine.ErrMaxRounds) {
 		t.Fatalf("error = %v, want ErrMaxRounds", err)
 	}
@@ -171,8 +172,8 @@ func TestObserverAndNoTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	seen := 0
-	res, err := chanengine.Run(g, flood, engine.Options{
-		Observer: func(rec engine.RoundRecord) { seen += len(rec.Sends) },
+	res, err := chanengine.Run(context.Background(), g, flood, engine.Options{
+		Observer: engine.ObserverFunc(func(rec engine.RoundRecord) (bool, error) { seen += len(rec.Sends); return false, nil }),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -195,10 +196,10 @@ func TestNoGoroutineLeaks(t *testing.T) {
 	}
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {
-		if _, err := chanengine.Run(g, flood, engine.Options{}); err != nil {
+		if _, err := chanengine.Run(context.Background(), g, flood, engine.Options{}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := chanengine.Run(g, flood, engine.Options{MaxRounds: 2}); !errors.Is(err, engine.ErrMaxRounds) {
+		if _, err := chanengine.Run(context.Background(), g, flood, engine.Options{MaxRounds: 2}); !errors.Is(err, engine.ErrMaxRounds) {
 			t.Fatalf("error = %v", err)
 		}
 	}
@@ -219,12 +220,12 @@ func TestRepeatedRunsAreDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+	first, err := chanengine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		again, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+		again, err := chanengine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,10 +14,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"amnesiacflood/internal/graph"
 )
@@ -38,7 +40,8 @@ func (s Send) String() string {
 // which node v receives at least one copy of the message, the engine calls
 // its automaton with the round number and the sorted list of distinct
 // senders; the automaton returns the neighbours v sends to in the next
-// round.
+// round. The senders slice aliases engine-internal storage that is reused
+// for the next receiver — automata must not retain it past the call.
 //
 // Implementations may keep internal state across calls (classic flooding
 // keeps a "seen" flag). Amnesiac flooding must not: its automaton is a pure
@@ -51,7 +54,10 @@ type NodeAutomaton func(round int, senders []graph.NodeID) []graph.NodeID
 type Protocol interface {
 	// Name identifies the protocol in reports.
 	Name() string
-	// Bootstrap returns the spontaneous sends of round 1.
+	// Bootstrap returns the spontaneous sends of round 1. The protocol
+	// retains ownership of the returned slice: engines copy it before
+	// normalising, so implementations may return an internal slice and
+	// call sites may rely on it staying untouched across runs.
 	Bootstrap() []Send
 	// NewNode returns a fresh automaton for node v. The engine calls it
 	// once per node per run, so per-run node state lives in the returned
@@ -126,15 +132,27 @@ func sortedDistinct(ids []graph.NodeID) []graph.NodeID {
 type Result struct {
 	// Protocol is the protocol name, for reports.
 	Protocol string `json:"protocol"`
+	// Engine names the substrate that executed the run. The engines leave
+	// it empty; the sim façade fills it in so benchmark JSON and
+	// experiment tables can attribute numbers to a substrate.
+	Engine string `json:"engine,omitempty"`
 	// Terminated is true when the run reached a round with no messages
-	// within the round limit; false means the limit was hit first.
+	// within the round limit; false means the limit was hit first or an
+	// observer stopped the run.
 	Terminated bool `json:"terminated"`
+	// Stopped is true when a RoundObserver ended the run early by
+	// returning stop. Rounds, TotalMessages, and Trace then cover exactly
+	// the rounds up to and including the stopping round.
+	Stopped bool `json:"stopped,omitempty"`
 	// Rounds is the number of rounds in which at least one message was in
 	// flight. For a terminated run, no message exists in round Rounds+1.
 	Rounds int `json:"rounds"`
 	// TotalMessages counts every (sender, receiver) message delivery over
 	// the whole run.
 	TotalMessages int `json:"totalMessages"`
+	// WallTime is the wall-clock duration of the run. The engines leave
+	// it zero; the sim façade populates it.
+	WallTime time.Duration `json:"wallTimeNs,omitempty"`
 	// Trace holds one record per round when tracing is enabled, nil
 	// otherwise.
 	Trace []RoundRecord `json:"trace,omitempty"`
@@ -145,6 +163,27 @@ type Result struct {
 // either a deliberately non-terminating configuration or a bug.
 var ErrMaxRounds = errors.New("round limit exceeded")
 
+// RoundObserver streams a run round by round. ObserveRound is invoked after
+// every round with the round's record, regardless of Options.Trace; the
+// record's Sends slice aliases engine-internal storage and must not be
+// retained past the call.
+//
+// Returning stop = true ends the run cleanly after the observed round:
+// the engine sets Result.Stopped, leaves Terminated false, and returns a nil
+// error, with Rounds/TotalMessages/Trace covering exactly the observed
+// prefix. Returning a non-nil error aborts the run and the engine returns
+// the error wrapped. Every engine honours stop and err identically, so
+// early-stopped traces are byte-identical prefixes of full traces.
+type RoundObserver interface {
+	ObserveRound(rec RoundRecord) (stop bool, err error)
+}
+
+// ObserverFunc adapts a plain function to the RoundObserver interface.
+type ObserverFunc func(rec RoundRecord) (stop bool, err error)
+
+// ObserveRound implements RoundObserver.
+func (f ObserverFunc) ObserveRound(rec RoundRecord) (bool, error) { return f(rec) }
+
 // Options configures a run; the zero value means "no trace, default round
 // limit".
 type Options struct {
@@ -153,9 +192,18 @@ type Options struct {
 	// MaxRounds bounds the run; 0 means DefaultMaxRounds.
 	MaxRounds int
 	// Observer, when non-nil, is invoked after every round with the
-	// round's record (regardless of Trace). The record's Sends slice must
-	// not be retained.
-	Observer func(RoundRecord)
+	// round's record (regardless of Trace) and may stop or abort the run;
+	// see RoundObserver.
+	Observer RoundObserver
+}
+
+// Observe runs the round hook shared by every engine: a no-op without an
+// observer; otherwise stop/err are returned for the engine to honour.
+func (o Options) Observe(rec RoundRecord) (stop bool, err error) {
+	if o.Observer == nil {
+		return false, nil
+	}
+	return o.Observer.ObserveRound(rec)
 }
 
 // DefaultMaxRounds is the round limit used when Options.MaxRounds is 0. The
@@ -165,8 +213,10 @@ const DefaultMaxRounds = 1 << 20
 
 // Run executes proto on g sequentially and deterministically: nodes are
 // activated in ascending NodeID order and all sorting is stable, so two runs
-// with the same inputs produce byte-identical traces.
-func Run(g *graph.Graph, proto Protocol, opts Options) (Result, error) {
+// with the same inputs produce byte-identical traces. Cancellation of ctx is
+// checked once per round, before the round is counted; a cancelled run
+// returns the partial Result alongside the context's error.
+func Run(ctx context.Context, g *graph.Graph, proto Protocol, opts Options) (Result, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = DefaultMaxRounds
@@ -181,28 +231,51 @@ func Run(g *graph.Graph, proto Protocol, opts Options) (Result, error) {
 		return automata[v]
 	}
 
-	pending := normalizeSends(proto.Bootstrap())
+	// Copy the bootstrap sends before normalising: Bootstrap's slice
+	// belongs to the protocol and normalizeSends sorts in place.
+	pending := normalizeSends(append([]Send(nil), proto.Bootstrap()...))
+	var senders []graph.NodeID // per-batch sender buffer, reused across rounds
 	for round := 1; len(pending) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("engine: %s on %s: %w", proto.Name(), g, err)
+		}
 		if round > maxRounds {
 			return res, fmt.Errorf("engine: %s on %s: %w (%d)", proto.Name(), g, ErrMaxRounds, maxRounds)
 		}
 		res.Rounds = round
 		res.TotalMessages += len(pending)
-		record := RoundRecord{Round: round, Sends: pending}
 		if opts.Trace {
 			res.Trace = append(res.Trace, RoundRecord{Round: round, Sends: append([]Send(nil), pending...)})
 		}
-		if opts.Observer != nil {
-			opts.Observer(record)
+		stop, err := opts.Observe(RoundRecord{Round: round, Sends: pending})
+		if err != nil {
+			return res, fmt.Errorf("engine: %s on %s: observer at round %d: %w", proto.Name(), g, round, err)
+		}
+		if stop {
+			res.Stopped = true
+			return res, nil
 		}
 
-		// Group this round's deliveries by receiver. pending is sorted by
-		// (From, To); re-sort by To to batch per node.
-		byReceiver := groupByReceiver(pending)
+		// Group this round's deliveries by receiver: re-sort pending — a
+		// round-record copy was already captured above — from (From, To)
+		// to (To, From) order, so each receiver's senders form one
+		// contiguous, ascending run. This replaces the former map bucket
+		// plus two sort.Slice calls and is the reference engine's last
+		// avoidable per-round allocation hot spot.
+		sort.Slice(pending, func(i, j int) bool {
+			if pending[i].To != pending[j].To {
+				return pending[i].To < pending[j].To
+			}
+			return pending[i].From < pending[j].From
+		})
 		var next []Send
-		for _, batch := range byReceiver {
-			v := batch.to
-			for _, dst := range nodeFor(v)(round, batch.senders) {
+		for i := 0; i < len(pending); {
+			v := pending[i].To
+			senders = senders[:0]
+			for ; i < len(pending) && pending[i].To == v; i++ {
+				senders = append(senders, pending[i].From)
+			}
+			for _, dst := range nodeFor(v)(round, senders) {
 				next = append(next, Send{From: v, To: dst})
 			}
 		}
@@ -210,28 +283,6 @@ func Run(g *graph.Graph, proto Protocol, opts Options) (Result, error) {
 	}
 	res.Terminated = true
 	return res, nil
-}
-
-// receiverBatch is one node's deliveries within a round.
-type receiverBatch struct {
-	to      graph.NodeID
-	senders []graph.NodeID
-}
-
-// groupByReceiver buckets sends by destination, with batches ordered by
-// receiver ID and senders sorted within each batch.
-func groupByReceiver(sends []Send) []receiverBatch {
-	byReceiver := make(map[graph.NodeID][]graph.NodeID)
-	for _, s := range sends {
-		byReceiver[s.To] = append(byReceiver[s.To], s.From)
-	}
-	batches := make([]receiverBatch, 0, len(byReceiver))
-	for to, senders := range byReceiver {
-		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
-		batches = append(batches, receiverBatch{to: to, senders: senders})
-	}
-	sort.Slice(batches, func(i, j int) bool { return batches[i].to < batches[j].to })
-	return batches
 }
 
 // normalizeSends sorts sends by (From, To) and drops duplicates, ensuring a

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -83,7 +84,7 @@ func star(t *testing.T, leaves int) *graph.Graph {
 
 func TestRunEchoOnce(t *testing.T) {
 	g := star(t, 3)
-	res, err := Run(g, &echoOnce{g: g, origin: 0}, Options{Trace: true})
+	res, err := Run(context.Background(), g, &echoOnce{g: g, origin: 0}, Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRunEchoOnce(t *testing.T) {
 
 func TestRunSilentProtocol(t *testing.T) {
 	g := star(t, 2)
-	res, err := Run(g, silent{}, Options{Trace: true})
+	res, err := Run(context.Background(), g, silent{}, Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestRunSilentProtocol(t *testing.T) {
 
 func TestRunMaxRounds(t *testing.T) {
 	g := star(t, 2)
-	_, err := Run(g, &chatterbox{g: g}, Options{MaxRounds: 10})
+	_, err := Run(context.Background(), g, &chatterbox{g: g}, Options{MaxRounds: 10})
 	if !errors.Is(err, ErrMaxRounds) {
 		t.Fatalf("error = %v, want ErrMaxRounds", err)
 	}
@@ -127,11 +128,12 @@ func TestRunObserverSeesEveryRound(t *testing.T) {
 	g := star(t, 3)
 	var rounds []int
 	var totals []int
-	_, err := Run(g, &echoOnce{g: g, origin: 0}, Options{
-		Observer: func(rec RoundRecord) {
+	_, err := Run(context.Background(), g, &echoOnce{g: g, origin: 0}, Options{
+		Observer: ObserverFunc(func(rec RoundRecord) (bool, error) {
 			rounds = append(rounds, rec.Round)
 			totals = append(totals, len(rec.Sends))
-		},
+			return false, nil
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +148,7 @@ func TestRunObserverSeesEveryRound(t *testing.T) {
 
 func TestTraceDisabledByDefault(t *testing.T) {
 	g := star(t, 2)
-	res, err := Run(g, &echoOnce{g: g, origin: 0}, Options{})
+	res, err := Run(context.Background(), g, &echoOnce{g: g, origin: 0}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,17 +169,31 @@ func TestNormalizeSends(t *testing.T) {
 	}
 }
 
-func TestGroupByReceiver(t *testing.T) {
-	sends := []Send{{From: 3, To: 1}, {From: 0, To: 1}, {From: 0, To: 2}}
-	batches := groupByReceiver(sends)
-	if len(batches) != 2 {
-		t.Fatalf("batches = %d, want 2", len(batches))
+// bootstrapKeeper returns the same unsorted bootstrap slice on every call,
+// the caller-visible state the engine must not mutate.
+type bootstrapKeeper struct {
+	g     *graph.Graph
+	sends []Send
+}
+
+func (p *bootstrapKeeper) Name() string      { return "bootstrap-keeper" }
+func (p *bootstrapKeeper) Bootstrap() []Send { return p.sends }
+func (p *bootstrapKeeper) NewNode(graph.NodeID) NodeAutomaton {
+	return func(int, []graph.NodeID) []graph.NodeID { return nil }
+}
+
+func TestRunDoesNotMutateBootstrap(t *testing.T) {
+	g := star(t, 3)
+	// Deliberately unsorted, with a duplicate: normalisation must happen
+	// on the engine's copy, not in place.
+	sends := []Send{{From: 0, To: 3}, {From: 0, To: 1}, {From: 0, To: 3}, {From: 0, To: 2}}
+	want := append([]Send(nil), sends...)
+	proto := &bootstrapKeeper{g: g, sends: sends}
+	if _, err := Run(context.Background(), g, proto, Options{Trace: true}); err != nil {
+		t.Fatal(err)
 	}
-	if batches[0].to != 1 || !reflect.DeepEqual(batches[0].senders, []graph.NodeID{0, 3}) {
-		t.Fatalf("batch 0 = %+v", batches[0])
-	}
-	if batches[1].to != 2 || !reflect.DeepEqual(batches[1].senders, []graph.NodeID{0}) {
-		t.Fatalf("batch 1 = %+v", batches[1])
+	if !reflect.DeepEqual(sends, want) {
+		t.Fatalf("Run mutated the protocol's bootstrap slice: %v, want %v", sends, want)
 	}
 }
 
@@ -221,12 +237,12 @@ func TestSendString(t *testing.T) {
 
 func TestRunDeterminism(t *testing.T) {
 	g := star(t, 5)
-	first, err := Run(g, &echoOnce{g: g, origin: 0}, Options{Trace: true})
+	first, err := Run(context.Background(), g, &echoOnce{g: g, origin: 0}, Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		again, err := Run(g, &echoOnce{g: g, origin: 0}, Options{Trace: true})
+		again, err := Run(context.Background(), g, &echoOnce{g: g, origin: 0}, Options{Trace: true})
 		if err != nil {
 			t.Fatal(err)
 		}

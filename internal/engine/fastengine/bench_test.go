@@ -1,6 +1,7 @@
 package fastengine_test
 
 import (
+	"context"
 	"testing"
 
 	"amnesiacflood/internal/core"
@@ -15,7 +16,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Run(g, flood, engine.Options{}); err != nil {
+			if _, err := engine.Run(context.Background(), g, flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -23,7 +24,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 	b.Run("fast", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := fastengine.Run(g, flood, engine.Options{}); err != nil {
+			if _, err := fastengine.Run(context.Background(), g, flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -33,7 +34,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Run(flood, engine.Options{}); err != nil {
+			if _, err := e.Run(context.Background(), flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -43,7 +44,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Run(flood, engine.Options{}); err != nil {
+			if _, err := e.Run(context.Background(), flood, engine.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

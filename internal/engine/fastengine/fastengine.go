@@ -32,6 +32,7 @@
 package fastengine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -90,18 +91,21 @@ func (e *Engine) Parallel(workers int) *Engine {
 
 // Run is the one-shot convenience wrapper: a fresh sequential engine per
 // call. Reuse an Engine for allocation-free repeated runs.
-func Run(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
-	return New(g).Run(proto, opts)
+func Run(ctx context.Context, g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
+	return New(g).Run(ctx, proto, opts)
 }
 
 // RunParallel is Run with GOMAXPROCS delivery workers.
-func RunParallel(g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
-	return New(g).Parallel(0).Run(proto, opts)
+func RunParallel(ctx context.Context, g *graph.Graph, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
+	return New(g).Parallel(0).Run(ctx, proto, opts)
 }
 
 // Run executes proto to termination or the round limit, with the same
-// semantics, results, and traces as engine.Run.
-func (e *Engine) Run(proto engine.Protocol, opts engine.Options) (engine.Result, error) {
+// semantics, results, and traces as engine.Run. Cancellation of ctx is
+// checked once per round, before the round is counted; delivery workers are
+// never interrupted mid-round, so a cancelled run still returns a
+// consistent partial Result alongside the context's error.
+func (e *Engine) Run(ctx context.Context, proto engine.Protocol, opts engine.Options) (engine.Result, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = engine.DefaultMaxRounds
@@ -118,6 +122,9 @@ func (e *Engine) Run(proto engine.Protocol, opts engine.Options) (engine.Result,
 	e.cur = append(e.cur[:0], proto.Bootstrap()...)
 	e.cur = normalize(e.cur)
 	for round := 1; len(e.cur) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("fastengine: %s on %s: %w", proto.Name(), e.g, err)
+		}
 		if round > maxRounds {
 			return res, fmt.Errorf("fastengine: %s on %s: %w (%d)", proto.Name(), e.g, engine.ErrMaxRounds, maxRounds)
 		}
@@ -126,8 +133,13 @@ func (e *Engine) Run(proto engine.Protocol, opts engine.Options) (engine.Result,
 		if opts.Trace {
 			res.Trace = append(res.Trace, engine.RoundRecord{Round: round, Sends: append([]engine.Send(nil), e.cur...)})
 		}
-		if opts.Observer != nil {
-			opts.Observer(engine.RoundRecord{Round: round, Sends: e.cur})
+		stop, err := opts.Observe(engine.RoundRecord{Round: round, Sends: e.cur})
+		if err != nil {
+			return res, fmt.Errorf("fastengine: %s on %s: observer at round %d: %w", proto.Name(), e.g, round, err)
+		}
+		if stop {
+			res.Stopped = true
+			return res, nil
 		}
 
 		e.group()

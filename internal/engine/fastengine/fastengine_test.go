@@ -1,6 +1,7 @@
 package fastengine_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -35,15 +36,15 @@ func instances(tb testing.TB) []*graph.Graph {
 		gen.Cycle(33),  // non-bipartite
 		gen.Cycle(101), // non-bipartite
 		gen.Star(17),
-		gen.Wheel(16),     // non-bipartite
-		gen.Complete(2),   // single edge
-		gen.Complete(17),  // non-bipartite
+		gen.Wheel(16),    // non-bipartite
+		gen.Complete(2),  // single edge
+		gen.Complete(17), // non-bipartite
 		gen.Grid(7, 9),
-		gen.Torus(4, 5),   // non-bipartite (odd dimension)
+		gen.Torus(4, 5), // non-bipartite (odd dimension)
 		gen.Hypercube(5),
-		gen.Petersen(),        // non-bipartite
-		gen.Lollipop(5, 20),   // non-bipartite
-		gen.Barbell(4, 12),    // non-bipartite
+		gen.Petersen(),      // non-bipartite
+		gen.Lollipop(5, 20), // non-bipartite
+		gen.Barbell(4, 12),  // non-bipartite
 		gen.CompleteBinaryTree(6),
 		gen.RandomTree(64, rng),
 		gen.RandomBipartite(16, 20, 0.2, rng),
@@ -59,7 +60,7 @@ func instances(tb testing.TB) []*graph.Graph {
 
 type runner struct {
 	name string
-	run  func(*graph.Graph, engine.Protocol, engine.Options) (engine.Result, error)
+	run  func(context.Context, *graph.Graph, engine.Protocol, engine.Options) (engine.Result, error)
 }
 
 func allRunners() []runner {
@@ -67,8 +68,8 @@ func allRunners() []runner {
 		{"chan", chanengine.Run},
 		{"fast", fastengine.Run},
 		{"fastParallel", fastengine.RunParallel},
-		{"fastFallback", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
-			return fastengine.Run(g, opaque{p}, o)
+		{"fastFallback", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+			return fastengine.Run(ctx, g, opaque{p}, o)
 		}},
 		// Sharded delivery on every round (threshold 1), both protocol
 		// paths: the test graphs are far smaller than the production
@@ -76,13 +77,13 @@ func allRunners() []runner {
 		// including concurrent lazy automaton creation in the fallback —
 		// would never run under the differential corpus or the race
 		// detector.
-		{"fastSharded", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+		{"fastSharded", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
 			defer fastengine.SetShardingThresholdForTest(1)()
-			return fastengine.RunParallel(g, p, o)
+			return fastengine.RunParallel(ctx, g, p, o)
 		}},
-		{"fastShardedFallback", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+		{"fastShardedFallback", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
 			defer fastengine.SetShardingThresholdForTest(1)()
-			return fastengine.RunParallel(g, opaque{p}, o)
+			return fastengine.RunParallel(ctx, g, opaque{p}, o)
 		}},
 	}
 }
@@ -92,12 +93,12 @@ func allRunners() []runner {
 func assertSameRun(t *testing.T, g *graph.Graph, proto engine.Protocol) {
 	t.Helper()
 	opts := engine.Options{Trace: true}
-	want, err := engine.Run(g, proto, opts)
+	want, err := engine.Run(context.Background(), g, proto, opts)
 	if err != nil {
 		t.Fatalf("sequential on %s: %v", g, err)
 	}
 	for _, r := range allRunners() {
-		got, err := r.run(g, proto, opts)
+		got, err := r.run(context.Background(), g, proto, opts)
 		if err != nil {
 			t.Fatalf("%s on %s: %v", r.name, g, err)
 		}
@@ -146,12 +147,12 @@ func TestParallelCrossesShardingThreshold(t *testing.T) {
 	g := gen.Complete(400)
 	flood := core.MustNewFlood(g, 0)
 	opts := engine.Options{Trace: true}
-	want, err := engine.Run(g, flood, opts)
+	want, err := engine.Run(context.Background(), g, flood, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0)} {
-		got, err := fastengine.New(g).Parallel(workers).Run(flood, opts)
+		got, err := fastengine.New(g).Parallel(workers).Run(context.Background(), flood, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,12 +168,12 @@ func TestEngineReuse(t *testing.T) {
 	g := gen.Lollipop(5, 30)
 	e := fastengine.New(g)
 	flood := core.MustNewFlood(g, 3)
-	want, err := engine.Run(g, flood, engine.Options{Trace: true})
+	want, err := engine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		got, err := e.Run(flood, engine.Options{Trace: true})
+		got, err := e.Run(context.Background(), flood, engine.Options{Trace: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,11 +182,11 @@ func TestEngineReuse(t *testing.T) {
 		}
 	}
 	cl := classic.MustNewFlood(g, 3)
-	wantCl, err := engine.Run(g, cl, engine.Options{Trace: true})
+	wantCl, err := engine.Run(context.Background(), g, cl, engine.Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotCl, err := e.Run(cl, engine.Options{Trace: true})
+	gotCl, err := e.Run(context.Background(), cl, engine.Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +198,11 @@ func TestEngineReuse(t *testing.T) {
 func TestMaxRoundsError(t *testing.T) {
 	g := gen.Cycle(64)
 	flood := core.MustNewFlood(g, 0)
-	_, err := fastengine.Run(g, flood, engine.Options{MaxRounds: 3})
+	_, err := fastengine.Run(context.Background(), g, flood, engine.Options{MaxRounds: 3})
 	if !errors.Is(err, engine.ErrMaxRounds) {
 		t.Fatalf("err = %v, want ErrMaxRounds", err)
 	}
-	res, err := fastengine.Run(g, flood, engine.Options{MaxRounds: 64})
+	res, err := fastengine.Run(context.Background(), g, flood, engine.Options{MaxRounds: 64})
 	if err != nil {
 		t.Fatalf("64 rounds on C64 must suffice: %v", err)
 	}
@@ -215,10 +216,11 @@ func TestObserverSeesEveryRound(t *testing.T) {
 	flood := core.MustNewFlood(g, 0)
 	var rounds []int
 	var msgs int
-	_, err := fastengine.Run(g, flood, engine.Options{Observer: func(r engine.RoundRecord) {
+	_, err := fastengine.Run(context.Background(), g, flood, engine.Options{Observer: engine.ObserverFunc(func(r engine.RoundRecord) (bool, error) {
 		rounds = append(rounds, r.Round)
 		msgs += len(r.Sends)
-	}})
+		return false, nil
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,11 +276,11 @@ func (m misbehaved) NewNode(v graph.NodeID) engine.NodeAutomaton {
 func TestNormalizationFallback(t *testing.T) {
 	g := gen.Cycle(9)
 	proto := misbehaved{g: g}
-	want, err := engine.Run(g, proto, engine.Options{Trace: true})
+	want, err := engine.Run(context.Background(), g, proto, engine.Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := fastengine.Run(g, proto, engine.Options{Trace: true})
+	got, err := fastengine.Run(context.Background(), g, proto, engine.Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package fastengine_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,13 +32,13 @@ func FuzzEngineEquivalence(f *testing.F) {
 		flood := core.MustNewFlood(g, src)
 
 		opts := engine.Options{Trace: true}
-		want, err := engine.Run(g, flood, opts)
+		want, err := engine.Run(context.Background(), g, flood, opts)
 		if err != nil {
 			t.Fatalf("sequential on %s from %d: %v", g, src, err)
 		}
 		engines := []struct {
 			name string
-			run  func(*graph.Graph, engine.Protocol, engine.Options) (engine.Result, error)
+			run  func(context.Context, *graph.Graph, engine.Protocol, engine.Options) (engine.Result, error)
 		}{
 			{"chan", chanengine.Run},
 			{"fast", fastengine.Run},
@@ -45,13 +46,13 @@ func FuzzEngineEquivalence(f *testing.F) {
 			// The fuzz graphs are below the production sharding
 			// threshold; lowering it to 1 makes every round take the
 			// sharded path.
-			{"fastSharded", func(g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+			{"fastSharded", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
 				defer fastengine.SetShardingThresholdForTest(1)()
-				return fastengine.RunParallel(g, p, o)
+				return fastengine.RunParallel(ctx, g, p, o)
 			}},
 		}
 		for _, e := range engines {
-			got, err := e.run(g, flood, opts)
+			got, err := e.run(context.Background(), g, flood, opts)
 			if err != nil {
 				t.Fatalf("%s on %s from %d: %v", e.name, g, src, err)
 			}

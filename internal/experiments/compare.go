@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"amnesiacflood/internal/classic"
-	"amnesiacflood/internal/core"
-	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 )
 
 // ClassicComparison is experiment E8: amnesiac flooding against the
@@ -44,15 +44,19 @@ func ClassicComparison(cfg Config) ([]*Table, error) {
 		bip := algo.IsBipartite(inst.g)
 		src := graph.NodeID(rng.Intn(inst.g.N()))
 
-		afRep, err := core.Run(inst.g, cfg.EngineKind(), src)
+		afRep, err := runReport(cfg, inst.g, src)
 		if err != nil {
 			return nil, fmt.Errorf("E8: AF on %s: %w", inst.g, err)
 		}
-		clProto, err := classic.NewFlood(inst.g, src)
+		clSess, err := sim.New(inst.g,
+			sim.WithProtocol("classic"),
+			sim.WithEngine(cfg.EngineKind()),
+			sim.WithOrigins(src),
+		)
 		if err != nil {
 			return nil, fmt.Errorf("E8: classic on %s: %w", inst.g, err)
 		}
-		clRes, err := core.RunEngine(cfg.EngineKind(), inst.g, clProto, engine.Options{})
+		clRes, err := clSess.Run(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("E8: classic on %s: %w", inst.g, err)
 		}

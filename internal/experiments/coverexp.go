@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/doublecover"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
@@ -47,7 +46,7 @@ func DoubleCoverPrediction(cfg Config) ([]*Table, error) {
 	}
 	for _, inst := range instances {
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
+			rep, err := runReport(cfg, inst.g, src)
 			if err != nil {
 				return nil, fmt.Errorf("E11: %s from %d: %w", inst.g, src, err)
 			}

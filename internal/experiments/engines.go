@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 )
 
 // EngineEquivalence is experiment E10: every synchronous engine — the
@@ -15,7 +16,9 @@ import (
 // and the zero-allocation CSR engine in sequential and parallel mode — must
 // produce byte-identical traces for amnesiac flooding on every instance.
 // This validates that the paper's round semantics survive both a genuinely
-// concurrent substrate and an aggressively optimised one.
+// concurrent substrate and an aggressively optimised one. The runs go
+// through the sim façade, so the dispatch it exercises is exactly the one
+// the CLIs and any serving layer use.
 func EngineEquivalence(cfg Config) ([]*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 5))
 	t := &Table{
@@ -37,20 +40,32 @@ func EngineEquivalence(cfg Config) ([]*Table, error) {
 		{"randomNonBipartite", gen.RandomNonBipartite(100, 0.04, rng)},
 		{"randomConnected", gen.RandomConnected(100, 0.04, rng)},
 	}
-	others := []core.EngineKind{core.Channels, core.Fast, core.Parallel}
+	ctx := context.Background()
+	others := []sim.EngineKind{sim.Channels, sim.Fast, sim.Parallel}
 	for _, inst := range instances {
 		src := graph.NodeID(rng.Intn(inst.g.N()))
-		flood, err := core.NewFlood(inst.g, src)
-		if err != nil {
-			return nil, fmt.Errorf("E10: %s: %w", inst.g, err)
+		runOn := func(kind sim.EngineKind) (engine.Result, error) {
+			sess, err := sim.New(inst.g,
+				sim.WithProtocol("amnesiac"),
+				sim.WithEngine(kind),
+				sim.WithOrigins(src),
+				sim.WithTrace(true),
+			)
+			if err != nil {
+				return engine.Result{}, err
+			}
+			return sess.Run(ctx)
 		}
-		seq, err := core.RunEngine(core.Sequential, inst.g, flood, engine.Options{Trace: true})
+		seq, err := runOn(sim.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E10: sequential on %s: %w", inst.g, err)
 		}
+		if seq.Engine != sim.Sequential.String() {
+			return nil, fmt.Errorf("E10: façade attributed %q, want sequential", seq.Engine)
+		}
 		same := true
 		for _, kind := range others {
-			res, err := core.RunEngine(kind, inst.g, flood, engine.Options{Trace: true})
+			res, err := runOn(kind)
 			if err != nil {
 				return nil, fmt.Errorf("E10: %s on %s: %w", kind, inst.g, err)
 			}
@@ -61,9 +76,13 @@ func EngineEquivalence(cfg Config) ([]*Table, error) {
 				return nil, fmt.Errorf("E10: %s on %s from %d: summary mismatch (%d/%d rounds, %d/%d msgs)",
 					kind, inst.g, src, seq.Rounds, res.Rounds, seq.TotalMessages, res.TotalMessages)
 			}
+			if res.Engine != kind.String() {
+				return nil, fmt.Errorf("E10: façade attributed %q, want %s", res.Engine, kind)
+			}
 		}
 		t.AddRow(inst.g.Name(), src, seq.Rounds, seq.TotalMessages, same)
 	}
 	t.AddNote("all four substrates implement the same synchronous round abstraction; every trace compared byte-identical")
+	t.AddNote("runs dispatched through the sim façade (protocol registry + session API)")
 	return []*Table{t}, nil
 }

@@ -6,8 +6,8 @@ import (
 	"strings"
 	"testing"
 
-	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/experiments"
+	"amnesiacflood/internal/sim"
 )
 
 func TestAllExperimentsSucceed(t *testing.T) {
@@ -132,7 +132,7 @@ func TestSuiteEngineInvariance(t *testing.T) {
 		}
 		want[exp.ID] = tables
 	}
-	for _, kind := range []core.EngineKind{core.Fast, core.Parallel} {
+	for _, kind := range []sim.EngineKind{sim.Fast, sim.Parallel} {
 		cfg := base
 		cfg.Engine = kind
 		for _, exp := range experiments.All() {

@@ -15,8 +15,8 @@ import (
 // figureTable renders a single-source run as a per-round table in the style
 // of the paper's figures: the circled (sending) nodes and the message edges
 // of every round.
-func figureTable(id, title string, kind core.EngineKind, g *graph.Graph, source graph.NodeID) (*Table, *core.Report, error) {
-	rep, err := core.Run(g, kind, source)
+func figureTable(id, title string, cfg Config, g *graph.Graph, source graph.NodeID) (*Table, *core.Report, error) {
+	rep, err := runReport(cfg, g, source)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -45,7 +45,7 @@ func figureTable(id, title string, kind core.EngineKind, g *graph.Graph, source 
 func Fig1Line(cfg Config) ([]*Table, error) {
 	g := gen.Path(4) // a=0, b=1, c=2, d=3
 	source := graph.NodeID(1)
-	t, rep, err := figureTable("E1", "Figure 1: AF on the line a-b-c-d from b", cfg.EngineKind(), g, source)
+	t, rep, err := figureTable("E1", "Figure 1: AF on the line a-b-c-d from b", cfg, g, source)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +68,7 @@ func Fig1Line(cfg Config) ([]*Table, error) {
 func Fig2Triangle(cfg Config) ([]*Table, error) {
 	g := gen.Cycle(3) // a=0, b=1, c=2
 	source := graph.NodeID(1)
-	t, rep, err := figureTable("E2", "Figure 2: AF on the triangle from b", cfg.EngineKind(), g, source)
+	t, rep, err := figureTable("E2", "Figure 2: AF on the triangle from b", cfg, g, source)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +104,7 @@ func Fig2Triangle(cfg Config) ([]*Table, error) {
 // each node exactly once.
 func Fig3EvenCycle(cfg Config) ([]*Table, error) {
 	g := gen.Cycle(6)
-	t, rep, err := figureTable("E3", "Figure 3: AF on the even cycle C6 from a", cfg.EngineKind(), g, 0)
+	t, rep, err := figureTable("E3", "Figure 3: AF on the even cycle C6 from a", cfg, g, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +122,7 @@ func Fig3EvenCycle(cfg Config) ([]*Table, error) {
 		Columns: []string{"source", "rounds", "diameter", "each node visited once"},
 	}
 	for s := 0; s < g.N(); s++ {
-		repS, err := core.Run(g, cfg.EngineKind(), graph.NodeID(s))
+		repS, err := runReport(cfg, g, graph.NodeID(s))
 		if err != nil {
 			return nil, err
 		}

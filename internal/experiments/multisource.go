@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
@@ -61,7 +60,7 @@ func MultiSource(cfg Config) ([]*Table, error) {
 	}
 
 	for _, tc := range cases {
-		rep, err := core.Run(tc.g, cfg.EngineKind(), tc.origins...)
+		rep, err := runReport(cfg, tc.g, tc.origins...)
 		if err != nil {
 			return nil, fmt.Errorf("E13: %s from %v: %w", tc.g, tc.origins, err)
 		}

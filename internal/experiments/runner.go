@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/sim"
+)
+
+// runReport executes amnesiac flooding from the origins on the configured
+// engine through the sim façade and returns the analysed report. It is the
+// single run path of the whole experiment suite, so every table's numbers
+// are attributable to cfg.Engine.
+func runReport(cfg Config, g *graph.Graph, origins ...graph.NodeID) (*core.Report, error) {
+	sess, err := sim.New(g,
+		sim.WithProtocol("amnesiac"),
+		sim.WithEngine(cfg.EngineKind()),
+		sim.WithOrigins(origins...),
+		sim.WithTrace(true),
+	)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(g, uniqueSorted(origins), res), nil
+}
+
+// uniqueSorted returns the origin set deduplicated and ascending, matching
+// core.NewFlood's canonicalisation.
+func uniqueSorted(origins []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), origins...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:0]
+	for i, o := range out {
+		if i == 0 || o != uniq[len(uniq)-1] {
+			uniq = append(uniq, o)
+		}
+	}
+	return uniq
+}

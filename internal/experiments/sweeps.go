@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
@@ -110,7 +109,7 @@ func BipartiteTermination(cfg Config) ([]*Table, error) {
 		}
 		diam := algo.Diameter(inst.g)
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
+			rep, err := runReport(cfg, inst.g, src)
 			if err != nil {
 				return nil, fmt.Errorf("E4: %s from %d: %w", inst.g, src, err)
 			}
@@ -148,7 +147,7 @@ func NonBipartiteTermination(cfg Config) ([]*Table, error) {
 		}
 		diam := algo.Diameter(inst.g)
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
+			rep, err := runReport(cfg, inst.g, src)
 			if err != nil {
 				return nil, fmt.Errorf("E5: %s from %d: %w", inst.g, src, err)
 			}
@@ -200,7 +199,7 @@ func RoundSetAnalysis(cfg Config) ([]*Table, error) {
 	}
 	for _, inst := range instances {
 		for _, src := range pickSources(inst.g, rng) {
-			rep, err := core.Run(inst.g, cfg.EngineKind(), src)
+			rep, err := runReport(cfg, inst.g, src)
 			if err != nil {
 				return nil, fmt.Errorf("E6: %s from %d: %w", inst.g, src, err)
 			}

@@ -12,7 +12,7 @@ import (
 	"io"
 	"strings"
 
-	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/sim"
 )
 
 // Table is a printable experiment result: a title, a header row, data rows,
@@ -109,16 +109,16 @@ type Config struct {
 	// experiment) shrink runtimes.
 	Scale int
 	// Engine selects the synchronous engine executing the single-run
-	// experiments; the zero value means core.Sequential. Every engine
+	// experiments; the zero value means sim.Sequential. Every engine
 	// produces identical tables (the engines are trace-equivalent), so
 	// this only changes how fast the suite runs.
-	Engine core.EngineKind
+	Engine sim.EngineKind
 }
 
-// EngineKind resolves the configured engine, defaulting to core.Sequential.
-func (c Config) EngineKind() core.EngineKind {
+// EngineKind resolves the configured engine, defaulting to sim.Sequential.
+func (c Config) EngineKind() sim.EngineKind {
 	if c.Engine == 0 {
-		return core.Sequential
+		return sim.Sequential
 	}
 	return c.Engine
 }

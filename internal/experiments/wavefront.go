@@ -48,7 +48,7 @@ func WavefrontProfile(cfg Config) ([]*Table, error) {
 		{gen.Lollipop(4, 6), 9},
 	}
 	for _, tc := range cases {
-		rep, err := core.Run(tc.g, cfg.EngineKind(), tc.source)
+		rep, err := runReport(cfg, tc.g, tc.source)
 		if err != nil {
 			return nil, fmt.Errorf("E18: %s: %w", tc.g, err)
 		}
@@ -64,7 +64,7 @@ func WavefrontProfile(cfg Config) ([]*Table, error) {
 	}
 
 	// Assertions on the characteristic shapes.
-	odd, err := core.Run(gen.Cycle(11), cfg.EngineKind(), 0)
+	odd, err := runReport(cfg, gen.Cycle(11), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func WavefrontProfile(cfg Config) ([]*Table, error) {
 			return nil, fmt.Errorf("E18: odd cycle round %d carries %d messages, want constant 2", i+1, m)
 		}
 	}
-	clique, err := core.Run(gen.Complete(8), cfg.EngineKind(), 0)
+	clique, err := runReport(cfg, gen.Complete(8), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +84,7 @@ func WavefrontProfile(cfg Config) ([]*Table, error) {
 	}
 	// Bipartite: the profile equals the BFS layer cuts.
 	bip := gen.Grid(4, 5)
-	bipRep, err := core.Run(bip, cfg.EngineKind(), 0)
+	bipRep, err := runReport(cfg, bip, 0)
 	if err != nil {
 		return nil, err
 	}

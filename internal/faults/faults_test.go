@@ -32,7 +32,7 @@ func TestNoFaultsMatchesEngine(t *testing.T) {
 		if err != nil || fr.Outcome != faults.Terminated {
 			return false
 		}
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/sim"
+)
+
+// Protocol folds an Injector's decisions into amnesiac flooding's emission
+// rule, so faulty floods run on any synchronous engine. A message crossing
+// from -> to in round r survives only if the sender is up in r, the copy is
+// not dropped in transit in r, and the receiver is up in r; instead of
+// filtering deliveries like Run, the protocol never emits doomed sends —
+// the engine's round-r send set then equals Run's round-r delivered set,
+// and traces match Run's surviving-delivery trace exactly (experimentally
+// asserted by the differential test).
+//
+// The injector must be deterministic (all provided ones are), which makes
+// the automaton a pure function of (round, node, senders) and the protocol
+// trace-equivalent across all four engines. Faulty floods may legitimately
+// never terminate; bound runs with MaxRounds, and use Run when a
+// non-termination certificate is needed.
+type Protocol struct {
+	g       *graph.Graph
+	origins []graph.NodeID
+	inj     Injector
+}
+
+var _ engine.Protocol = (*Protocol)(nil)
+
+// NewProtocol returns faulty amnesiac flooding on g under the injector.
+func NewProtocol(g *graph.Graph, inj Injector, origins ...graph.NodeID) (*Protocol, error) {
+	if len(origins) == 0 {
+		return nil, fmt.Errorf("faults: need at least one origin on %s", g)
+	}
+	for _, o := range origins {
+		if !g.HasNode(o) {
+			return nil, fmt.Errorf("faults: origin %d is not a node of %s", o, g)
+		}
+	}
+	return &Protocol{g: g, origins: append([]graph.NodeID(nil), origins...), inj: inj}, nil
+}
+
+// Name implements engine.Protocol.
+func (p *Protocol) Name() string {
+	return "amnesiac-faulty[" + p.inj.Name() + "]"
+}
+
+// survives reports whether the copy crossing from -> to in the given
+// delivery round makes it onto the wire and into an up receiver.
+func (p *Protocol) survives(round int, from, to graph.NodeID) bool {
+	return !p.inj.Crashed(round, from) &&
+		!p.inj.DropMessage(round, from, to) &&
+		!p.inj.Crashed(round, to)
+}
+
+// Bootstrap implements engine.Protocol: every origin's round-1 sends,
+// minus the ones round-1 faults would kill.
+func (p *Protocol) Bootstrap() []engine.Send {
+	var sends []engine.Send
+	for _, o := range p.origins {
+		for _, nbr := range p.g.Neighbors(o) {
+			if p.survives(1, o, nbr) {
+				sends = append(sends, engine.Send{From: o, To: nbr})
+			}
+		}
+	}
+	return sends
+}
+
+// NewNode implements engine.Protocol: the amnesiac complement rule with the
+// next round's doomed sends filtered out at emission. Responses to round r
+// are delivered in round r+1, so fault decisions use round r+1.
+func (p *Protocol) NewNode(v graph.NodeID) engine.NodeAutomaton {
+	nbrs := p.g.Neighbors(v)
+	return func(round int, senders []graph.NodeID) []graph.NodeID {
+		delivery := round + 1
+		if p.inj.Crashed(delivery, v) {
+			return nil
+		}
+		out := make([]graph.NodeID, 0, len(nbrs))
+		i := 0
+		for _, nbr := range nbrs {
+			for i < len(senders) && senders[i] < nbr {
+				i++
+			}
+			if i < len(senders) && senders[i] == nbr {
+				continue
+			}
+			if p.survives(delivery, v, nbr) {
+				out = append(out, nbr)
+			}
+		}
+		return out
+	}
+}
+
+// init self-registers faulty flooding with the sim façade's protocol
+// registry as -protocol faulty. Parameters: loss (drop probability in
+// [0,1], default 0 = fault-free) with the spec seed driving the loss hash.
+func init() {
+	sim.Register("faulty", func(spec sim.Spec) (engine.Protocol, error) {
+		var inj Injector = NoFaults{}
+		if raw := spec.Param("loss", ""); raw != "" {
+			p, err := strconv.ParseFloat(raw, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faults: bad loss parameter %q (want a probability in [0,1])", raw)
+			}
+			inj = RandomLoss{P: p, Seed: spec.Seed}
+		}
+		return NewProtocol(spec.Graph, inj, spec.Origins...)
+	})
+}

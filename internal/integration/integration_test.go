@@ -5,6 +5,7 @@
 package integration_test
 
 import (
+	"context"
 	"testing"
 
 	"amnesiacflood/internal/async"
@@ -47,7 +48,7 @@ func TestInvariantMatrix(t *testing.T) {
 			t.Parallel()
 			g := inst.Build(catalogSeed)
 			for _, src := range sourcesFor(inst, g) {
-				rep, err := core.Run(g, core.Sequential, src)
+				rep, err := core.Run(g, src)
 				if err != nil {
 					t.Fatalf("source %d: %v", src, err)
 				}
@@ -80,7 +81,7 @@ func TestInvariantMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				chn, err := chanengine.Run(g, flood, engine.Options{Trace: true})
+				chn, err := chanengine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 				if err != nil {
 					t.Fatalf("channel engine: %v", err)
 				}
@@ -143,7 +144,7 @@ func TestFigureInstancesExactRounds(t *testing.T) {
 		if !ok {
 			t.Fatalf("unexpected figure instance %q", inst.Name)
 		}
-		rep, err := core.Run(inst.Build(catalogSeed), core.Sequential, expect.source)
+		rep, err := core.Run(inst.Build(catalogSeed), expect.source)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package multiflood
 
 import (
+	"context"
 	"fmt"
 
 	"amnesiacflood/internal/core"
@@ -71,7 +72,7 @@ func Run(g *graph.Graph, broadcasts []Broadcast) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("multiflood: broadcast %d: %w", bc.ID, err)
 		}
-		solo, err := engine.Run(g, flood, engine.Options{Trace: true})
+		solo, err := engine.Run(context.Background(), g, flood, engine.Options{Trace: true})
 		if err != nil {
 			return Result{}, fmt.Errorf("multiflood: broadcast %d: %w", bc.ID, err)
 		}

@@ -30,7 +30,7 @@ func TestSingleBroadcastEqualsSoloRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solo, err := core.Run(g, core.Sequential, 4)
+	solo, err := core.Run(g, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestFloodsAreIndependent(t *testing.T) {
 			return false
 		}
 		for i, o := range origins {
-			solo, err := core.Run(g, core.Sequential, o)
+			solo, err := core.Run(g, o)
 			if err != nil {
 				return false
 			}

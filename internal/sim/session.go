@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/chanengine"
+	"amnesiacflood/internal/engine/fastengine"
+	"amnesiacflood/internal/graph"
+)
+
+// Session is a configured simulation: one graph, one protocol, one engine,
+// run options. Build one with New and functional options, then call Run (or
+// RunBatch) as many times as needed — a Session is reusable and, on the
+// fast engines, amortises its arenas across runs. It is not safe for
+// concurrent use; run several Sessions for that.
+type Session struct {
+	g         *graph.Graph
+	kind      EngineKind
+	protoName string
+	proto     engine.Protocol // explicit instance, overrides protoName
+	origins   []graph.NodeID
+	seed      int64
+	params    map[string]string
+	maxRounds int
+	trace     bool
+	observer  engine.RoundObserver
+
+	built engine.Protocol
+	fast  *fastengine.Engine // lazily created, reused across runs
+}
+
+// Option configures a Session under construction.
+type Option func(*Session)
+
+// WithProtocol selects a registered protocol by name (see Protocols).
+// Default: "amnesiac".
+func WithProtocol(name string) Option {
+	return func(s *Session) { s.protoName = name; s.proto = nil }
+}
+
+// WithProtocolInstance bypasses the registry with an explicit protocol
+// instance — for callers composing custom protocols. WithOrigins, WithSeed,
+// and WithParam have no effect on an explicit instance, and RunBatch is
+// unavailable (it needs a factory to rebuild per source).
+func WithProtocolInstance(p engine.Protocol) Option {
+	return func(s *Session) { s.proto = p; s.protoName = "" }
+}
+
+// WithEngine selects the synchronous substrate. Default: Sequential.
+func WithEngine(kind EngineKind) Option {
+	return func(s *Session) { s.kind = kind }
+}
+
+// WithOrigins sets the origin node set handed to the protocol factory.
+// Default: node 0.
+func WithOrigins(origins ...graph.NodeID) Option {
+	return func(s *Session) { s.origins = append([]graph.NodeID(nil), origins...) }
+}
+
+// WithSeed sets the seed handed to the protocol factory (randomised
+// protocols such as faulty use it; deterministic ones ignore it).
+func WithSeed(seed int64) Option {
+	return func(s *Session) { s.seed = seed }
+}
+
+// WithParam passes one protocol-specific string parameter to the factory.
+func WithParam(key, value string) Option {
+	return func(s *Session) {
+		if s.params == nil {
+			s.params = map[string]string{}
+		}
+		s.params[key] = value
+	}
+}
+
+// WithMaxRounds bounds each run; 0 means engine.DefaultMaxRounds.
+func WithMaxRounds(n int) Option {
+	return func(s *Session) { s.maxRounds = n }
+}
+
+// WithTrace enables per-round trace recording into Result.Trace.
+func WithTrace(on bool) Option {
+	return func(s *Session) { s.trace = on }
+}
+
+// WithObserver streams rounds to obs as they happen; obs may stop or abort
+// the run (see engine.RoundObserver). Compose several with MultiObserver.
+func WithObserver(obs engine.RoundObserver) Option {
+	return func(s *Session) { s.observer = obs }
+}
+
+// New validates the options, instantiates the protocol, and returns a
+// ready-to-run Session.
+func New(g *graph.Graph, opts ...Option) (*Session, error) {
+	if g == nil {
+		return nil, errors.New("sim: nil graph")
+	}
+	s := &Session{g: g, kind: Sequential, protoName: "amnesiac"}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if !s.kind.valid() {
+		return nil, fmt.Errorf("sim: %w kind %d", ErrUnknownEngine, int(s.kind))
+	}
+	if len(s.origins) == 0 {
+		s.origins = []graph.NodeID{0}
+	}
+	if s.proto != nil {
+		s.built = s.proto
+		return s, nil
+	}
+	built, err := NewProtocol(s.protoName, s.spec(s.origins))
+	if err != nil {
+		return nil, err
+	}
+	s.built = built
+	return s, nil
+}
+
+// spec assembles the factory spec for an origin set.
+func (s *Session) spec(origins []graph.NodeID) Spec {
+	return Spec{Graph: s.g, Origins: origins, Seed: s.seed, Params: s.params}
+}
+
+// options assembles the engine options for one run.
+func (s *Session) options() engine.Options {
+	return engine.Options{Trace: s.trace, MaxRounds: s.maxRounds, Observer: s.observer}
+}
+
+// Protocol returns the protocol instance the session runs.
+func (s *Session) Protocol() engine.Protocol { return s.built }
+
+// Engine returns the session's engine kind.
+func (s *Session) Engine() EngineKind { return s.kind }
+
+// Run executes the session's protocol once. The context is honoured by
+// every engine with a per-round cancellation check; the returned Result is
+// stamped with the engine name and the wall-clock duration.
+func (s *Session) Run(ctx context.Context) (engine.Result, error) {
+	return s.runProto(ctx, s.built)
+}
+
+// runProto executes one protocol instance on the session's engine — the
+// façade's single substrate dispatch. The Fast and Parallel kinds run on a
+// session-owned fastengine.Engine that is reused across calls, so repeated
+// runs amortise its arenas; New has already validated s.kind, so the
+// default arm is Sequential.
+func (s *Session) runProto(ctx context.Context, proto engine.Protocol) (engine.Result, error) {
+	start := time.Now()
+	var (
+		res engine.Result
+		err error
+	)
+	switch s.kind {
+	case Fast, Parallel:
+		if s.fast == nil {
+			s.fast = fastengine.New(s.g)
+			if s.kind == Parallel {
+				s.fast.Parallel(0)
+			}
+		}
+		res, err = s.fast.Run(ctx, proto, s.options())
+	case Channels:
+		res, err = chanengine.Run(ctx, s.g, proto, s.options())
+	default:
+		res, err = engine.Run(ctx, s.g, proto, s.options())
+	}
+	res.Engine = s.kind.String()
+	res.WallTime = time.Since(start)
+	return res, err
+}
+
+// RunBatch executes one run per source, each a fresh instance of the
+// session's registered protocol flooding from that single origin. On the
+// Fast and Parallel engines all runs share the session's arenas, so
+// sweep-style workloads (one run per source over a big graph) stay
+// allocation-free after the first run. The batch stops at the first error;
+// results for completed runs are returned alongside it.
+func (s *Session) RunBatch(ctx context.Context, sources []graph.NodeID) ([]engine.Result, error) {
+	if s.proto != nil {
+		return nil, errors.New("sim: RunBatch needs a registry protocol (use WithProtocol, not WithProtocolInstance)")
+	}
+	results := make([]engine.Result, 0, len(sources))
+	for _, src := range sources {
+		proto, err := NewProtocol(s.protoName, s.spec([]graph.NodeID{src}))
+		if err != nil {
+			return results, err
+		}
+		res, err := s.runProto(ctx, proto)
+		if err != nil {
+			return results, fmt.Errorf("sim: batch source %d: %w", src, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,533 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
+
+	// Self-registering protocols under test.
+	_ "amnesiacflood/internal/classic"
+	_ "amnesiacflood/internal/core"
+	_ "amnesiacflood/internal/detect"
+	_ "amnesiacflood/internal/faults"
+	_ "amnesiacflood/internal/multiflood"
+	_ "amnesiacflood/internal/spantree"
+)
+
+var allEngines = []sim.EngineKind{sim.Sequential, sim.Channels, sim.Fast, sim.Parallel}
+
+func TestProtocolsRegistered(t *testing.T) {
+	got := sim.Protocols()
+	for _, want := range []string{"amnesiac", "classic", "detect", "faulty", "multiflood", "spantree"} {
+		found := false
+		for _, name := range got {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("protocol %q not registered (have %v)", want, got)
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for name, want := range map[string]sim.EngineKind{
+		"sequential": sim.Sequential, "seq": sim.Sequential,
+		"channels": sim.Channels, "chan": sim.Channels,
+		"fast": sim.Fast, "parallel": sim.Parallel,
+		" Fast ": sim.Fast,
+	} {
+		got, err := sim.ParseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := sim.ParseEngine("warp"); !errors.Is(err, sim.ErrUnknownEngine) {
+		t.Errorf("ParseEngine(warp) err = %v, want ErrUnknownEngine", err)
+	}
+}
+
+func TestUnknownProtocolAndEngineErrors(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := sim.New(g, sim.WithProtocol("nosuch")); !errors.Is(err, sim.ErrUnknownProtocol) {
+		t.Errorf("unknown protocol err = %v, want ErrUnknownProtocol", err)
+	}
+	if _, err := sim.New(g, sim.WithEngine(sim.EngineKind(99))); !errors.Is(err, sim.ErrUnknownEngine) {
+		t.Errorf("unknown engine err = %v, want ErrUnknownEngine", err)
+	}
+	if _, err := sim.New(nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	// Factory validation propagates: the detect probe rejects multi-origin.
+	if _, err := sim.New(g, sim.WithProtocol("detect"), sim.WithOrigins(0, 3)); err == nil {
+		t.Error("multi-origin detect probe accepted")
+	}
+	// Bad protocol parameters propagate.
+	if _, err := sim.New(g, sim.WithProtocol("faulty"), sim.WithParam("loss", "nope")); err == nil {
+		t.Error("unparseable loss parameter accepted")
+	}
+}
+
+// TestEveryProtocolOnEveryEngine is the registry acceptance matrix: each
+// registered protocol must run on each of the four engines and produce
+// byte-identical traces across them.
+func TestEveryProtocolOnEveryEngine(t *testing.T) {
+	g := gen.Petersen()
+	for _, name := range sim.Protocols() {
+		t.Run(name, func(t *testing.T) {
+			var want engine.Result
+			for i, kind := range allEngines {
+				sess, err := sim.New(g,
+					sim.WithProtocol(name),
+					sim.WithEngine(kind),
+					sim.WithOrigins(0),
+					sim.WithSeed(7),
+					sim.WithTrace(true),
+				)
+				if err != nil {
+					t.Fatalf("New(%s, %s): %v", name, kind, err)
+				}
+				res, err := sess.Run(context.Background())
+				if err != nil {
+					t.Fatalf("%s on %s: %v", name, kind, err)
+				}
+				if res.Engine != kind.String() {
+					t.Errorf("%s on %s: Engine = %q", name, kind, res.Engine)
+				}
+				if !res.Terminated {
+					t.Errorf("%s on %s: did not terminate", name, kind)
+				}
+				if i == 0 {
+					want = res
+					continue
+				}
+				if !engine.EqualTraces(want.Trace, res.Trace) {
+					t.Errorf("%s: %s trace differs from %s", name, kind, allEngines[0])
+				}
+				if res.Rounds != want.Rounds || res.TotalMessages != want.TotalMessages {
+					t.Errorf("%s: %s summary (%d rounds, %d msgs) differs from %s (%d, %d)",
+						name, kind, res.Rounds, res.TotalMessages, allEngines[0], want.Rounds, want.TotalMessages)
+				}
+			}
+		})
+	}
+}
+
+func TestSessionReuseIsDeterministic(t *testing.T) {
+	g := gen.Grid(8, 8)
+	sess, err := sim.New(g, sim.WithEngine(sim.Fast), sim.WithOrigins(5), sim.WithTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.EqualTraces(first.Trace, again.Trace) {
+			t.Fatalf("rerun %d on a reused session produced a different trace", i)
+		}
+	}
+	if first.WallTime <= 0 {
+		t.Error("WallTime not populated")
+	}
+}
+
+func TestRunBatchMatchesIndividualRuns(t *testing.T) {
+	g := gen.Grid(6, 6)
+	sources := make([]graph.NodeID, g.N())
+	for i := range sources {
+		sources[i] = graph.NodeID(i)
+	}
+	for _, kind := range []sim.EngineKind{sim.Sequential, sim.Fast, sim.Parallel} {
+		sess, err := sim.New(g, sim.WithEngine(kind), sim.WithTrace(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := sess.RunBatch(context.Background(), sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(sources) {
+			t.Fatalf("batch returned %d results for %d sources", len(batch), len(sources))
+		}
+		for i, src := range sources {
+			solo, err := sim.New(g, sim.WithEngine(sim.Sequential), sim.WithOrigins(src), sim.WithTrace(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := solo.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !engine.EqualTraces(want.Trace, batch[i].Trace) {
+				t.Fatalf("%s: batch run from %d differs from solo run", kind, src)
+			}
+		}
+	}
+}
+
+func TestRunBatchRejectsProtocolInstances(t *testing.T) {
+	g := gen.Cycle(4)
+	sess, err := sim.New(g, sim.WithProtocolInstance(silentProto{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunBatch(context.Background(), []graph.NodeID{0}); err == nil {
+		t.Fatal("RunBatch accepted a fixed protocol instance")
+	}
+}
+
+type silentProto struct{}
+
+func (silentProto) Name() string             { return "silent" }
+func (silentProto) Bootstrap() []engine.Send { return nil }
+func (silentProto) NewNode(graph.NodeID) engine.NodeAutomaton {
+	return func(int, []graph.NodeID) []graph.NodeID { return nil }
+}
+
+// runOn builds a session for the given engine on a cycle long enough that
+// every run lasts many rounds.
+func stopSession(t *testing.T, kind sim.EngineKind, obs engine.RoundObserver) (engine.Result, error) {
+	t.Helper()
+	g := gen.Cycle(64)
+	sess, err := sim.New(g,
+		sim.WithEngine(kind),
+		sim.WithOrigins(0),
+		sim.WithTrace(true),
+		sim.WithObserver(obs),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess.Run(context.Background())
+}
+
+// TestObserverStopOnAllEngines: a stop after round 3 must end every engine
+// cleanly with Stopped set and exactly three rounds observed.
+func TestObserverStopOnAllEngines(t *testing.T) {
+	for _, kind := range allEngines {
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := stopSession(t, kind, &sim.RoundBudget{Budget: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Stopped || res.Terminated {
+				t.Fatalf("stopped=%t terminated=%t, want true/false", res.Stopped, res.Terminated)
+			}
+			if res.Rounds != 3 || len(res.Trace) != 3 {
+				t.Fatalf("rounds=%d trace=%d, want 3/3", res.Rounds, len(res.Trace))
+			}
+		})
+	}
+}
+
+// TestObserverErrorOnAllEngines: an observer error must abort every engine
+// with the error wrapped.
+func TestObserverErrorOnAllEngines(t *testing.T) {
+	sentinel := errors.New("observer boom")
+	for _, kind := range allEngines {
+		t.Run(kind.String(), func(t *testing.T) {
+			calls := 0
+			_, err := stopSession(t, kind, engine.ObserverFunc(func(engine.RoundRecord) (bool, error) {
+				calls++
+				if calls == 2 {
+					return false, sentinel
+				}
+				return false, nil
+			}))
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("err = %v, want wrapped sentinel", err)
+			}
+			if calls != 2 {
+				t.Fatalf("observer called %d times after erroring at call 2", calls)
+			}
+		})
+	}
+}
+
+// TestEarlyStopTracesArePrefixes is the differential guarantee: for every
+// engine, the trace of a run stopped after k rounds is byte-identical to
+// the first k rounds of the full trace.
+func TestEarlyStopTracesArePrefixes(t *testing.T) {
+	g := gen.Cycle(33) // non-bipartite: long run, messages overlap
+	full, err := func() (engine.Result, error) {
+		sess, err := sim.New(g, sim.WithOrigins(0), sim.WithTrace(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess.Run(context.Background())
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range allEngines {
+		for _, k := range []int{1, 2, 5, full.Rounds - 1} {
+			sess, err := sim.New(g,
+				sim.WithEngine(kind),
+				sim.WithOrigins(0),
+				sim.WithTrace(true),
+				sim.WithObserver(&sim.RoundBudget{Budget: k}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sess.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Stopped || res.Rounds != k {
+				t.Fatalf("%s budget %d: stopped=%t rounds=%d", kind, k, res.Stopped, res.Rounds)
+			}
+			if !engine.EqualTraces(res.Trace, full.Trace[:k]) {
+				t.Fatalf("%s: stopped trace at k=%d is not a prefix of the full trace", kind, k)
+			}
+		}
+	}
+}
+
+// TestCancellationMidRunOnAllEngines: cancelling the context from inside an
+// observer must abort every engine at the next round boundary with the
+// context's error.
+func TestCancellationMidRunOnAllEngines(t *testing.T) {
+	for _, kind := range allEngines {
+		t.Run(kind.String(), func(t *testing.T) {
+			g := gen.Cycle(64)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			rounds := 0
+			sess, err := sim.New(g,
+				sim.WithEngine(kind),
+				sim.WithOrigins(0),
+				sim.WithObserver(engine.ObserverFunc(func(engine.RoundRecord) (bool, error) {
+					rounds++
+					if rounds == 2 {
+						cancel()
+					}
+					return false, nil
+				})),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = sess.Run(ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if rounds != 2 {
+				t.Fatalf("observer saw %d rounds after cancel at round 2", rounds)
+			}
+		})
+	}
+}
+
+// TestCancellationBeforeRun: a pre-cancelled context aborts immediately on
+// every engine, with no rounds executed.
+func TestCancellationBeforeRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range allEngines {
+		sess, err := sim.New(gen.Cycle(16), sim.WithEngine(kind), sim.WithOrigins(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(ctx)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", kind, err)
+		}
+		if res.Rounds != 0 {
+			t.Fatalf("%s: %d rounds ran under a cancelled context", kind, res.Rounds)
+		}
+	}
+}
+
+// TestRoundBudgetSurvivesSessionReuse: the budget observer is stateless,
+// so every run of a reused session (and every source of a batch) gets the
+// full budget, not the first run's leftovers.
+func TestRoundBudgetSurvivesSessionReuse(t *testing.T) {
+	g := gen.Cycle(64)
+	sess, err := sim.New(g,
+		sim.WithOrigins(0),
+		sim.WithObserver(&sim.RoundBudget{Budget: 3}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped || res.Rounds != 3 {
+			t.Fatalf("run %d: stopped=%t rounds=%d, want true/3", i, res.Stopped, res.Rounds)
+		}
+	}
+	batch, err := sess.RunBatch(context.Background(), []graph.NodeID{0, 7, 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range batch {
+		if !res.Stopped || res.Rounds != 3 {
+			t.Fatalf("batch run %d: stopped=%t rounds=%d, want true/3", i, res.Stopped, res.Rounds)
+		}
+	}
+}
+
+func TestMultiObserverFansOutAndAggregatesStop(t *testing.T) {
+	recorder := &sim.TraceRecorder{}
+	budget := &sim.RoundBudget{Budget: 2}
+	res, err := stopSession(t, sim.Sequential, sim.MultiObserver{recorder, budget, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Rounds != 2 {
+		t.Fatalf("stopped=%t rounds=%d, want true/2", res.Stopped, res.Rounds)
+	}
+	if len(recorder.Trace) != 2 {
+		t.Fatalf("recorder saw %d rounds, want 2 (must observe the stopping round)", len(recorder.Trace))
+	}
+	if !engine.EqualTraces(recorder.Trace, res.Trace) {
+		t.Fatal("recorder trace differs from the engine trace")
+	}
+	recorder.Reset()
+	if len(recorder.Trace) != 0 {
+		t.Fatal("Reset did not clear the recorder")
+	}
+}
+
+func TestMultiObserverPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("late observer boom")
+	called := false
+	obs := sim.MultiObserver{
+		engine.ObserverFunc(func(engine.RoundRecord) (bool, error) { return false, sentinel }),
+		engine.ObserverFunc(func(engine.RoundRecord) (bool, error) { called = true; return false, nil }),
+	}
+	_, err := stopSession(t, sim.Sequential, obs)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if called {
+		t.Fatal("observer after the erroring one was still invoked")
+	}
+}
+
+func TestRenamePreservesDenseFastPath(t *testing.T) {
+	g := gen.Grid(5, 5)
+	sess, err := sim.New(g, sim.WithProtocol("spantree"), sim.WithEngine(sim.Fast), sim.WithOrigins(0), sim.WithTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sess.Protocol().(engine.DenseProtocol); !ok {
+		t.Fatal("renamed probe lost the DenseProtocol fast path")
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "spantree-probe" {
+		t.Fatalf("protocol name = %q, want spantree-probe", res.Protocol)
+	}
+	ref, err := sim.New(g, sim.WithOrigins(0), sim.WithTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.EqualTraces(want.Trace, res.Trace) {
+		t.Fatal("renamed probe trace differs from plain amnesiac flood")
+	}
+}
+
+func TestResultJSONCarriesEngineAttribution(t *testing.T) {
+	sess, err := sim.New(gen.Path(4), sim.WithEngine(sim.Fast), sim.WithOrigins(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fmt.Sprintf("%+v", res)
+	if res.Engine != "fast" || !strings.Contains(out, "fast") {
+		t.Fatalf("engine attribution missing: %s", out)
+	}
+	if res.WallTime <= 0 {
+		t.Fatal("WallTime not populated")
+	}
+}
+
+func TestErrMaxRoundsStillPropagates(t *testing.T) {
+	for _, kind := range allEngines {
+		sess, err := sim.New(gen.Cycle(33), sim.WithEngine(kind), sim.WithOrigins(0), sim.WithMaxRounds(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Run(context.Background()); !errors.Is(err, engine.ErrMaxRounds) {
+			t.Fatalf("%s: err = %v, want ErrMaxRounds", kind, err)
+		}
+	}
+}
+
+func TestObserverRecordsMatchTraceCopies(t *testing.T) {
+	// The observer sees engine-internal slices; TraceRecorder's copies must
+	// equal the engine's own Options.Trace copies for every engine.
+	for _, kind := range allEngines {
+		recorder := &sim.TraceRecorder{}
+		sess, err := sim.New(gen.Wheel(9),
+			sim.WithEngine(kind),
+			sim.WithOrigins(2),
+			sim.WithTrace(true),
+			sim.WithObserver(recorder),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.EqualTraces(res.Trace, recorder.Trace) {
+			t.Fatalf("%s: recorder trace differs from Options.Trace", kind)
+		}
+	}
+}
+
+func TestReflectDeepEqualBatchReuse(t *testing.T) {
+	// Two batches on the same session must agree entirely (arena reuse must
+	// not leak state between runs).
+	g := gen.Lollipop(4, 20)
+	sources := []graph.NodeID{0, 5, 10, 15}
+	sess, err := sim.New(g, sim.WithEngine(sim.Parallel), sim.WithTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.RunBatch(context.Background(), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.RunBatch(context.Background(), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		first[i].WallTime, second[i].WallTime = 0, 0
+		if !reflect.DeepEqual(first[i], second[i]) {
+			t.Fatalf("batch rerun differs at source %d", sources[i])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package spantree_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/spantree"
+)
+
+// TestRecorderMatchesFromReport: the streaming recorder must build exactly
+// the tree FromReport reads off a full trace, on bipartite and
+// non-bipartite instances alike.
+func TestRecorderMatchesFromReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	graphs := []*graph.Graph{
+		gen.Path(20), gen.Cycle(21), gen.Grid(7, 7),
+		gen.Petersen(), gen.RandomConnected(80, 0.05, rng),
+	}
+	for _, g := range graphs {
+		root := graph.NodeID(rng.Intn(g.N()))
+		rep, err := core.Run(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := spantree.FromReport(g, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := spantree.Build(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s from %d: streaming tree differs from trace-derived tree", g, root)
+		}
+	}
+}
+
+// TestRecorderStopsEarlyOnNonBipartite: on an odd cycle the tree is
+// complete at round ~n/2 while the flood runs past the diameter; the
+// recorder must stop the run before the flood dies.
+func TestRecorderStopsEarlyOnNonBipartite(t *testing.T) {
+	g := gen.Cycle(31)
+	full, err := core.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := spantree.NewRecorder(g, 0)
+	flood, err := core.NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(context.Background(), g, flood, engine.Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("recorder did not stop the run")
+	}
+	if res.Rounds >= full.Rounds() {
+		t.Fatalf("recorder stopped at round %d, full flood runs %d — no early stop", res.Rounds, full.Rounds())
+	}
+	if err := rec.Tree().Validate(g); err != nil {
+		t.Fatalf("early-stopped tree invalid: %v", err)
+	}
+}

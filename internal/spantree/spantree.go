@@ -15,12 +15,31 @@
 package spantree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"amnesiacflood/internal/core"
+	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/sim"
 )
+
+// init self-registers the spanning-tree probe with the sim façade's
+// protocol registry: a single-root amnesiac flood under its probe name
+// (the tree is read off the trace by a Recorder or FromReport).
+func init() {
+	sim.Register("spantree", func(spec sim.Spec) (engine.Protocol, error) {
+		if len(spec.Origins) != 1 {
+			return nil, fmt.Errorf("spantree: the rooted-tree probe needs exactly one root, got %d", len(spec.Origins))
+		}
+		flood, err := core.NewFlood(spec.Graph, spec.Origins...)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Rename(flood, "spantree-probe"), nil
+	})
+}
 
 // ErrNotSingleSource is returned for reports with more than one origin;
 // the rooted-tree notion needs a single root.
@@ -72,15 +91,68 @@ func FromReport(g *graph.Graph, rep *core.Report) (*Tree, error) {
 	return tree, nil
 }
 
-// Build runs a flood from root on the sequential engine and extracts the
-// tree in one call.
+// Build extracts the tree from a flood from root, streaming: the flood
+// runs under a Recorder observer that adopts parents round by round and
+// stops the run the moment the tree is complete — on non-bipartite graphs
+// that is before the flood dies, so Build does strictly less work than a
+// full run.
 func Build(g *graph.Graph, root graph.NodeID) (*Tree, error) {
-	rep, err := core.Run(g, core.Sequential, root)
+	rec := NewRecorder(g, root)
+	flood, err := core.NewFlood(g, root)
 	if err != nil {
 		return nil, fmt.Errorf("spantree: flood: %w", err)
 	}
-	return FromReport(g, rep)
+	if _, err := engine.Run(context.Background(), g, flood, engine.Options{Observer: rec}); err != nil {
+		return nil, fmt.Errorf("spantree: flood: %w", err)
+	}
+	return rec.Tree(), nil
 }
+
+// Recorder builds the spanning tree incrementally from a round stream, as
+// an engine.RoundObserver: node v is adopted on its first receipt round by
+// the smallest-ID sender of that round (sends arrive sorted by (From, To),
+// so the first sender seen is the smallest), exactly FromReport's rule.
+// Once every node is reached the observer stops the run early.
+type Recorder struct {
+	tree      *Tree
+	remaining int
+}
+
+var _ engine.RoundObserver = (*Recorder)(nil)
+
+// NewRecorder returns a recorder for a flood rooted at root on g.
+func NewRecorder(g *graph.Graph, root graph.NodeID) *Recorder {
+	tree := &Tree{
+		Root:   root,
+		Parent: make([]graph.NodeID, g.N()),
+		Depth:  make([]int, g.N()),
+	}
+	for v := range tree.Parent {
+		tree.Parent[v] = graph.NodeID(v)
+		tree.Depth[v] = -1
+	}
+	tree.Depth[root] = 0
+	return &Recorder{tree: tree, remaining: g.N() - 1}
+}
+
+// ObserveRound implements engine.RoundObserver, adopting first-time
+// receivers and stopping once the tree spans the graph.
+func (r *Recorder) ObserveRound(rec engine.RoundRecord) (bool, error) {
+	for _, s := range rec.Sends {
+		v := s.To
+		if r.tree.Depth[v] != -1 {
+			continue // already adopted; same-round later senders are larger
+		}
+		r.tree.Parent[v] = s.From
+		r.tree.Depth[v] = rec.Round
+		r.remaining--
+	}
+	return r.remaining == 0, nil
+}
+
+// Tree returns the tree built so far (complete once the observed flood
+// reached every node).
+func (r *Recorder) Tree() *Tree { return r.tree }
 
 // Edges returns the tree edges (parent, child), sorted by child.
 func (t *Tree) Edges() []graph.Edge {

@@ -98,7 +98,7 @@ func TestDisconnectedGraphPartialTree(t *testing.T) {
 
 func TestFromReportRejectsMultiSource(t *testing.T) {
 	g := gen.Path(4)
-	rep, err := core.Run(g, core.Sequential, 0, 3)
+	rep, err := core.Run(g, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

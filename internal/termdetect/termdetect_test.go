@@ -1,6 +1,7 @@
 package termdetect_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -69,7 +70,7 @@ func TestFloodPartMatchesClassicEngine(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		cl, err := engine.Run(g, proto, engine.Options{})
+		cl, err := engine.Run(context.Background(), g, proto, engine.Options{})
 		if err != nil {
 			return false
 		}

@@ -14,7 +14,7 @@ import (
 
 func runRounds(t *testing.T, g *graph.Graph, src graph.NodeID) int {
 	t.Helper()
-	rep, err := core.Run(g, core.Sequential, src)
+	rep, err := core.Run(g, src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,7 +50,7 @@ func TestCheckDoubleCoverExactCatchesTampering(t *testing.T) {
 
 func TestCheckDoubleCoverExactRejectsMultiSource(t *testing.T) {
 	g := gen.Path(5)
-	rep, err := core.Run(g, core.Sequential, 0, 4)
+	rep, err := core.Run(g, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestCheckNonBipartiteExactlyTwice(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := gen.RandomNonBipartite(3+rng.Intn(40), 0.08, rng)
 		src := graph.NodeID(rng.Intn(g.N()))
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

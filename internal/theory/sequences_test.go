@@ -89,7 +89,7 @@ func TestCheckSequenceMachineryAgreesWithGapCheck(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := gen.RandomConnected(2+rng.Intn(40), 0.08, rng)
 		src := graph.NodeID(rng.Intn(g.N()))
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

@@ -16,7 +16,7 @@ import (
 
 func mustRun(t *testing.T, g *graph.Graph, src graph.NodeID) *core.Report {
 	t.Helper()
-	rep, err := core.Run(g, core.Sequential, src)
+	rep, err := core.Run(g, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestCheckBipartiteExactAcceptsFamilies(t *testing.T) {
 
 func TestCheckBipartiteExactRejectsMultiSource(t *testing.T) {
 	g := gen.Path(6)
-	rep, err := core.Run(g, core.Sequential, 0, 5)
+	rep, err := core.Run(g, 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestPredictedWindowAlwaysHolds(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := gen.RandomConnected(2+rng.Intn(40), 0.08, rng)
 		src := graph.NodeID(rng.Intn(g.N()))
-		rep, err := core.Run(g, core.Sequential, src)
+		rep, err := core.Run(g, src)
 		if err != nil {
 			return false
 		}

@@ -14,7 +14,7 @@ import (
 )
 
 func TestWriteSVGIsWellFormedXML(t *testing.T) {
-	rep, err := core.Run(gen.Cycle(6), core.Sequential, 0)
+	rep, err := core.Run(gen.Cycle(6), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestWriteSVGIsWellFormedXML(t *testing.T) {
 func TestWriteSVGMarksSenders(t *testing.T) {
 	// Figure 2 round 2: a and c send. Their nodes carry the double
 	// outline (radius-20 circle); b does not.
-	rep, err := core.Run(gen.Cycle(3), core.Sequential, 1)
+	rep, err := core.Run(gen.Cycle(3), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestWriteSVGMarksSenders(t *testing.T) {
 }
 
 func TestWriteSVGOptions(t *testing.T) {
-	rep, err := core.Run(gen.Path(3), core.Sequential, 0)
+	rep, err := core.Run(gen.Path(3), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

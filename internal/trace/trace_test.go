@@ -36,7 +36,7 @@ func TestNumbers(t *testing.T) {
 
 func fig1Report(t *testing.T) *core.Report {
 	t.Helper()
-	rep, err := core.Run(gen.Path(4), core.Sequential, 1)
+	rep, err := core.Run(gen.Path(4), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestRenderRoundsDefaultsToNumbers(t *testing.T) {
 }
 
 func TestTimelineFig2(t *testing.T) {
-	rep, err := core.Run(gen.Cycle(3), core.Sequential, 1)
+	rep, err := core.Run(gen.Cycle(3), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestTimelineEmptyRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := core.Run(g, core.Sequential, 0)
+	rep, err := core.Run(g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
