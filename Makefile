@@ -5,7 +5,7 @@
 DATE := $(shell date +%Y-%m-%d)
 BENCHFILE := BENCH_$(DATE).json
 
-.PHONY: all build test vet race fuzz bench bench-smoke
+.PHONY: all build test vet race fuzz bench bench-smoke suite
 
 all: vet build test
 
@@ -37,3 +37,14 @@ bench:
 
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# suite runs a tiny scenario matrix (3 graph families x 2 protocols x 2
+# engines, 2 seeds) through the JSONL sink over an 8-worker pool — the
+# end-to-end smoke test of the graph-spec registry, the scenario layer, and
+# the afbench suite mode. CI runs it on every push.
+suite:
+	go run ./cmd/afbench -suite \
+	  -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
+	  -protocols amnesiac,classic \
+	  -engines sequential,parallel \
+	  -seeds 1,2 -workers 8 -format jsonl

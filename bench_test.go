@@ -98,29 +98,28 @@ func BenchmarkFig3EvenCycle(b *testing.B) {
 }
 
 // E4: Lemma 2.1 / Corollary 2.2 — bipartite families at increasing sizes.
-// rounds must equal e(source) <= D for every series point.
+// rounds must equal e(source) <= D for every series point. Sub-benchmarks
+// are named by the canonical graph spec, so BENCH_<date>.json rows are
+// attributable to exact instances.
 func BenchmarkBipartiteTermination(b *testing.B) {
-	families := []struct {
-		name string
-		make func(n int) *graph.Graph
-	}{
-		{"path", gen.Path},
-		{"evenCycle", func(n int) *graph.Graph { return gen.Cycle(2 * (n / 2)) }},
-		{"grid", func(n int) *graph.Graph { return gen.Grid(n/32, 32) }},
-		{"hypercube", func(n int) *graph.Graph {
+	families := []func(n int) string{
+		func(n int) string { return fmt.Sprintf("path:n=%d", n) },
+		func(n int) string { return fmt.Sprintf("cycle:n=%d", 2*(n/2)) },
+		func(n int) string { return fmt.Sprintf("grid:rows=%d,cols=32", n/32) },
+		func(n int) string {
 			d := 0
 			for 1<<d < n {
 				d++
 			}
-			return gen.Hypercube(d)
-		}},
+			return fmt.Sprintf("hypercube:d=%d", d)
+		},
 	}
 	for _, fam := range families {
 		for _, n := range []int{64, 512, 4096} {
-			g := fam.make(n)
+			g := gen.MustBuild(fam(n), 1)
 			ecc := algo.Eccentricity(g, 0)
 			for _, kind := range benchEngines {
-				b.Run(fmt.Sprintf("%s/n=%d/%s", fam.name, g.N(), kind), func(b *testing.B) {
+				b.Run(fmt.Sprintf("%s/%s", g.Name(), kind), func(b *testing.B) {
 					sess := newBenchSession(b, g, kind, 0)
 					var rep *core.Report
 					b.ReportAllocs()
@@ -143,10 +142,14 @@ func BenchmarkBipartiteTermination(b *testing.B) {
 // E5: Theorems 3.1 + 3.3 — non-bipartite families; rounds must stay within
 // 2D+1.
 func BenchmarkNonBipartiteTermination(b *testing.B) {
-	instances := []*graph.Graph{
-		gen.Cycle(65), gen.Cycle(513), gen.Cycle(4097),
-		gen.Complete(64), gen.Wheel(257),
-		gen.Lollipop(5, 128), gen.Torus(5, 13),
+	specs := []string{
+		"cycle:n=65", "cycle:n=513", "cycle:n=4097",
+		"complete:n=64", "wheel:n=257",
+		"lollipop:k=5,path=128", "torus:rows=5,cols=13",
+	}
+	instances := make([]*graph.Graph, len(specs))
+	for i, spec := range specs {
+		instances[i] = gen.MustBuild(spec, 1)
 	}
 	for _, g := range instances {
 		diam := algo.Diameter(g)
@@ -519,17 +522,17 @@ func BenchmarkWavefrontProfile(b *testing.B) {
 // hypercubes).
 func BenchmarkFloodScaling(b *testing.B) {
 	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
-		g := gen.Cycle(n)
+		g := gen.MustBuild(fmt.Sprintf("cycle:n=%d", n), 1)
 		for _, kind := range benchEngines {
-			b.Run(fmt.Sprintf("cycle/n=%d/%s", n, kind), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/%s", g.Name(), kind), func(b *testing.B) {
 				benchFlood(b, g, kind, 0)
 			})
 		}
 	}
 	for _, d := range []int{8, 11, 14} {
-		g := gen.Hypercube(d)
+		g := gen.MustBuild(fmt.Sprintf("hypercube:d=%d", d), 1)
 		for _, kind := range benchEngines {
-			b.Run(fmt.Sprintf("hypercube/d=%d/%s", d, kind), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/%s", g.Name(), kind), func(b *testing.B) {
 				benchFlood(b, g, kind, 0)
 			})
 		}

@@ -1,21 +1,41 @@
-// Command afbench runs the full experiment suite reproducing every figure
-// and theorem of the paper, printing one table per artifact. See DESIGN.md
-// §3 for the experiment index and EXPERIMENTS.md for recorded results.
+// Command afbench runs evaluation suites. Its default mode reproduces
+// every figure and theorem of the paper, printing one table per artifact
+// (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// recorded results). With -suite it instead drives a declarative scenario
+// matrix — graph specs × protocols × engines × seeds — over a bounded
+// worker pool, streaming per-run results to a JSONL/CSV/table sink.
 //
 // Usage:
 //
 //	afbench [-seed N] [-scale N] [-only E4,E7] [-engine fast]
+//	afbench -suite -graphs "grid:rows=8,cols=8;cycle:n=65" \
+//	        -protocols amnesiac,classic -engines sequential,parallel \
+//	        -seeds 1,2 -reps 3 -workers 8 -format jsonl
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"amnesiacflood/internal/experiments"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/scenario"
 	"amnesiacflood/internal/sim"
+
+	// Self-registering protocols for the scenario matrix (the experiment
+	// suite pulls these in transitively; the matrix addresses them by
+	// name and needs the registrations regardless).
+	_ "amnesiacflood/internal/classic"
+	_ "amnesiacflood/internal/core"
+	_ "amnesiacflood/internal/detect"
+	_ "amnesiacflood/internal/faults"
+	_ "amnesiacflood/internal/multiflood"
+	_ "amnesiacflood/internal/spantree"
 )
 
 func main() {
@@ -28,14 +48,46 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("afbench", flag.ContinueOnError)
 	cfg := experiments.DefaultConfig()
-	seed := fs.Int64("seed", cfg.Seed, "seed for all random instances")
-	scale := fs.Int("scale", cfg.Scale, "instance size multiplier")
-	only := fs.String("only", "", "comma-separated experiment IDs to run (default all)")
+	seed := fs.Int64("seed", cfg.Seed, "seed for all random instances (experiment mode)")
+	scale := fs.Int("scale", cfg.Scale, "instance size multiplier (experiment mode)")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default all; experiment mode)")
 	engineName := fs.String("engine", sim.Sequential.String(), "engine for the single-run experiments: "+strings.Join(sim.EngineNames(), ", "))
-	asJSON := fs.Bool("json", false, "emit the tables as a JSON array instead of text")
+	asJSON := fs.Bool("json", false, "emit the experiment tables as a JSON array instead of text")
+
+	suite := fs.Bool("suite", false, "run a scenario matrix instead of the experiment suite")
+	graphs := fs.String("graphs", "", "semicolon-separated graph specs, e.g. \"grid:rows=8,cols=8;cycle:n=65\" (suite mode)")
+	protocols := fs.String("protocols", "amnesiac", "comma-separated protocol names (suite mode)")
+	engines := fs.String("engines", sim.Sequential.String(), "comma-separated engine names (suite mode)")
+	origins := fs.String("origins", "0", "semicolon-separated origin sets, nodes comma-separated, e.g. \"0;0,3\" (suite mode)")
+	seeds := fs.String("seeds", "1", "comma-separated seeds (suite mode)")
+	reps := fs.Int("reps", 1, "repetitions per matrix cell (suite mode)")
+	workers := fs.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS capped at 8)")
+	maxRounds := fs.Int("maxrounds", 0, "round limit per run (0 = engine default; suite mode)")
+	format := fs.String("format", "table", "suite output format: jsonl, csv, or table")
+	out := fs.String("out", "", "suite output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *suite {
+		// Reject experiment-mode flags so a typo (-engine for -engines,
+		// -seed for -seeds) cannot silently run the wrong matrix.
+		conflicts := map[string]string{"engine": "-engines", "seed": "-seeds", "scale": "", "only": "", "json": "-format"}
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if repl, ok := conflicts[f.Name]; ok {
+				msg := "-" + f.Name
+				if repl != "" {
+					msg += " (use " + repl + ")"
+				}
+				bad = append(bad, msg)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("experiment-mode flags are not valid with -suite: %s", strings.Join(bad, ", "))
+		}
+		return runSuite(*graphs, *protocols, *engines, *origins, *seeds, *reps, *workers, *maxRounds, *format, *out)
+	}
+
 	cfg.Seed = *seed
 	cfg.Scale = *scale
 	kind, err := sim.ParseEngine(*engineName)
@@ -76,4 +128,119 @@ func run(args []string) error {
 		return enc.Encode(collected)
 	}
 	return nil
+}
+
+// runSuite expands and executes the scenario matrix described by the suite
+// flags.
+func runSuite(graphs, protocols, engines, origins, seeds string, reps, workers, maxRounds int, format, out string) error {
+	matrix := scenario.Matrix{
+		Graphs:    splitList(graphs, ";"),
+		Protocols: splitList(protocols, ","),
+		Engines:   splitList(engines, ","),
+		Reps:      reps,
+		MaxRounds: maxRounds,
+	}
+	if len(matrix.Graphs) == 0 {
+		return fmt.Errorf("-suite needs -graphs (semicolon-separated specs; see afsim -list for families)")
+	}
+	for _, set := range splitList(origins, ";") {
+		var ids []graph.NodeID
+		for _, part := range splitList(set, ",") {
+			id, err := strconv.Atoi(part)
+			if err != nil {
+				return fmt.Errorf("parse -origins entry %q: %w", part, err)
+			}
+			ids = append(ids, graph.NodeID(id))
+		}
+		if len(ids) > 0 {
+			matrix.OriginSets = append(matrix.OriginSets, ids)
+		}
+	}
+	for _, s := range splitList(seeds, ",") {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("parse -seeds entry %q: %w", s, err)
+		}
+		matrix.Seeds = append(matrix.Seeds, v)
+	}
+	specs, err := matrix.Expand()
+	if err != nil {
+		return err
+	}
+
+	switch format {
+	case "jsonl", "csv", "table":
+	default:
+		// Validate before os.Create so a flag typo cannot truncate an
+		// existing -out file.
+		return fmt.Errorf("unknown -format %q (want jsonl, csv, or table)", format)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var sink scenario.Sink
+	var flush func() error
+	var agg *scenario.Aggregate
+	switch format {
+	case "jsonl":
+		sink = scenario.NewJSONLSink(w)
+	case "csv":
+		csvSink := scenario.NewCSVSink(w)
+		flush = csvSink.Flush
+		// Best-effort flush on error paths too, so completed rows are not
+		// lost from -out when the suite fails partway; the success path
+		// below checks the flush error explicitly.
+		defer csvSink.Flush()
+		sink = csvSink
+	case "table":
+		agg = scenario.NewAggregate()
+		sink = agg
+	}
+
+	runner := &scenario.Runner{Workers: workers, Sink: sink}
+	results, err := runner.Run(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	if flush != nil {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	if format == "table" {
+		if err := agg.Fprint(w); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for _, res := range results {
+		if res.Err != "" {
+			failed++
+		}
+	}
+	if workers <= 0 {
+		workers = scenario.DefaultWorkers()
+	}
+	fmt.Fprintf(os.Stderr, "suite: %d specs, %d failed (%d workers)\n", len(results), failed, workers)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d suite runs failed", failed, len(results))
+	}
+	return nil
+}
+
+// splitList splits on sep, trimming whitespace and dropping empties.
+func splitList(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-only", "E1"}); err != nil {
@@ -23,5 +30,95 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunJSON(t *testing.T) {
 	if err := run([]string{"-only", "E1,E2", "-json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunSuiteJSONL drives the acceptance matrix shape (3 families × 2
+// protocols × 2 engines) through the JSONL sink — the same invocation as
+// `make suite` — and checks every emitted row carries the exact graph spec.
+func TestRunSuiteJSONL(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "suite.jsonl")
+	args := []string{"-suite",
+		"-graphs", "grid:rows=3,cols=4;cycle:n=9;prefattach:n=16,m=2",
+		"-protocols", "amnesiac,classic",
+		"-engines", "sequential,parallel",
+		"-seeds", "1,2",
+		"-workers", "8",
+		"-format", "jsonl",
+		"-out", out,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wantGraphs := map[string]bool{"grid:rows=3,cols=4": true, "cycle:n=9": true, "prefattach:n=16,m=2": true}
+	rows := 0
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		rows++
+		var row struct {
+			Spec struct {
+				Graph    string `json:"graph"`
+				Protocol string `json:"protocol"`
+				Engine   string `json:"engine"`
+			} `json:"spec"`
+			Rounds     int  `json:"rounds"`
+			Terminated bool `json:"terminated"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &row); err != nil {
+			t.Fatalf("bad JSONL row %q: %v", scanner.Text(), err)
+		}
+		if !wantGraphs[row.Spec.Graph] {
+			t.Errorf("row has graph %q, not a requested spec", row.Spec.Graph)
+		}
+		if !row.Terminated || row.Rounds == 0 {
+			t.Errorf("row did not terminate: %s", scanner.Text())
+		}
+	}
+	if want := 3 * 2 * 2 * 2; rows != want {
+		t.Fatalf("suite emitted %d rows, want %d", rows, want)
+	}
+}
+
+func TestRunSuiteTableAndCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "suite.csv")
+	if err := run([]string{"-suite", "-graphs", "path:n=6", "-format", "csv", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "graph,protocol,engine") {
+		t.Fatalf("CSV output = %q", data)
+	}
+	if err := run([]string{"-suite", "-graphs", "path:n=6;cycle:n=7", "-format", "table",
+		"-out", filepath.Join(t.TempDir(), "suite.txt")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSuiteErrors(t *testing.T) {
+	cases := [][]string{
+		{"-suite"},                          // no graphs
+		{"-suite", "-graphs", "nosuch:n=4"}, // unknown family
+		{"-suite", "-graphs", "path:n=6", "-engines", "warp"},    // unknown engine
+		{"-suite", "-graphs", "path:n=6", "-format", "xml"},      // unknown format
+		{"-suite", "-graphs", "path:n=6", "-seeds", "one"},       // bad seed
+		{"-suite", "-graphs", "path:n=6", "-origins", "a"},       // bad origin
+		{"-suite", "-graphs", "path:n=6", "-origins", "99"},      // origin outside graph (run fails)
+		{"-suite", "-graphs", "path:n=6", "-protocols", "zzz"},   // unknown protocol
+		{"-suite", "-graphs", "path:n=6", "-engine", "parallel"}, // experiment-mode flag in suite mode
+		{"-suite", "-graphs", "path:n=6", "-seed", "3"},          // -seed typo for -seeds
+		{"-suite", "-graphs", "path:n=6", "-json"},               // -json typo for -format
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

@@ -1,15 +1,19 @@
 // Command afsim runs a single flooding simulation and prints the result.
 //
-// Topologies come either from a built-in family (-topo) or from an edge-list
-// file (-file, format of internal/graph.WriteEdgeList). Protocols come from
-// the sim façade's registry — every registered protocol runs on every
-// engine — or the asynchronous variant under an adversary (-async).
+// Topologies come from the graph-spec registry (-graph family:key=value,...
+// — see internal/graph/gen and afsim -list), from a legacy alias (-topo
+// with the -n size knob), or from an edge-list file (-file, format of
+// internal/graph.WriteEdgeList). Protocols come from the sim façade's
+// registry — every registered protocol runs on every engine — or the
+// asynchronous variant under an adversary (-async).
 //
 // Examples:
 //
+//	afsim -list
+//	afsim -graph grid:rows=4,cols=5 -protocol detect -engine parallel
+//	afsim -graph gnp:n=200,p=0.05,connect=true -seed 7 -source 0
 //	afsim -topo cycle -n 6 -source 0 -render
 //	afsim -topo path -n 4 -source 1 -engine channels -render
-//	afsim -topo grid -n 64 -source 0 -engine parallel
 //	afsim -topo cycle -n 12 -origins 0,3 -protocol multiflood
 //	afsim -topo cycle -n 6 -source 0 -protocol faulty -param loss=0.05 -maxrounds 512
 //	afsim -topo cycle -n 3 -source 1 -async collision
@@ -21,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +36,7 @@ import (
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/trace"
 
@@ -68,9 +74,11 @@ func (p paramFlags) Set(kv string) error {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("afsim", flag.ContinueOnError)
-	topo := fs.String("topo", "", "built-in topology: "+strings.Join(cli.TopologyNames(), ", "))
-	n := fs.Int("n", 8, "topology size parameter")
-	file := fs.String("file", "", "edge-list file (alternative to -topo)")
+	graphSpec := fs.String("graph", "", "graph spec family:key=value,... (families: "+strings.Join(gen.Families(), ", ")+"; see -list)")
+	topo := fs.String("topo", "", "legacy topology alias sized by -n: "+strings.Join(cli.TopologyNames(), ", "))
+	n := fs.Int("n", 8, "topology size parameter for -topo aliases")
+	file := fs.String("file", "", "edge-list file (alternative to -graph/-topo)")
+	list := fs.Bool("list", false, "list registered graph families, protocols, engines, and adversaries, then exit")
 	sourceFlag := fs.Int("source", 0, "origin node")
 	originsFlag := fs.String("origins", "", "comma-separated origin nodes (multi-source; overrides -source)")
 	protocol := fs.String("protocol", "amnesiac", "protocol: "+strings.Join(sim.Protocols(), ", "))
@@ -88,8 +96,11 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		return printRegistries(os.Stdout)
+	}
 
-	g, err := cli.LoadGraph(*topo, *n, *file)
+	g, err := cli.LoadGraphSpec(*graphSpec, *topo, *n, *file, *seed)
 	if err != nil {
 		return err
 	}
@@ -159,6 +170,35 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// printRegistries renders every registry the CLI can address: graph
+// families with their typed parameters, protocols, engines, and
+// adversaries.
+func printRegistries(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "graph families (-graph family:key=value,...):"); err != nil {
+		return err
+	}
+	for _, name := range gen.Families() {
+		fam, _ := gen.Lookup(name)
+		params := make([]string, len(fam.Params))
+		for i, p := range fam.Params {
+			params[i] = fmt.Sprintf("%s %s (default %s)", p.Name, p.Kind, p.Default)
+		}
+		line := "  " + name
+		if len(params) > 0 {
+			line += ": " + strings.Join(params, ", ")
+		}
+		if fam.Doc != "" {
+			line += " — " + fam.Doc
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "protocols (-protocol): %s\nengines (-engine): %s\nadversaries (-async): sync, collision, uniform, random\n",
+		strings.Join(sim.Protocols(), ", "), strings.Join(sim.EngineNames(), ", "))
+	return err
 }
 
 // parseOrigins resolves -origins (comma-separated) or falls back to

@@ -1,12 +1,31 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"amnesiacflood/internal/sim"
 )
+
+// TestListOutput checks -list renders every registry with parameter docs.
+func TestListOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printRegistries(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph families", "grid", "rows int (default 8)", "petersen",
+		"protocols", "amnesiac", "engines", "parallel", "adversaries", "collision",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
 
 func TestRunHappyPaths(t *testing.T) {
 	cases := [][]string{
@@ -23,6 +42,12 @@ func TestRunHappyPaths(t *testing.T) {
 		{"-topo", "cycle", "-n", "12", "-origins", "0, 6", "-protocol", "classic"},
 		{"-topo", "cycle", "-n", "9", "-source", "2", "-predict"},
 		{"-topo", "grid", "-n", "4", "-source", "5", "-predict"},
+		{"-graph", "grid:rows=4,cols=5", "-protocol", "detect", "-engine", "parallel"},
+		{"-graph", "petersen", "-source", "3", "-render"},
+		{"-graph", "gnp:n=30,p=0.2,connect=true", "-seed", "7"},
+		{"-graph", "prefattach:n=40,m=2", "-protocol", "spantree", "-engine", "fast"},
+		{"-topo", "torus:rows=3,cols=5"}, // full spec via -topo
+		{"-list"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -44,6 +69,13 @@ func TestRunErrors(t *testing.T) {
 		{"-topo", "path", "-n", "4", "-origins", ","},               // empty origin list
 		{"-topo", "path", "-n", "4", "-origins", "0,1", "-predict"}, // predict needs one origin
 		{"-topo", "path", "-n", "4", "-protocol", "classic", "-predict"},
+		{"-graph", "nosuchfamily"},                     // unknown family
+		{"-graph", "grid:depth=4"},                     // undeclared parameter
+		{"-graph", "grid:rows=four"},                   // malformed value
+		{"-graph", "cycle:n=2"},                        // out-of-range value
+		{"-graph", "cycle:n=8", "-topo", "cycle"},      // -graph + -topo conflict
+		{"-graph", "cycle:n=8", "-file", "nosuch.txt"}, // -graph + -file conflict
+		{"-graph", "petersen", "-source", "10"},        // origin outside graph
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -32,11 +32,27 @@
 //	sess, _ := sim.New(g, sim.WithProtocol("amnesiac"), sim.WithEngine(sim.Parallel))
 //	res, err := sess.Run(ctx)
 //
+// Graphs are equally registry-driven: every family in internal/graph/gen
+// self-registers under a canonical spec grammar ("grid:rows=64,cols=64",
+// "gnp:n=200,p=0.05,connect=true"; afsim -list enumerates it), with
+// seeded-deterministic random families. internal/scenario closes the
+// protocol × engine × graph cross-product: a Matrix of axis values expands
+// into declarative run Specs, and a bounded-worker Runner executes the
+// suite with per-worker arena reuse, streaming results to JSONL/CSV/
+// aggregate sinks (see internal/scenario/README.md for the grammar and
+// examples):
+//
+//	specs, _ := scenario.Matrix{Graphs: []string{"grid:rows=8,cols=8", "cycle:n=65"},
+//	        Protocols: []string{"amnesiac", "classic"},
+//	        Engines:   []string{"sequential", "parallel"}}.Expand()
+//	results, _ := (&scenario.Runner{Workers: 8}).Run(ctx, specs)
+//
 // Packages:
 //
 //	internal/sim              façade: protocol registry, session API, observers
+//	internal/scenario         declarative suites: spec matrix, pooled runner, sinks
 //	internal/graph            immutable simple graphs, builder, CSR view, encodings
-//	internal/graph/gen        deterministic and random graph families
+//	internal/graph/gen        graph families behind a spec-grammar registry
 //	internal/graph/algo       BFS, diameter, bipartiteness ground truth
 //	internal/engine           synchronous round engine + Protocol/RoundObserver
 //	internal/engine/chanengine concurrent channel-based engine
@@ -57,7 +73,8 @@
 //	internal/trace            figure-style trace rendering and export
 //	internal/experiments      one registered experiment per paper artifact
 //
-// Binaries: cmd/afsim (single runs, any registered protocol on any engine),
-// cmd/afbench (full experiment suite), cmd/afviz (trace rendering).
-// Runnable examples live under examples/.
+// Binaries: cmd/afsim (single runs, any registered protocol on any engine
+// on any graph spec; -list prints every registry), cmd/afbench (paper
+// experiment suite, or a scenario matrix with -suite), cmd/afviz (trace
+// rendering). Runnable examples live under examples/.
 package amnesiacflood

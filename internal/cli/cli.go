@@ -1,12 +1,11 @@
-// Package cli holds the small helpers shared by the cmd/ binaries: built-in
-// topology lookup, graph loading, and adversary lookup. It exists so the
-// binaries stay single-purpose mains. (Engine selection lives in core:
-// ParseEngine and RunEngine.)
+// Package cli holds the small helpers shared by the cmd/ binaries: graph
+// loading through the gen spec registry, legacy -topo aliases, and
+// adversary lookup. It exists so the binaries stay single-purpose mains.
+// (Engine and protocol selection live in the sim façade.)
 package cli
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -16,54 +15,64 @@ import (
 	"amnesiacflood/internal/graph/gen"
 )
 
-// topologies maps -topo names to constructors taking the -n size parameter.
-var topologies = map[string]func(n int) *graph.Graph{
-	"path":     gen.Path,
-	"cycle":    gen.Cycle,
-	"complete": gen.Complete,
-	"clique":   gen.Complete,
-	"star":     gen.Star,
-	"wheel":    gen.Wheel,
-	"grid": func(n int) *graph.Graph {
-		return gen.Grid(n, n)
-	},
-	"torus": func(n int) *graph.Graph {
-		return gen.Torus(n, n)
-	},
-	"hypercube": gen.Hypercube,
-	"bintree":   gen.CompleteBinaryTree,
-	"petersen": func(int) *graph.Graph {
-		return gen.Petersen()
-	},
-	"lollipop": func(n int) *graph.Graph {
-		return gen.Lollipop(4, n)
-	},
-	"barbell": func(n int) *graph.Graph {
-		return gen.Barbell(4, n)
-	},
-	"randomtree": func(n int) *graph.Graph {
-		return gen.RandomTree(n, rand.New(rand.NewSource(1)))
-	},
-	"random": func(n int) *graph.Graph {
-		return gen.RandomConnected(n, 4/float64(n+1), rand.New(rand.NewSource(1)))
+// topoAliases maps legacy -topo names to spec templates over the single -n
+// size knob. New call sites should pass full specs (-graph / LoadGraphSpec);
+// the aliases keep every historical -topo/-n invocation working on top of
+// the registry.
+var topoAliases = map[string]func(n int) string{
+	"path":       func(n int) string { return fmt.Sprintf("path:n=%d", n) },
+	"cycle":      func(n int) string { return fmt.Sprintf("cycle:n=%d", n) },
+	"complete":   func(n int) string { return fmt.Sprintf("complete:n=%d", n) },
+	"clique":     func(n int) string { return fmt.Sprintf("complete:n=%d", n) },
+	"star":       func(n int) string { return fmt.Sprintf("star:n=%d", n) },
+	"wheel":      func(n int) string { return fmt.Sprintf("wheel:n=%d", n) },
+	"grid":       func(n int) string { return fmt.Sprintf("grid:rows=%d,cols=%d", n, n) },
+	"torus":      func(n int) string { return fmt.Sprintf("torus:rows=%d,cols=%d", n, n) },
+	"hypercube":  func(n int) string { return fmt.Sprintf("hypercube:d=%d", n) },
+	"bintree":    func(n int) string { return fmt.Sprintf("bintree:levels=%d", n) },
+	"petersen":   func(int) string { return "petersen" },
+	"lollipop":   func(n int) string { return fmt.Sprintf("lollipop:k=4,path=%d", n) },
+	"barbell":    func(n int) string { return fmt.Sprintf("barbell:k=4,path=%d", n) },
+	"randomtree": func(n int) string { return fmt.Sprintf("tree:n=%d", n) },
+	"random": func(n int) string {
+		// The historical default density: expected degree ~4.
+		return fmt.Sprintf("randconnected:n=%d,p=%g", n, 4/float64(n+1))
 	},
 }
 
-// TopologyNames lists the -topo values, sorted.
+// TopologyNames lists the legacy -topo alias names, sorted. Full spec
+// strings (gen.Families) are additionally accepted anywhere a -topo name
+// is.
 func TopologyNames() []string {
-	names := make([]string, 0, len(topologies))
-	for name := range topologies {
+	names := make([]string, 0, len(topoAliases))
+	for name := range topoAliases {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// LoadGraph resolves the -topo/-n or -file flags into a graph.
+// LoadGraph resolves the legacy -topo/-n or -file flags into a graph,
+// seeding random families with 1 (the historical fixed seed). New call
+// sites should use LoadGraphSpec.
 func LoadGraph(topo string, n int, file string) (*graph.Graph, error) {
+	return LoadGraphSpec("", topo, n, file, 1)
+}
+
+// LoadGraphSpec resolves the graph-selection flags into a graph: exactly
+// one of spec (-graph, a gen spec string), topo (-topo, a legacy alias or a
+// spec string, sized by n), or file (-file, an edge-list path) must be set.
+// Random families derive all randomness from seed.
+func LoadGraphSpec(spec, topo string, n int, file string, seed int64) (*graph.Graph, error) {
+	set := 0
+	for _, s := range []string{spec, topo, file} {
+		if s != "" {
+			set++
+		}
+	}
 	switch {
-	case topo != "" && file != "":
-		return nil, fmt.Errorf("use either -topo or -file, not both")
+	case set > 1:
+		return nil, fmt.Errorf("use exactly one of -graph, -topo, or -file")
 	case file != "":
 		f, err := os.Open(file)
 		if err != nil {
@@ -75,14 +84,28 @@ func LoadGraph(topo string, n int, file string) (*graph.Graph, error) {
 			return nil, fmt.Errorf("read %s: %w", file, err)
 		}
 		return g, nil
+	case spec != "":
+		return gen.Build(spec, seed)
 	case topo != "":
-		ctor, ok := topologies[strings.ToLower(topo)]
-		if !ok {
-			return nil, fmt.Errorf("unknown topology %q (have: %s)", topo, strings.Join(TopologyNames(), ", "))
+		if alias, ok := topoAliases[strings.ToLower(strings.TrimSpace(topo))]; ok {
+			return gen.Build(alias(n), seed)
 		}
-		return ctor(n), nil
+		// Not an alias: accept a full spec string in -topo too, so the
+		// two flags converge on the same grammar — but only a spec with
+		// explicit parameters (or a parameter-less family). A bare
+		// family name like "tree" would silently discard -n and build
+		// the default size, so it stays an error here.
+		if spec, err := gen.Parse(topo); err == nil {
+			if fam, ok := gen.Lookup(spec.Family); ok && len(fam.Params) > 0 && len(spec.Params) == 0 {
+				return nil, fmt.Errorf("topology %q is a graph family; -n does not apply to specs, spell out its parameters (e.g. %q) or use an alias (%s)",
+					topo, spec.Family+":"+fam.Params[0].Name+"=8", strings.Join(TopologyNames(), ", "))
+			}
+			return gen.New(spec, seed)
+		}
+		return nil, fmt.Errorf("unknown topology %q (aliases: %s; or a graph spec, see -list)",
+			topo, strings.Join(TopologyNames(), ", "))
 	default:
-		return nil, fmt.Errorf("need -topo or -file")
+		return nil, fmt.Errorf("need -graph, -topo, or -file")
 	}
 }
 
@@ -101,4 +124,3 @@ func Adversary(name string, seed int64) (async.Adversary, error) {
 		return nil, fmt.Errorf("unknown adversary %q (want sync, collision, uniform, or random)", name)
 	}
 }
-

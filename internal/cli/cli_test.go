@@ -55,6 +55,89 @@ func TestLoadGraphErrors(t *testing.T) {
 	if _, err := cli.LoadGraph("", 4, "/does/not/exist.txt"); err == nil {
 		t.Error("missing file accepted")
 	}
+	// Out-of-range sizes now fail with an error instead of panicking.
+	if _, err := cli.LoadGraph("cycle", 2, ""); err == nil {
+		t.Error("cycle of 2 nodes accepted")
+	}
+}
+
+func TestLoadGraphSpec(t *testing.T) {
+	g, err := cli.LoadGraphSpec("grid:rows=4,cols=5", "", 0, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.M() != 31 {
+		t.Fatalf("grid:rows=4,cols=5 = %s", g)
+	}
+	// The seed reaches random families: distinct seeds, distinct graphs.
+	a, err := cli.LoadGraphSpec("randconnected:n=40,p=0.1", "", 0, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cli.LoadGraphSpec("randconnected:n=40,p=0.1", "", 0, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() == b.M() {
+		t.Log("seeds 1 and 2 built graphs with equal edge counts (possible but unlikely)")
+	}
+	// -topo accepts full spec strings too, converging both flags on the
+	// same grammar.
+	if g, err = cli.LoadGraphSpec("", "torus:rows=3,cols=5", 0, "", 1); err != nil || g.N() != 15 {
+		t.Fatalf("full spec via -topo: %v, %v", g, err)
+	}
+}
+
+func TestLoadGraphSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec, topo, file string
+	}{
+		{"grid:rows=4", "cycle", ""}, // -graph + -topo conflict
+		{"grid:rows=4", "", "g.txt"}, // -graph + -file conflict
+		{"", "cycle", "g.txt"},       // -topo + -file conflict
+		{"nosuchfamily:n=4", "", ""}, // unknown family
+		{"grid:depth=4", "", ""},     // undeclared parameter
+		{"grid:rows=four", "", ""},   // malformed value
+		{"cycle:n=2", "", ""},        // out-of-range value
+		{"", "", ""},                 // nothing selected
+		{"", "tree", ""},             // bare family via -topo would ignore -n
+		{"", "gnp", ""},              // same for any parameterised family
+	}
+	for _, tc := range cases {
+		if _, err := cli.LoadGraphSpec(tc.spec, tc.topo, 8, tc.file, 1); err == nil {
+			t.Errorf("LoadGraphSpec(%q, %q, %q) succeeded, want error", tc.spec, tc.topo, tc.file)
+		}
+	}
+}
+
+// TestTopoAliasesMatchSpecs: every legacy alias builds the same graph as
+// the spec it expands to (spot-checked via node/edge counts).
+func TestTopoAliasesMatchSpecs(t *testing.T) {
+	cases := []struct {
+		topo string
+		n    int
+		spec string
+	}{
+		{"grid", 6, "grid:rows=6,cols=6"},
+		{"clique", 7, "complete:n=7"},
+		{"hypercube", 5, "hypercube:d=5"},
+		{"bintree", 4, "bintree:levels=4"},
+		{"lollipop", 9, "lollipop:k=4,path=9"},
+		{"randomtree", 30, "tree:n=30"},
+	}
+	for _, tc := range cases {
+		viaTopo, err := cli.LoadGraph(tc.topo, tc.n, "")
+		if err != nil {
+			t.Fatalf("alias %s: %v", tc.topo, err)
+		}
+		viaSpec, err := cli.LoadGraphSpec(tc.spec, "", 0, "", 1)
+		if err != nil {
+			t.Fatalf("spec %s: %v", tc.spec, err)
+		}
+		if viaTopo.N() != viaSpec.N() || viaTopo.M() != viaSpec.M() {
+			t.Errorf("alias %s (n=%d) built %s, spec %s built %s", tc.topo, tc.n, viaTopo, tc.spec, viaSpec)
+		}
+	}
 }
 
 func TestLoadGraphFromFile(t *testing.T) {
@@ -82,4 +165,3 @@ func TestAdversaryLookup(t *testing.T) {
 		t.Error("unknown adversary accepted")
 	}
 }
-

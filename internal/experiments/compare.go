@@ -8,7 +8,6 @@ import (
 	"amnesiacflood/internal/classic"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
-	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/sim"
 )
 
@@ -28,17 +27,20 @@ func ClassicComparison(cfg Config) ([]*Table, error) {
 			"AF bits/node", "classic bits/node",
 		},
 	}
-	instances := []namedGraph{
-		{"path", gen.Path(64)},
-		{"evenCycle", gen.Cycle(64)},
-		{"oddCycle", gen.Cycle(65)},
-		{"grid", gen.Grid(12, 12)},
-		{"hypercube", gen.Hypercube(7)},
-		{"clique", gen.Complete(24)},
-		{"wheel", gen.Wheel(25)},
-		{"petersen", gen.Petersen()},
-		{"randomTree", gen.RandomTree(200, rng)},
-		{"randomNonBipartite", gen.RandomNonBipartite(200, 0.02, rng)},
+	instances, err := buildAll(cfg, 400, []specInstance{
+		{"path", "path:n=64"},
+		{"evenCycle", "cycle:n=64"},
+		{"oddCycle", "cycle:n=65"},
+		{"grid", "grid:rows=12,cols=12"},
+		{"hypercube", "hypercube:d=7"},
+		{"clique", "complete:n=24"},
+		{"wheel", "wheel:n=25"},
+		{"petersen", "petersen"},
+		{"randomTree", "tree:n=200"},
+		{"randomNonBipartite", "randnonbipartite:n=200,p=0.02"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("E8: %w", err)
 	}
 	for _, inst := range instances {
 		bip := algo.IsBipartite(inst.g)

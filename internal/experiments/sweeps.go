@@ -10,31 +10,57 @@ import (
 	"amnesiacflood/internal/theory"
 )
 
-// namedGraph couples an instance with the family label used in tables.
+// namedGraph couples an instance with the family label used in tables. The
+// graph itself is built from a registry spec, so g.Name() is the exact
+// canonical spec string and every table row is attributable to a precise
+// instance.
 type namedGraph struct {
 	family string
 	g      *graph.Graph
 }
 
-// bipartiteFamilies returns the bipartite instance sweep of experiment E4.
-func bipartiteFamilies(cfg Config, rng *rand.Rand) []namedGraph {
-	n := cfg.scaled(1)
-	instances := []namedGraph{
-		{"path", gen.Path(16 * n)},
-		{"path", gen.Path(256 * n)},
-		{"evenCycle", gen.Cycle(16 * n)},
-		{"evenCycle", gen.Cycle(256 * n)},
-		{"star", gen.Star(64 * n)},
-		{"grid", gen.Grid(8*n, 8*n)},
-		{"grid", gen.Grid(16*n, 32*n)},
-		{"binaryTree", gen.CompleteBinaryTree(7)},
-		{"hypercube", gen.Hypercube(6)},
-		{"hypercube", gen.Hypercube(9)},
-		{"completeBipartite", gen.CompleteBipartite(12*n, 20*n)},
-		{"randomTree", gen.RandomTree(512*n, rng)},
-		{"randomBipartite", gen.Connectify(gen.RandomBipartite(40*n, 56*n, 0.05, rng), rng)},
+// specInstance declares one sweep entry: a table label plus a registry
+// spec.
+type specInstance struct {
+	family string
+	spec   string
+}
+
+// buildAll materialises spec instances through the registry. The i-th
+// instance is seeded with cfg.Seed+base+i, so random families vary with the
+// configured seed but remain reproducible, and distinct instances of the
+// same family get distinct graphs. Specs the registry rejects (e.g. -scale
+// pushing a family past its size cap) surface as errors, not panics.
+func buildAll(cfg Config, base int64, instances []specInstance) ([]namedGraph, error) {
+	out := make([]namedGraph, len(instances))
+	for i, inst := range instances {
+		g, err := gen.Build(inst.spec, cfg.Seed+base+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = namedGraph{family: inst.family, g: g}
 	}
-	return instances
+	return out, nil
+}
+
+// bipartiteFamilies returns the bipartite instance sweep of experiment E4.
+func bipartiteFamilies(cfg Config) ([]namedGraph, error) {
+	n := cfg.scaled(1)
+	return buildAll(cfg, 100, []specInstance{
+		{"path", fmt.Sprintf("path:n=%d", 16*n)},
+		{"path", fmt.Sprintf("path:n=%d", 256*n)},
+		{"evenCycle", fmt.Sprintf("cycle:n=%d", 16*n)},
+		{"evenCycle", fmt.Sprintf("cycle:n=%d", 256*n)},
+		{"star", fmt.Sprintf("star:n=%d", 64*n)},
+		{"grid", fmt.Sprintf("grid:rows=%d,cols=%d", 8*n, 8*n)},
+		{"grid", fmt.Sprintf("grid:rows=%d,cols=%d", 16*n, 32*n)},
+		{"binaryTree", "bintree:levels=7"},
+		{"hypercube", "hypercube:d=6"},
+		{"hypercube", "hypercube:d=9"},
+		{"completeBipartite", fmt.Sprintf("bipartite:a=%d,b=%d", 12*n, 20*n)},
+		{"randomTree", fmt.Sprintf("tree:n=%d", 512*n)},
+		{"randomBipartite", fmt.Sprintf("randbipartite:a=%d,b=%d,p=0.05", 40*n, 56*n)},
+	})
 }
 
 // nonBipartiteInstance is an E5 sweep entry. strictAboveDiameter marks the
@@ -49,22 +75,32 @@ type nonBipartiteInstance struct {
 }
 
 // nonBipartiteFamilies returns the non-bipartite sweep of experiment E5.
-func nonBipartiteFamilies(cfg Config, rng *rand.Rand) []nonBipartiteInstance {
+func nonBipartiteFamilies(cfg Config) ([]nonBipartiteInstance, error) {
 	n := cfg.scaled(1)
-	return []nonBipartiteInstance{
-		{"triangle", gen.Cycle(3), true},
-		{"oddCycle", gen.Cycle(15*n + 2), true}, // odd for every scale
-		{"oddCycle", gen.Cycle(255*n + 2), true},
-		{"clique", gen.Complete(8 * n), true},
-		{"clique", gen.Complete(32 * n), true},
-		{"wheel", gen.Wheel(32*n + 1), true},
-		{"petersen", gen.Petersen(), true},
-		{"oddTorus", gen.Torus(5, 7), true},
-		{"lollipop", gen.Lollipop(5, 20*n), false},
-		{"barbell", gen.Barbell(5, 16*n), false},
-		{"randomNonBipartite", gen.RandomNonBipartite(128*n, 0.02, rng), false},
-		{"randomNonBipartite", gen.RandomNonBipartite(512*n, 0.005, rng), false},
+	strict := map[string]bool{"triangle": true, "oddCycle": true, "clique": true,
+		"wheel": true, "petersen": true, "oddTorus": true}
+	instances, err := buildAll(cfg, 200, []specInstance{
+		{"triangle", "cycle:n=3"},
+		{"oddCycle", fmt.Sprintf("cycle:n=%d", 15*n+2)}, // odd for every scale
+		{"oddCycle", fmt.Sprintf("cycle:n=%d", 255*n+2)},
+		{"clique", fmt.Sprintf("complete:n=%d", 8*n)},
+		{"clique", fmt.Sprintf("complete:n=%d", 32*n)},
+		{"wheel", fmt.Sprintf("wheel:n=%d", 32*n+1)},
+		{"petersen", "petersen"},
+		{"oddTorus", "torus:rows=5,cols=7"},
+		{"lollipop", fmt.Sprintf("lollipop:k=5,path=%d", 20*n)},
+		{"barbell", fmt.Sprintf("barbell:k=5,path=%d", 16*n)},
+		{"randomNonBipartite", fmt.Sprintf("randnonbipartite:n=%d,p=0.02", 128*n)},
+		{"randomNonBipartite", fmt.Sprintf("randnonbipartite:n=%d,p=0.005", 512*n)},
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := make([]nonBipartiteInstance, len(instances))
+	for i, inst := range instances {
+		out[i] = nonBipartiteInstance{family: inst.family, g: inst.g, strictAboveDiameter: strict[inst.family]}
+	}
+	return out, nil
 }
 
 // pickSources returns a deterministic spread of source nodes for an
@@ -99,8 +135,12 @@ func BipartiteTermination(cfg Config) ([]*Table, error) {
 		Title:   "Lemma 2.1 / Cor 2.2: AF on connected bipartite graphs",
 		Columns: []string{"family", "graph", "n", "m", "diam", "source", "e(src)", "rounds", "rounds==e(src)", "max receives"},
 	}
+	instances, err := bipartiteFamilies(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E4: %w", err)
+	}
 	checked := 0
-	for _, inst := range bipartiteFamilies(cfg, rng) {
+	for _, inst := range instances {
 		if !algo.IsBipartite(inst.g) {
 			return nil, fmt.Errorf("E4: instance %s is not bipartite (generator bug)", inst.g)
 		}
@@ -123,6 +163,7 @@ func BipartiteTermination(cfg Config) ([]*Table, error) {
 		}
 	}
 	t.AddNote("%d (instance, source) pairs; every run matched rounds == e(source) <= D with single receipt per node", checked)
+	t.AddNote("graph column is the registry spec (internal/graph/gen grammar); random instances seeded from the suite seed")
 	return []*Table{t}, nil
 }
 
@@ -137,8 +178,12 @@ func NonBipartiteTermination(cfg Config) ([]*Table, error) {
 		Title:   "Theorems 3.1 + 3.3: AF on connected non-bipartite graphs",
 		Columns: []string{"family", "graph", "n", "m", "diam", "source", "rounds", "rounds<=2D+1", "rounds>D", "max receives"},
 	}
+	instances, err := nonBipartiteFamilies(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E5: %w", err)
+	}
 	checked, strictHolds := 0, 0
-	for _, inst := range nonBipartiteFamilies(cfg, rng) {
+	for _, inst := range instances {
 		if algo.IsBipartite(inst.g) {
 			return nil, fmt.Errorf("E5: instance %s is bipartite (generator bug)", inst.g)
 		}
@@ -185,17 +230,20 @@ func RoundSetAnalysis(cfg Config) ([]*Table, error) {
 		Title:   "Figure 4 / Lemma 3.2: even-duration repeats never occur",
 		Columns: []string{"graph", "source", "rounds", "|R| sequences", "|Re| even", "min d", "max d"},
 	}
-	instances := []namedGraph{
-		{"triangle", gen.Cycle(3)},
-		{"oddCycle", gen.Cycle(9)},
-		{"evenCycle", gen.Cycle(10)},
-		{"clique", gen.Complete(7)},
-		{"petersen", gen.Petersen()},
-		{"wheel", gen.Wheel(9)},
-		{"grid", gen.Grid(5, 6)},
-		{"lollipop", gen.Lollipop(3, 6)},
-		{"randomNonBipartite", gen.RandomNonBipartite(60, 0.05, rng)},
-		{"randomConnected", gen.RandomConnected(60, 0.05, rng)},
+	instances, err := buildAll(cfg, 300, []specInstance{
+		{"triangle", "cycle:n=3"},
+		{"oddCycle", "cycle:n=9"},
+		{"evenCycle", "cycle:n=10"},
+		{"clique", "complete:n=7"},
+		{"petersen", "petersen"},
+		{"wheel", "wheel:n=9"},
+		{"grid", "grid:rows=5,cols=6"},
+		{"lollipop", "lollipop:k=3,path=6"},
+		{"randomNonBipartite", "randnonbipartite:n=60,p=0.05"},
+		{"randomConnected", "randconnected:n=60,p=0.05"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("E6: %w", err)
 	}
 	for _, inst := range instances {
 		for _, src := range pickSources(inst.g, rng) {

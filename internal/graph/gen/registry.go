@@ -1,0 +1,404 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"amnesiacflood/internal/graph"
+)
+
+// This file is the family registry and the spec grammar: every graph family
+// in this package self-registers under a name, and a one-line spec string
+// selects a family and binds its parameters:
+//
+//	family[:key=value[,key=value]...]
+//
+// Examples: "petersen", "path:n=64", "grid:rows=64,cols=64",
+// "gnp:n=200,p=0.05,connect=true". Family and key names are
+// case-insensitive; values must not contain ',' or '='. Omitted parameters
+// take the family's declared defaults. Random families consume the seed
+// passed to New, so equal (spec, seed) pairs build byte-identical graphs.
+//
+// A parsed Spec round-trips: String emits the parameters in the family's
+// declared order, so Parse(spec.String()) == spec for every parseable spec,
+// and Parse(s).String() == s for every canonically ordered s.
+
+// Kind types a family parameter.
+type Kind int
+
+// Parameter kinds.
+const (
+	// IntParam values parse with strconv.Atoi.
+	IntParam Kind = iota + 1
+	// FloatParam values parse with strconv.ParseFloat (probabilities).
+	FloatParam
+	// BoolParam values parse with strconv.ParseBool.
+	BoolParam
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case IntParam:
+		return "int"
+	case FloatParam:
+		return "float"
+	case BoolParam:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// check validates that raw parses as a value of kind k.
+func (k Kind) check(raw string) error {
+	var err error
+	switch k {
+	case IntParam:
+		_, err = strconv.Atoi(raw)
+	case FloatParam:
+		_, err = strconv.ParseFloat(raw, 64)
+	case BoolParam:
+		_, err = strconv.ParseBool(raw)
+	default:
+		err = fmt.Errorf("unknown kind %d", int(k))
+	}
+	return err
+}
+
+// Param declares one parameter of a family: its name, type, default value
+// (a canonical literal of the declared kind), and a one-line doc string for
+// -list output.
+type Param struct {
+	Name    string
+	Kind    Kind
+	Default string
+	Doc     string
+}
+
+// Values holds the resolved, type-checked parameters handed to a family's
+// Build function. Accessors are keyed by declared parameter name; asking
+// for an undeclared parameter is a programmer error and panics.
+type Values struct {
+	ints   map[string]int
+	floats map[string]float64
+	bools  map[string]bool
+}
+
+// Int returns the named int parameter.
+func (v Values) Int(name string) int {
+	n, ok := v.ints[name]
+	if !ok {
+		panic("gen: Build read undeclared int parameter " + name)
+	}
+	return n
+}
+
+// Float returns the named float parameter.
+func (v Values) Float(name string) float64 {
+	f, ok := v.floats[name]
+	if !ok {
+		panic("gen: Build read undeclared float parameter " + name)
+	}
+	return f
+}
+
+// Bool returns the named bool parameter.
+func (v Values) Bool(name string) bool {
+	b, ok := v.bools[name]
+	if !ok {
+		panic("gen: Build read undeclared bool parameter " + name)
+	}
+	return b
+}
+
+// Family describes one registered graph family: its parameter declarations
+// (order defines the canonical spec order), whether it consumes the seed,
+// and the constructor.
+type Family struct {
+	// Params declares the accepted parameters in canonical order.
+	Params []Param
+	// Random marks families that consume the seed passed to New;
+	// deterministic families receive a nil rng.
+	Random bool
+	// Doc is a one-line description for listings.
+	Doc string
+	// Build constructs the graph from resolved values. It must validate
+	// ranges and return an error (never panic) on unusable parameters,
+	// and must be a pure function of (v, rng) so runs are reproducible.
+	Build func(v Values, rng *rand.Rand) (*graph.Graph, error)
+}
+
+// param returns the declaration of the named parameter, or nil.
+func (f Family) param(name string) *Param {
+	for i := range f.Params {
+		if f.Params[i].Name == name {
+			return &f.Params[i]
+		}
+	}
+	return nil
+}
+
+var (
+	famMu    sync.RWMutex
+	famReg   = map[string]Family{}
+	famNames []string // sorted cache, rebuilt on Register
+)
+
+// Register adds a family under a name, normally from this package's init so
+// that importing gen is all it takes to make every family spec-addressable.
+// It panics on empty or duplicate names, nil constructors, and malformed
+// parameter declarations — all programmer errors.
+func Register(name string, fam Family) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		panic("gen: Register with empty family name")
+	}
+	if strings.ContainsAny(name, ":,= \t") {
+		panic("gen: family name " + name + " contains spec metacharacters")
+	}
+	if fam.Build == nil {
+		panic("gen: Register " + name + " with nil Build")
+	}
+	seen := map[string]bool{}
+	for _, p := range fam.Params {
+		if p.Name == "" || strings.ContainsAny(p.Name, ":,= \t") {
+			panic("gen: family " + name + " declares invalid parameter name " + strconv.Quote(p.Name))
+		}
+		if seen[p.Name] {
+			panic("gen: family " + name + " declares parameter " + p.Name + " twice")
+		}
+		seen[p.Name] = true
+		if err := p.Kind.check(p.Default); err != nil {
+			panic(fmt.Sprintf("gen: family %s parameter %s has unparseable default %q: %v", name, p.Name, p.Default, err))
+		}
+	}
+	famMu.Lock()
+	defer famMu.Unlock()
+	if _, dup := famReg[name]; dup {
+		panic("gen: Register called twice for family " + name)
+	}
+	famReg[name] = fam
+	famNames = append(famNames, name)
+	sort.Strings(famNames)
+}
+
+// Families enumerates the registered family names, sorted.
+func Families() []string {
+	famMu.RLock()
+	defer famMu.RUnlock()
+	return append([]string(nil), famNames...)
+}
+
+// Lookup returns the named family's declaration.
+func Lookup(name string) (Family, bool) {
+	famMu.RLock()
+	defer famMu.RUnlock()
+	fam, ok := famReg[strings.ToLower(strings.TrimSpace(name))]
+	return fam, ok
+}
+
+// Spec is a parsed graph specification: a family name plus explicit
+// parameter assignments. The zero value is invalid; build Specs with Parse
+// or Canonical.
+type Spec struct {
+	// Family is the lower-case registered family name.
+	Family string
+	// Params maps explicitly assigned parameter names to their raw
+	// values; omitted parameters default at build time.
+	Params map[string]string
+}
+
+// String renders the canonical spec string: the family name, then any
+// explicit parameters in the family's declared order. For specs produced by
+// Parse, Parse(spec.String()) reproduces spec exactly.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Family
+	}
+	ordered := make([]string, 0, len(s.Params))
+	emitted := map[string]bool{}
+	if fam, ok := Lookup(s.Family); ok {
+		for _, p := range fam.Params {
+			if v, set := s.Params[p.Name]; set {
+				ordered = append(ordered, p.Name+"="+v)
+				emitted[p.Name] = true
+			}
+		}
+	}
+	// Parameters the family does not declare (possible only on hand-built
+	// specs, which New rejects) trail in alphabetical order so String
+	// stays total and deterministic.
+	var extra []string
+	for k, v := range s.Params {
+		if !emitted[k] {
+			extra = append(extra, k+"="+v)
+		}
+	}
+	sort.Strings(extra)
+	return s.Family + ":" + strings.Join(append(ordered, extra...), ",")
+}
+
+// ErrUnknownFamily is wrapped into errors for family names outside the
+// registry, matchable with errors.Is.
+var ErrUnknownFamily = fmt.Errorf("unknown graph family")
+
+// Parse parses a spec string (see the grammar at the top of this file)
+// against the registry: the family must be registered, every key declared,
+// and every value parseable as the declared kind. Parse never panics, and
+// never builds a graph — use New for that.
+func Parse(s string) (Spec, error) {
+	famName, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
+	famName = strings.ToLower(strings.TrimSpace(famName))
+	if famName == "" {
+		return Spec{}, fmt.Errorf("gen: empty graph spec")
+	}
+	fam, ok := Lookup(famName)
+	if !ok {
+		return Spec{}, fmt.Errorf("gen: %w %q (registered: %s)", ErrUnknownFamily, famName, strings.Join(Families(), ", "))
+	}
+	spec := Spec{Family: famName}
+	if !hasParams {
+		return spec, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return Spec{}, fmt.Errorf("gen: spec %q has an empty parameter list (drop the trailing ':')", s)
+	}
+	spec.Params = map[string]string{}
+	for _, kv := range strings.Split(rest, ",") {
+		key, value, ok := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if !ok || key == "" || value == "" {
+			return Spec{}, fmt.Errorf("gen: spec %q: want key=value, got %q", s, kv)
+		}
+		decl := fam.param(key)
+		if decl == nil {
+			return Spec{}, fmt.Errorf("gen: spec %q: family %s has no parameter %q (accepts %s)", s, famName, key, paramNames(fam))
+		}
+		if err := decl.Kind.check(value); err != nil {
+			return Spec{}, fmt.Errorf("gen: spec %q: parameter %s wants %s, got %q", s, key, decl.Kind, value)
+		}
+		if _, dup := spec.Params[key]; dup {
+			return Spec{}, fmt.Errorf("gen: spec %q assigns parameter %s twice", s, key)
+		}
+		spec.Params[key] = value
+	}
+	return spec, nil
+}
+
+// MustParse is Parse for specs known good at compile time; it panics on
+// error.
+func MustParse(s string) Spec {
+	spec, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// Canonical returns the named family's fully explicit spec: every declared
+// parameter present at its default value, in declared order. It is the
+// natural enumeration seed for tools sweeping Families().
+func Canonical(name string) (Spec, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	fam, ok := Lookup(key)
+	if !ok {
+		return Spec{}, fmt.Errorf("gen: %w %q", ErrUnknownFamily, name)
+	}
+	spec := Spec{Family: key}
+	if len(fam.Params) > 0 {
+		spec.Params = map[string]string{}
+		for _, p := range fam.Params {
+			spec.Params[p.Name] = p.Default
+		}
+	}
+	return spec, nil
+}
+
+// New builds the graph a spec describes. Omitted parameters take their
+// declared defaults; random families derive all randomness from seed. The
+// returned graph is named with the fully explicit canonical spec string
+// (defaults included), so reports and benchmark rows identify the exact
+// instance.
+func New(spec Spec, seed int64) (*graph.Graph, error) {
+	fam, ok := Lookup(spec.Family)
+	if !ok {
+		return nil, fmt.Errorf("gen: %w %q (registered: %s)", ErrUnknownFamily, spec.Family, strings.Join(Families(), ", "))
+	}
+	values := Values{ints: map[string]int{}, floats: map[string]float64{}, bools: map[string]bool{}}
+	full := Spec{Family: spec.Family}
+	if len(fam.Params) > 0 {
+		full.Params = map[string]string{}
+	}
+	for k := range spec.Params {
+		if fam.param(k) == nil {
+			return nil, fmt.Errorf("gen: family %s has no parameter %q (accepts %s)", spec.Family, k, paramNames(fam))
+		}
+	}
+	for _, p := range fam.Params {
+		raw, set := spec.Params[p.Name]
+		if !set {
+			raw = p.Default
+		}
+		full.Params[p.Name] = raw
+		var err error
+		switch p.Kind {
+		case IntParam:
+			values.ints[p.Name], err = strconv.Atoi(raw)
+		case FloatParam:
+			values.floats[p.Name], err = strconv.ParseFloat(raw, 64)
+		case BoolParam:
+			values.bools[p.Name], err = strconv.ParseBool(raw)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gen: %s: parameter %s wants %s, got %q", spec.Family, p.Name, p.Kind, raw)
+		}
+	}
+	var rng *rand.Rand
+	if fam.Random {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	g, err := fam.Build(values, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gen: %s: %w", full, err)
+	}
+	return graph.Renamed(g, full.String()), nil
+}
+
+// Build parses and builds in one step — the convenience entry point for
+// CLIs and suites holding spec strings.
+func Build(spec string, seed int64) (*graph.Graph, error) {
+	parsed, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(parsed, seed)
+}
+
+// MustBuild is Build for specs known good at compile time; it panics on
+// error.
+func MustBuild(spec string, seed int64) *graph.Graph {
+	g, err := Build(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// paramNames renders a family's parameter declarations for error messages,
+// e.g. "rows int, cols int".
+func paramNames(fam Family) string {
+	if len(fam.Params) == 0 {
+		return "no parameters"
+	}
+	parts := make([]string, len(fam.Params))
+	for i, p := range fam.Params {
+		parts[i] = p.Name + " " + p.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}

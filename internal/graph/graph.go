@@ -223,6 +223,16 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(g.m) / float64(g.N())
 }
 
+// Renamed returns a view of g under a different name. The copy shares g's
+// adjacency storage (graphs are immutable, so sharing is safe); only the
+// reporting name differs. The generator registry uses it to stamp graphs
+// with their canonical spec string.
+func Renamed(g *Graph, name string) *Graph {
+	h := *g
+	h.name = name
+	return &h
+}
+
 // String renders a short human-readable summary such as
 // "cycle(6){n=6 m=6}".
 func (g *Graph) String() string {

@@ -1,0 +1,353 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
+)
+
+// Result is the outcome of one spec's run. Every field except WallMicros is
+// a deterministic function of the Spec, so suites executed under any worker
+// count agree result-for-result once order-normalised by Spec ID.
+type Result struct {
+	// Spec identifies the run.
+	Spec Spec `json:"spec"`
+	// N and M record the built graph's size, attributing results to the
+	// exact instance even for seeded random families.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Rounds, TotalMessages, Terminated, and Stopped mirror
+	// engine.Result.
+	Rounds        int  `json:"rounds"`
+	TotalMessages int  `json:"totalMessages"`
+	Terminated    bool `json:"terminated"`
+	Stopped       bool `json:"stopped,omitempty"`
+	// WallMicros is the wall-clock run time in microseconds. It is the
+	// one nondeterministic field; comparisons must ignore it.
+	WallMicros int64 `json:"wallMicros"`
+	// Err carries the run error, if any; errored runs leave the outcome
+	// fields (Rounds, TotalMessages, ...) zero, and N/M too when the
+	// failure precedes graph construction. A failed run does not abort
+	// the suite.
+	Err string `json:"err,omitempty"`
+}
+
+// Runner executes a suite of specs over a bounded worker pool. The zero
+// value is usable: DefaultWorkers workers and no sink.
+type Runner struct {
+	// Workers bounds the pool; <= 0 means DefaultWorkers.
+	Workers int
+	// Sink, when non-nil, receives every Result as it completes.
+	// Completion order is nondeterministic under more than one worker;
+	// Write calls are serialised by the runner, so sinks need no locking
+	// of their own.
+	Sink Sink
+}
+
+// DefaultWorkers is the pool bound used when Runner.Workers is zero:
+// GOMAXPROCS capped at 8 (the parallel engine shards each single run
+// further, so wider suite pools mostly fight it for cores).
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// group is the unit of work handed to a pool worker: all specs sharing a
+// graph, protocol, engine, seed, params, and round limit. One group = one
+// built graph and one sim.Session, so the fast engines amortise their
+// arenas across the group's runs via sim.RunBatch.
+type group struct {
+	key   string
+	specs []Spec
+}
+
+// groupKey buckets specs that can share a Session (everything but origins
+// and rep).
+func groupKey(s Spec) string {
+	return Spec{Graph: s.Graph, Protocol: s.Protocol, Engine: s.Engine,
+		Seed: s.Seed, Params: s.Params, MaxRounds: s.MaxRounds}.ID()
+}
+
+// Run executes every spec and returns the results sorted by Spec ID (the
+// order-normalised form). Individual run failures are recorded in
+// Result.Err and do not abort the suite; Run itself fails only on context
+// cancellation or a sink write error — either cancels the remaining work —
+// returning the results completed so far.
+func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Bucket specs into session-sharing groups, preserving first-seen
+	// order so sequential execution (workers=1) follows the suite order.
+	var groups []*group
+	index := map[string]*group{}
+	for _, s := range specs {
+		key := groupKey(s)
+		grp, ok := index[key]
+		if !ok {
+			grp = &group{key: key}
+			index[key] = grp
+			groups = append(groups, grp)
+		}
+		grp.specs = append(grp.specs, s)
+	}
+	if workers > len(groups) && len(groups) > 0 {
+		workers = len(groups)
+	}
+
+	jobs := make(chan *group)
+	resultCh := make(chan Result)
+	cache := newGraphCache()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for grp := range jobs {
+				runGroup(runCtx, grp, cache, resultCh)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, grp := range groups {
+			select {
+			case jobs <- grp:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resultCh)
+	}()
+
+	results := make([]Result, 0, len(specs))
+	var sinkErr error
+	for res := range resultCh {
+		results = append(results, res)
+		if r.Sink != nil && sinkErr == nil {
+			if err := r.Sink.Write(res); err != nil {
+				sinkErr = fmt.Errorf("scenario: sink: %w", err)
+				cancel() // stop the remaining work; keep draining resultCh
+			}
+		}
+	}
+	sortByID(results)
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, sinkErr
+}
+
+// sortByID order-normalises results by Spec ID, computing each key once
+// instead of inside the comparator (Spec.ID allocates).
+func sortByID(results []Result) {
+	keys := make([]string, len(results))
+	for i := range results {
+		keys[i] = results[i].Spec.ID()
+	}
+	sort.Sort(&keyedResults{keys: keys, results: results})
+}
+
+type keyedResults struct {
+	keys    []string
+	results []Result
+}
+
+func (k *keyedResults) Len() int           { return len(k.results) }
+func (k *keyedResults) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k *keyedResults) Swap(i, j int) {
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+	k.results[i], k.results[j] = k.results[j], k.results[i]
+}
+
+// graphCache builds each distinct (spec, seed) instance exactly once and
+// shares it across groups — a graph swept over P protocols and E engines
+// forms P*E groups but is constructed a single time. Graphs are immutable,
+// so cross-worker sharing is safe.
+type graphCache struct {
+	mu      sync.Mutex
+	entries map[string]*graphEntry
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+func newGraphCache() *graphCache {
+	return &graphCache{entries: map[string]*graphEntry{}}
+}
+
+// build returns the cached instance for (spec, seed), constructing it on
+// first use. Deterministic families ignore the seed (the registry
+// guarantees it), so they are keyed and built once per spec regardless of
+// the suite's seed axis. Distinct instances still build concurrently on
+// distinct workers; only duplicates wait.
+func (c *graphCache) build(spec string, seed int64) (*graph.Graph, error) {
+	key := spec
+	if famName, _, _ := strings.Cut(spec, ":"); famName != "" {
+		if fam, ok := gen.Lookup(famName); ok && fam.Random {
+			key = fmt.Sprintf("%s|%d", spec, seed)
+		}
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &graphEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = gen.Build(spec, seed) })
+	return e.g, e.err
+}
+
+// runGroup executes one group's specs on a shared graph and Session,
+// emitting one Result per spec.
+func runGroup(ctx context.Context, grp *group, cache *graphCache, out chan<- Result) {
+	emit := func(res Result) bool {
+		select {
+		case out <- res:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	// n/m are stamped onto every Result once the graph exists, so failure
+	// rows after construction still attribute to the instance size.
+	var n, m int
+	fail := func(specs []Spec, err error) {
+		for _, s := range specs {
+			if !emit(Result{Spec: s, N: n, M: m, Err: err.Error()}) {
+				return
+			}
+		}
+	}
+	head := grp.specs[0]
+	g, err := cache.build(head.Graph, head.Seed)
+	if err != nil {
+		fail(grp.specs, err)
+		return
+	}
+	n, m = g.N(), g.M()
+	kind, err := sim.ParseEngine(head.Engine)
+	if err != nil {
+		fail(grp.specs, err)
+		return
+	}
+
+	// Partition: single-origin specs share one Session through RunBatch
+	// (arena reuse); multi-origin specs each need their own protocol
+	// instance and run individually on the shared graph.
+	var batch []Spec
+	var solo []Spec
+	for _, s := range grp.specs {
+		if err := badOrigin(g, s.Origins); err != nil {
+			if !emit(Result{Spec: s, N: n, M: m, Err: err.Error()}) {
+				return
+			}
+			continue
+		}
+		if len(s.Origins) <= 1 {
+			batch = append(batch, s)
+		} else {
+			solo = append(solo, s)
+		}
+	}
+
+	if len(batch) > 0 {
+		opts := sessionOptions(head, kind)
+		sess, err := sim.New(g, append(opts, sim.WithOrigins(originOf(batch[0])))...)
+		if err != nil {
+			fail(append(batch, solo...), err)
+			return
+		}
+		for _, s := range batch {
+			if ctx.Err() != nil {
+				return
+			}
+			res, runErr := sess.RunBatch(ctx, []graph.NodeID{originOf(s)})
+			out1 := Result{Spec: s, N: g.N(), M: g.M()}
+			if runErr != nil {
+				out1.Err = runErr.Error()
+			} else {
+				r := res[0]
+				out1.Rounds, out1.TotalMessages = r.Rounds, r.TotalMessages
+				out1.Terminated, out1.Stopped = r.Terminated, r.Stopped
+				out1.WallMicros = r.WallTime.Microseconds()
+			}
+			if !emit(out1) {
+				return
+			}
+		}
+	}
+	for _, s := range solo {
+		if ctx.Err() != nil {
+			return
+		}
+		out1 := Result{Spec: s, N: g.N(), M: g.M()}
+		sess, err := sim.New(g, append(sessionOptions(s, kind), sim.WithOrigins(s.Origins...))...)
+		if err != nil {
+			out1.Err = err.Error()
+		} else if res, runErr := sess.Run(ctx); runErr != nil {
+			out1.Err = runErr.Error()
+		} else {
+			out1.Rounds, out1.TotalMessages = res.Rounds, res.TotalMessages
+			out1.Terminated, out1.Stopped = res.Terminated, res.Stopped
+			out1.WallMicros = res.WallTime.Microseconds()
+		}
+		if !emit(out1) {
+			return
+		}
+	}
+}
+
+// sessionOptions assembles the shared sim options of a spec (origins are
+// appended by the caller).
+func sessionOptions(s Spec, kind sim.EngineKind) []sim.Option {
+	opts := []sim.Option{
+		sim.WithProtocol(s.Protocol),
+		sim.WithEngine(kind),
+		sim.WithSeed(s.Seed),
+		sim.WithMaxRounds(s.MaxRounds),
+	}
+	for k, v := range s.Params {
+		opts = append(opts, sim.WithParam(k, v))
+	}
+	return opts
+}
+
+// originOf returns a spec's single origin, defaulting to node 0.
+func originOf(s Spec) graph.NodeID {
+	if len(s.Origins) == 0 {
+		return 0
+	}
+	return s.Origins[0]
+}
+
+// badOrigin reports the first origin outside the graph, or nil.
+func badOrigin(g *graph.Graph, origins []graph.NodeID) error {
+	for _, o := range origins {
+		if !g.HasNode(o) {
+			return fmt.Errorf("origin %d is not a node of %s", o, g)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package scenario is the declarative suite layer over the sim façade: a
+// Spec names one run as data (graph spec × protocol × engine × origins ×
+// seed), a Matrix expands the cross-product of those axes, and a Runner
+// executes a suite over a bounded worker pool, streaming results to
+// pluggable sinks (JSONL, CSV, in-memory aggregation).
+//
+// Where the sim package answers "run this protocol on this graph", scenario
+// answers "sweep every protocol over every family at every seed and tell me
+// what happened" — the quantified-over-graph-families shape of the paper's
+// termination claims, and the shape of any serving benchmark harness:
+//
+//	specs, _ := scenario.Matrix{
+//	        Graphs:    []string{"grid:rows=8,cols=8", "cycle:n=65", "prefattach:n=64,m=2"},
+//	        Protocols: []string{"amnesiac", "classic"},
+//	        Engines:   []string{"sequential", "parallel"},
+//	        Seeds:     []int64{1, 2},
+//	}.Expand()
+//	agg := scenario.NewAggregate()
+//	results, _ := (&scenario.Runner{Workers: 8, Sink: agg}).Run(ctx, specs)
+//
+// Every run is deterministic given its Spec, so the same suite executed
+// with any worker count produces the same results up to ordering (and wall
+// time); the Runner returns them sorted by Spec ID.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
+)
+
+// Spec fully determines one simulation run: it is pure data, safe to
+// marshal, log, and replay. The graph is a gen spec string, the protocol a
+// sim registry name, the engine a sim.ParseEngine spelling.
+type Spec struct {
+	// Graph is the graph spec, e.g. "grid:rows=64,cols=64" (see
+	// internal/graph/gen). Random families consume Seed.
+	Graph string `json:"graph"`
+	// Protocol is the registered protocol name (see sim.Protocols).
+	Protocol string `json:"protocol"`
+	// Engine is the engine name (see sim.EngineNames).
+	Engine string `json:"engine"`
+	// Origins is the origin node set; empty means node 0.
+	Origins []graph.NodeID `json:"origins,omitempty"`
+	// Seed drives graph construction and protocol randomness.
+	Seed int64 `json:"seed"`
+	// Rep distinguishes repetitions of an otherwise identical spec.
+	Rep int `json:"rep,omitempty"`
+	// Params carries protocol parameters (sim.WithParam).
+	Params map[string]string `json:"params,omitempty"`
+	// MaxRounds bounds the run; 0 means the engine default.
+	MaxRounds int `json:"maxRounds,omitempty"`
+}
+
+// ID renders a stable, human-readable identity for the spec — the sort key
+// for order-normalised result comparison.
+func (s Spec) ID() string {
+	origins := make([]string, len(s.Origins))
+	for i, o := range s.Origins {
+		origins[i] = strconv.Itoa(int(o))
+	}
+	var params []string
+	for k, v := range s.Params {
+		// Quote values so free-form strings containing ',' or '=' cannot
+		// make two distinct specs render the same ID.
+		params = append(params, k+"="+strconv.Quote(v))
+	}
+	sort.Strings(params)
+	return fmt.Sprintf("%s|%s|%s|o=%s|seed=%d|rep=%d|%s|max=%d",
+		s.Graph, s.Protocol, s.Engine, strings.Join(origins, ","), s.Seed, s.Rep,
+		strings.Join(params, ","), s.MaxRounds)
+}
+
+// Validate checks the spec against the graph, protocol, and engine
+// registries without running anything.
+func (s Spec) Validate() error {
+	if _, err := gen.Parse(s.Graph); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if _, err := sim.ParseEngine(s.Engine); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	proto := strings.ToLower(strings.TrimSpace(s.Protocol))
+	for _, name := range sim.Protocols() {
+		if name == proto {
+			return nil
+		}
+	}
+	return fmt.Errorf("scenario: %w %q (registered: %s)",
+		sim.ErrUnknownProtocol, s.Protocol, strings.Join(sim.Protocols(), ", "))
+}
+
+// Matrix declares a suite as the cross-product of its axes. Zero-valued
+// axes default to the identity: protocols to amnesiac, engines to
+// sequential, origin sets to {0}, seeds to {1}, reps to 1. Graphs is the
+// only mandatory axis.
+type Matrix struct {
+	// Graphs lists gen spec strings.
+	Graphs []string
+	// Protocols lists registered protocol names.
+	Protocols []string
+	// Engines lists engine names.
+	Engines []string
+	// OriginSets lists origin sets; each set is one run's origins.
+	OriginSets [][]graph.NodeID
+	// Seeds lists seeds; each seed rebuilds random graphs and reseeds
+	// randomised protocols.
+	Seeds []int64
+	// Reps repeats every cell, for timing stability; min 1.
+	Reps int
+	// Params applies to every run (protocol parameters).
+	Params map[string]string
+	// MaxRounds bounds every run; 0 means the engine default.
+	MaxRounds int
+}
+
+// Expand enumerates the cross-product in deterministic order (graphs ×
+// protocols × engines × origin sets × seeds × reps), validating every axis
+// value against its registry up front. Graph specs are canonically ordered
+// (lower-cased, parameters in declared order), so two spellings of the
+// same explicit parameter set expand to equal Specs; defaults are not
+// expanded, so "gnp" and its fully explicit form remain distinct cells.
+func (m Matrix) Expand() ([]Spec, error) {
+	if len(m.Graphs) == 0 {
+		return nil, fmt.Errorf("scenario: matrix has no graphs")
+	}
+	graphs := make([]string, len(m.Graphs))
+	for i, g := range m.Graphs {
+		parsed, err := gen.Parse(g)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		graphs[i] = parsed.String()
+	}
+	protocols := make([]string, 0, len(m.Protocols))
+	registered := map[string]bool{}
+	for _, name := range sim.Protocols() {
+		registered[name] = true
+	}
+	for _, p := range m.Protocols {
+		p = strings.ToLower(strings.TrimSpace(p))
+		if !registered[p] {
+			return nil, fmt.Errorf("scenario: %w %q (registered: %s)",
+				sim.ErrUnknownProtocol, p, strings.Join(sim.Protocols(), ", "))
+		}
+		protocols = append(protocols, p)
+	}
+	if len(protocols) == 0 {
+		protocols = []string{"amnesiac"}
+	}
+	engines := make([]string, len(m.Engines))
+	for i, e := range m.Engines {
+		kind, err := sim.ParseEngine(e)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		// Canonical spelling, so alias spellings ("seq") expand to the
+		// same Spec (and hence group/ID) as their full names.
+		engines[i] = kind.String()
+	}
+	if len(engines) == 0 {
+		engines = []string{sim.Sequential.String()}
+	}
+	originSets := m.OriginSets
+	if len(originSets) == 0 {
+		originSets = [][]graph.NodeID{{0}}
+	}
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	reps := m.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	specs := make([]Spec, 0, len(graphs)*len(protocols)*len(engines)*len(originSets)*len(seeds)*reps)
+	params := func() map[string]string {
+		if len(m.Params) == 0 {
+			return nil
+		}
+		cp := make(map[string]string, len(m.Params))
+		for k, v := range m.Params {
+			cp[k] = v
+		}
+		return cp
+	}
+	for _, g := range graphs {
+		for _, proto := range protocols {
+			for _, eng := range engines {
+				for _, origins := range originSets {
+					for _, seed := range seeds {
+						// Every axis value was validated against its
+						// registry above, so the cells need no
+						// per-spec re-validation.
+						for rep := 0; rep < reps; rep++ {
+							specs = append(specs, Spec{
+								Graph:     g,
+								Protocol:  proto,
+								Engine:    eng,
+								Origins:   append([]graph.NodeID(nil), origins...),
+								Seed:      seed,
+								Rep:       rep,
+								Params:    params(),
+								MaxRounds: m.MaxRounds,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Sink consumes results as the Runner completes them. The Runner serialises
+// Write calls, so implementations need no internal locking for its sake;
+// Aggregate locks anyway because callers read it while or after a suite
+// runs.
+type Sink interface {
+	Write(Result) error
+}
+
+// MultiSink fans every result out to several sinks in order, stopping at
+// the first error.
+type MultiSink []Sink
+
+// Write implements Sink.
+func (m MultiSink) Write(res Result) error {
+	for _, s := range m {
+		if err := s.Write(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonlSink streams one JSON object per line.
+type jsonlSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing each result as one JSON line — the
+// append-friendly format for long sweeps and the `make suite` smoke test.
+func NewJSONLSink(w io.Writer) Sink {
+	return jsonlSink{enc: json.NewEncoder(w)}
+}
+
+// Write implements Sink.
+func (s jsonlSink) Write(res Result) error {
+	return s.enc.Encode(res)
+}
+
+// CSVSink streams results as CSV with a fixed header. Call Flush when the
+// suite is done.
+type CSVSink struct {
+	w           *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVSink returns a CSV sink over w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// csvHeader is the column layout of CSVSink.
+var csvHeader = []string{
+	"graph", "protocol", "engine", "origins", "seed", "rep",
+	"n", "m", "rounds", "messages", "terminated", "stopped", "wall_us", "err",
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(res Result) error {
+	if !s.wroteHeader {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.wroteHeader = true
+	}
+	origins := make([]string, len(res.Spec.Origins))
+	for i, o := range res.Spec.Origins {
+		origins[i] = strconv.Itoa(int(o))
+	}
+	return s.w.Write([]string{
+		res.Spec.Graph, res.Spec.Protocol, res.Spec.Engine, strings.Join(origins, " "),
+		strconv.FormatInt(res.Spec.Seed, 10), strconv.Itoa(res.Spec.Rep),
+		strconv.Itoa(res.N), strconv.Itoa(res.M),
+		strconv.Itoa(res.Rounds), strconv.Itoa(res.TotalMessages),
+		strconv.FormatBool(res.Terminated), strconv.FormatBool(res.Stopped),
+		strconv.FormatInt(res.WallMicros, 10), res.Err,
+	})
+}
+
+// Flush drains the CSV writer's buffer and reports any deferred write
+// error.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Aggregate is the in-memory sink: it retains every result and folds
+// per-(graph, protocol, engine) statistics as they stream in.
+type Aggregate struct {
+	mu      sync.Mutex
+	results []Result
+	cells   map[string]*Cell
+}
+
+// Cell is one aggregation bucket of an Aggregate.
+type Cell struct {
+	// Graph, Protocol, and Engine identify the bucket.
+	Graph    string
+	Protocol string
+	Engine   string
+	// Runs and Errors count completed and failed runs.
+	Runs   int
+	Errors int
+	// MinRounds/MaxRounds/SumRounds summarise round counts over the
+	// non-failed runs, and SumMessages their message totals.
+	MinRounds   int
+	MaxRounds   int
+	SumRounds   int
+	SumMessages int
+	// SumWallMicros accumulates wall time over non-failed runs.
+	SumWallMicros int64
+}
+
+// MeanRounds returns the mean round count over successful runs.
+func (c *Cell) MeanRounds() float64 {
+	if n := c.Runs - c.Errors; n > 0 {
+		return float64(c.SumRounds) / float64(n)
+	}
+	return 0
+}
+
+// NewAggregate returns an empty in-memory sink.
+func NewAggregate() *Aggregate {
+	return &Aggregate{cells: map[string]*Cell{}}
+}
+
+// Write implements Sink.
+func (a *Aggregate) Write(res Result) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.results = append(a.results, res)
+	key := res.Spec.Graph + "|" + res.Spec.Protocol + "|" + res.Spec.Engine
+	cell, ok := a.cells[key]
+	if !ok {
+		cell = &Cell{Graph: res.Spec.Graph, Protocol: res.Spec.Protocol, Engine: res.Spec.Engine}
+		a.cells[key] = cell
+	}
+	cell.Runs++
+	if res.Err != "" {
+		cell.Errors++
+		return nil
+	}
+	if cell.Runs-cell.Errors == 1 || res.Rounds < cell.MinRounds {
+		cell.MinRounds = res.Rounds
+	}
+	if res.Rounds > cell.MaxRounds {
+		cell.MaxRounds = res.Rounds
+	}
+	cell.SumRounds += res.Rounds
+	cell.SumMessages += res.TotalMessages
+	cell.SumWallMicros += res.WallMicros
+	return nil
+}
+
+// Results returns every retained result sorted by Spec ID (the
+// order-normalised form).
+func (a *Aggregate) Results() []Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := append([]Result(nil), a.results...)
+	sortByID(out)
+	return out
+}
+
+// Cells returns the aggregation buckets sorted by (graph, protocol,
+// engine).
+func (a *Aggregate) Cells() []*Cell {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Cell, 0, len(a.cells))
+	for _, c := range a.cells {
+		cp := *c
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Graph != out[j].Graph {
+			return out[i].Graph < out[j].Graph
+		}
+		if out[i].Protocol != out[j].Protocol {
+			return out[i].Protocol < out[j].Protocol
+		}
+		return out[i].Engine < out[j].Engine
+	})
+	return out
+}
+
+// Fprint renders the aggregate as an aligned text table, one row per cell.
+func (a *Aggregate) Fprint(w io.Writer) error {
+	cells := a.Cells()
+	if _, err := fmt.Fprintf(w, "%-40s %-12s %-12s %5s %4s %6s %6s %8s %10s %10s\n",
+		"graph", "protocol", "engine", "runs", "err", "minR", "maxR", "meanR", "msgs", "wall_us"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if _, err := fmt.Fprintf(w, "%-40s %-12s %-12s %5d %4d %6d %6d %8.1f %10d %10d\n",
+			c.Graph, c.Protocol, c.Engine, c.Runs, c.Errors,
+			c.MinRounds, c.MaxRounds, c.MeanRounds(), c.SumMessages, c.SumWallMicros); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,13 +4,14 @@
 // that the rest of the repository can sweep without re-deciding which
 // graphs matter.
 //
-// Catalog entries are constructors, not graphs: random families rebuild
-// from the caller's seed so every consumer controls reproducibility.
+// Catalog entries are graph specs, not graphs: each instance names its
+// topology in the internal/graph/gen spec grammar, and random families
+// rebuild from the caller's seed so every consumer controls
+// reproducibility. Because entries are specs, the catalog feeds directly
+// into scenario.Matrix{Graphs: workload.Specs(...)}.
 package workload
 
 import (
-	"math/rand"
-
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 )
@@ -46,22 +47,23 @@ func (c Class) String() string {
 type Instance struct {
 	// Name is unique within the catalog.
 	Name string
+	// Spec is the instance's graph spec (internal/graph/gen grammar);
+	// Build constructs it and scenario suites can consume it directly.
+	Spec string
 	// Class classifies the instance (paper figure, structured, random).
 	Class Class
-	// Bipartite and SourceSymmetric declare expected properties; the
-	// workload tests verify them against ground truth.
+	// Bipartite declares the expected two-colourability; the workload
+	// tests verify it against ground truth.
 	Bipartite bool
 	// SourceSymmetric marks vertex-transitive instances on which every
 	// source behaves identically (cycles, cliques, hypercubes, tori,
 	// Petersen).
 	SourceSymmetric bool
-	// Build constructs the graph; random families consume the seed.
-	Build func(seed int64) *graph.Graph
 }
 
-// fixed adapts a deterministic constructor.
-func fixed(g func() *graph.Graph) func(int64) *graph.Graph {
-	return func(int64) *graph.Graph { return g() }
+// Build constructs the instance's graph; random families consume the seed.
+func (i Instance) Build(seed int64) *graph.Graph {
+	return gen.MustBuild(i.Spec, seed)
 }
 
 // Catalog returns the full instance set. The slice is freshly allocated;
@@ -69,70 +71,46 @@ func fixed(g func() *graph.Graph) func(int64) *graph.Graph {
 func Catalog() []Instance {
 	return []Instance{
 		// The paper's figures.
-		{Name: "fig1-line", Class: PaperFigure, Bipartite: true,
-			Build: fixed(func() *graph.Graph { return gen.Path(4) })},
-		{Name: "fig2-triangle", Class: PaperFigure, Bipartite: false, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Cycle(3) })},
-		{Name: "fig3-evenCycle", Class: PaperFigure, Bipartite: true, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Cycle(6) })},
+		{Name: "fig1-line", Spec: "path:n=4", Class: PaperFigure, Bipartite: true},
+		{Name: "fig2-triangle", Spec: "cycle:n=3", Class: PaperFigure, Bipartite: false, SourceSymmetric: true},
+		{Name: "fig3-evenCycle", Spec: "cycle:n=6", Class: PaperFigure, Bipartite: true, SourceSymmetric: true},
 
 		// Structured bipartite.
-		{Name: "path-64", Class: Structured, Bipartite: true,
-			Build: fixed(func() *graph.Graph { return gen.Path(64) })},
-		{Name: "evenCycle-64", Class: Structured, Bipartite: true, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Cycle(64) })},
-		{Name: "star-33", Class: Structured, Bipartite: true,
-			Build: fixed(func() *graph.Graph { return gen.Star(33) })},
-		{Name: "grid-8x13", Class: Structured, Bipartite: true,
-			Build: fixed(func() *graph.Graph { return gen.Grid(8, 13) })},
-		{Name: "binaryTree-6", Class: Structured, Bipartite: true,
-			Build: fixed(func() *graph.Graph { return gen.CompleteBinaryTree(6) })},
-		{Name: "hypercube-7", Class: Structured, Bipartite: true, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Hypercube(7) })},
-		{Name: "completeBipartite-9x14", Class: Structured, Bipartite: true,
-			Build: fixed(func() *graph.Graph { return gen.CompleteBipartite(9, 14) })},
-		{Name: "evenTorus-6x8", Class: Structured, Bipartite: true, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Torus(6, 8) })},
+		{Name: "path-64", Spec: "path:n=64", Class: Structured, Bipartite: true},
+		{Name: "evenCycle-64", Spec: "cycle:n=64", Class: Structured, Bipartite: true, SourceSymmetric: true},
+		{Name: "star-33", Spec: "star:n=33", Class: Structured, Bipartite: true},
+		{Name: "grid-8x13", Spec: "grid:rows=8,cols=13", Class: Structured, Bipartite: true},
+		{Name: "binaryTree-6", Spec: "bintree:levels=6", Class: Structured, Bipartite: true},
+		{Name: "hypercube-7", Spec: "hypercube:d=7", Class: Structured, Bipartite: true, SourceSymmetric: true},
+		{Name: "completeBipartite-9x14", Spec: "bipartite:a=9,b=14", Class: Structured, Bipartite: true},
+		{Name: "evenTorus-6x8", Spec: "torus:rows=6,cols=8", Class: Structured, Bipartite: true, SourceSymmetric: true},
 
 		// Structured non-bipartite.
-		{Name: "oddCycle-65", Class: Structured, Bipartite: false, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Cycle(65) })},
-		{Name: "clique-17", Class: Structured, Bipartite: false, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Complete(17) })},
-		{Name: "wheel-18", Class: Structured, Bipartite: false,
-			Build: fixed(func() *graph.Graph { return gen.Wheel(18) })},
-		{Name: "petersen", Class: Structured, Bipartite: false, SourceSymmetric: true,
-			Build: fixed(gen.Petersen)},
-		{Name: "lollipop-5x12", Class: Structured, Bipartite: false,
-			Build: fixed(func() *graph.Graph { return gen.Lollipop(5, 12) })},
-		{Name: "barbell-5x9", Class: Structured, Bipartite: false,
-			Build: fixed(func() *graph.Graph { return gen.Barbell(5, 9) })},
-		{Name: "oddTorus-5x7", Class: Structured, Bipartite: false, SourceSymmetric: true,
-			Build: fixed(func() *graph.Graph { return gen.Torus(5, 7) })},
+		{Name: "oddCycle-65", Spec: "cycle:n=65", Class: Structured, Bipartite: false, SourceSymmetric: true},
+		{Name: "clique-17", Spec: "complete:n=17", Class: Structured, Bipartite: false, SourceSymmetric: true},
+		{Name: "wheel-18", Spec: "wheel:n=18", Class: Structured, Bipartite: false},
+		{Name: "petersen", Spec: "petersen", Class: Structured, Bipartite: false, SourceSymmetric: true},
+		{Name: "lollipop-5x12", Spec: "lollipop:k=5,path=12", Class: Structured, Bipartite: false},
+		{Name: "barbell-5x9", Spec: "barbell:k=5,path=9", Class: Structured, Bipartite: false},
+		{Name: "oddTorus-5x7", Spec: "torus:rows=5,cols=7", Class: Structured, Bipartite: false, SourceSymmetric: true},
 
 		// Randomized.
-		{Name: "randomTree-150", Class: Randomized, Bipartite: true,
-			Build: func(seed int64) *graph.Graph {
-				return gen.RandomTree(150, rand.New(rand.NewSource(seed)))
-			}},
-		{Name: "randomBipartite-40x45", Class: Randomized, Bipartite: true,
-			Build: func(seed int64) *graph.Graph {
-				rng := rand.New(rand.NewSource(seed))
-				return gen.Connectify(gen.RandomBipartite(40, 45, 0.06, rng), rng)
-			}},
-		{Name: "randomConnected-150", Class: Randomized, Bipartite: false, // almost surely
-			Build: func(seed int64) *graph.Graph {
-				return gen.RandomConnected(150, 0.04, rand.New(rand.NewSource(seed)))
-			}},
-		{Name: "randomNonBipartite-150", Class: Randomized, Bipartite: false,
-			Build: func(seed int64) *graph.Graph {
-				return gen.RandomNonBipartite(150, 0.03, rand.New(rand.NewSource(seed)))
-			}},
-		{Name: "prefAttach-150x3", Class: Randomized, Bipartite: false, // triangles abound
-			Build: func(seed int64) *graph.Graph {
-				return gen.PreferentialAttachment(150, 3, rand.New(rand.NewSource(seed)))
-			}},
+		{Name: "randomTree-150", Spec: "tree:n=150", Class: Randomized, Bipartite: true},
+		{Name: "randomBipartite-40x45", Spec: "randbipartite:a=40,b=45,p=0.06", Class: Randomized, Bipartite: true},
+		{Name: "randomConnected-150", Spec: "randconnected:n=150,p=0.04", Class: Randomized, Bipartite: false}, // almost surely
+		{Name: "randomNonBipartite-150", Spec: "randnonbipartite:n=150,p=0.03", Class: Randomized, Bipartite: false},
+		{Name: "prefAttach-150x3", Spec: "prefattach:n=150,m=3", Class: Randomized, Bipartite: false}, // triangles abound
 	}
+}
+
+// Specs returns the graph specs of the given instances — the bridge into
+// scenario.Matrix.Graphs.
+func Specs(instances []Instance) []string {
+	out := make([]string, len(instances))
+	for i, inst := range instances {
+		out[i] = inst.Spec
+	}
+	return out
 }
 
 // Figures returns only the paper-figure instances.

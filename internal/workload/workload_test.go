@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/workload"
 )
 
@@ -17,6 +18,26 @@ func TestCatalogNamesUnique(t *testing.T) {
 			t.Errorf("duplicate instance name %q", inst.Name)
 		}
 		seen[inst.Name] = true
+	}
+}
+
+// TestCatalogSpecsCanonical: every instance is addressed by a registry
+// spec in canonical (round-tripping) form, so the catalog feeds directly
+// into scenario matrices and spec-keyed result stores.
+func TestCatalogSpecsCanonical(t *testing.T) {
+	for _, inst := range workload.Catalog() {
+		spec, err := gen.Parse(inst.Spec)
+		if err != nil {
+			t.Errorf("%s: bad spec %q: %v", inst.Name, inst.Spec, err)
+			continue
+		}
+		if got := spec.String(); got != inst.Spec {
+			t.Errorf("%s: spec %q is not canonical (want %q)", inst.Name, inst.Spec, got)
+		}
+	}
+	specs := workload.Specs(workload.Figures())
+	if len(specs) != 3 || specs[0] != "path:n=4" {
+		t.Errorf("Specs(Figures()) = %v", specs)
 	}
 }
 
