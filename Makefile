@@ -41,10 +41,18 @@ bench-smoke:
 # suite runs a tiny scenario matrix (3 graph families x 2 protocols x 2
 # engines, 2 seeds) through the JSONL sink over an 8-worker pool — the
 # end-to-end smoke test of the graph-spec registry, the scenario layer, and
-# the afbench suite mode. CI runs it on every push.
+# the afbench suite mode — followed by an execution-model matrix (sync,
+# asynchronous adversaries, dynamic schedules over the same graphs; amnesiac
+# only, since non-sync models run only that protocol). CI runs both on
+# every push.
 suite:
 	go run ./cmd/afbench -suite \
 	  -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
 	  -protocols amnesiac,classic \
 	  -engines sequential,parallel \
 	  -seeds 1,2 -workers 8 -format jsonl
+	go run ./cmd/afbench -suite \
+	  -graphs "cycle:n=9;grid:rows=4,cols=5" \
+	  -models "sync;adversary:collision;adversary:uniform:extra=2;schedule:blink:period=2,phase=1;schedule:alternating" \
+	  -schedules static \
+	  -seeds 1,2 -workers 8 -maxrounds 4096 -format jsonl

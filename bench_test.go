@@ -26,6 +26,8 @@ import (
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/model"
+	"amnesiacflood/internal/model/modeltest"
 	"amnesiacflood/internal/multiflood"
 	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/termdetect"
@@ -192,28 +194,33 @@ func BenchmarkRoundSetAnalysis(b *testing.B) {
 }
 
 // E7: Figure 5 — asynchronous runs to their certificate (odd cycles under
-// the delaying adversary) or to termination (control adversary).
+// the delaying adversary) or to termination (control adversary), through
+// the sim façade's model axis. Sessions are reused, so the model engine
+// amortises its packed arenas exactly as a serving deployment would.
 func BenchmarkAsyncAdversary(b *testing.B) {
 	cases := []struct {
-		name string
-		g    *graph.Graph
-		adv  async.Adversary
-		want async.Outcome
+		name  string
+		g     *graph.Graph
+		model string
+		want  engine.Outcome
 	}{
-		{"triangle/collision", gen.Cycle(3), async.CollisionDelayer{}, async.CycleDetected},
-		{"C15/collision", gen.Cycle(15), async.CollisionDelayer{}, async.CycleDetected},
-		{"C101/collision", gen.Cycle(101), async.CollisionDelayer{}, async.CycleDetected},
-		{"triangle/sync", gen.Cycle(3), async.SyncAdversary{}, async.Terminated},
-		{"tree/collision", gen.CompleteBinaryTree(7), async.CollisionDelayer{}, async.Terminated},
+		{"triangle/collision", gen.Cycle(3), "adversary:collision", engine.OutcomeCycle},
+		{"C15/collision", gen.Cycle(15), "adversary:collision", engine.OutcomeCycle},
+		{"C101/collision", gen.Cycle(101), "adversary:collision", engine.OutcomeCycle},
+		{"triangle/sync", gen.Cycle(3), "adversary:sync", engine.OutcomeTerminated},
+		{"tree/collision", gen.CompleteBinaryTree(7), "adversary:collision", engine.OutcomeTerminated},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
-			var res async.Result
-			var err error
+			sess, err := sim.New(tc.g, sim.WithModel(tc.model))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res engine.Result
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err = async.Run(tc.g, tc.adv, async.Options{}, 0)
+				res, err = sess.Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -225,6 +232,88 @@ func BenchmarkAsyncAdversary(b *testing.B) {
 			b.ReportMetric(float64(res.Rounds), "rounds")
 		})
 	}
+}
+
+// BenchmarkModels measures the certificate path of the two model engines
+// against the frozen string-key baseline they replaced: identical runs to
+// the same certified cycle, with the configuration detector as the only
+// difference that matters. allocs/op is the headline number — the packed
+// detector does arithmetic on reused arenas where the baseline serialised
+// every configuration to a sorted, joined string.
+func BenchmarkModels(b *testing.B) {
+	asyncCycle := gen.Cycle(101)
+	b.Run("async/packed/C101", func(b *testing.B) {
+		eng := model.NewAsync(asyncCycle, async.CollisionDelayer{})
+		var res engine.Result
+		var err error
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err = eng.Run(context.Background(), []graph.NodeID{0}, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Outcome != engine.OutcomeCycle {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds")
+	})
+	b.Run("async/stringkey/C101", func(b *testing.B) {
+		var res modeltest.AsyncResult
+		var err error
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err = modeltest.AsyncRun(asyncCycle, async.CollisionDelayer{}, 0, false, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Outcome != engine.OutcomeCycle {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds")
+	})
+	dynCycle := gen.Cycle(64)
+	dynSched := dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 63}}
+	b.Run("dynamic/packed/outageC64", func(b *testing.B) {
+		eng := model.NewDynamic(dynCycle, dynSched)
+		var res engine.Result
+		var err error
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err = eng.Run(context.Background(), []graph.NodeID{0}, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Outcome != engine.OutcomeCycle {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds")
+	})
+	b.Run("dynamic/stringkey/outageC64", func(b *testing.B) {
+		var res modeltest.DynamicResult
+		var err error
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err = modeltest.DynamicRun(dynCycle, dynSched, 0, false, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Outcome != engine.OutcomeCycle {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds")
+	})
 }
 
 // E8: amnesiac vs classic flooding on the same instances — the message and
@@ -416,33 +505,39 @@ func BenchmarkMultiSource(b *testing.B) {
 	}
 }
 
-// E14: dynamic schedules, one terminating and one certified-looping.
+// E14: dynamic schedules, one terminating and one certified-looping,
+// through the sim façade's model axis with session reuse.
 func BenchmarkDynamicNetworks(b *testing.B) {
-	b.Run("static/grid16", func(b *testing.B) {
-		g := gen.Grid(16, 16)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := dynamic.Run(g, dynamic.Static{}, dynamic.Options{}, 0); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("outage/C64", func(b *testing.B) {
-		g := gen.Cycle(64)
-		sched := dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 63}}
-		var res dynamic.Result
-		var err error
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			res, err = dynamic.Run(g, sched, dynamic.Options{}, 0)
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		model string
+		want  engine.Outcome
+	}{
+		{"static/grid16", gen.Grid(16, 16), "schedule:static", engine.OutcomeTerminated},
+		{"outage/C64", gen.Cycle(64), "schedule:outage:round=1,u=0,v=63", engine.OutcomeCycle},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			sess, err := sim.New(tc.g, sim.WithModel(tc.model))
 			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		if res.Outcome != dynamic.CycleDetected {
-			b.Fatalf("outcome %v", res.Outcome)
-		}
-	})
+			var res engine.Result
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = sess.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if res.Outcome != tc.want {
+				b.Fatalf("outcome %v, want %v", res.Outcome, tc.want)
+			}
+		})
+	}
 }
 
 // E15: one loss-curve point (20 runs at p = 0.1 on the grid).

@@ -11,6 +11,9 @@
 //	afbench -suite -graphs "grid:rows=8,cols=8;cycle:n=65" \
 //	        -protocols amnesiac,classic -engines sequential,parallel \
 //	        -seeds 1,2 -reps 3 -workers 8 -format jsonl
+//	afbench -suite -graphs "cycle:n=9;grid:rows=4,cols=5" \
+//	        -models "sync;adversary:collision;schedule:alternating" \
+//	        -adversaries uniform -schedules static -maxrounds 4096
 package main
 
 import (
@@ -27,12 +30,15 @@ import (
 	"amnesiacflood/internal/scenario"
 	"amnesiacflood/internal/sim"
 
-	// Self-registering protocols for the scenario matrix (the experiment
-	// suite pulls these in transitively; the matrix addresses them by
-	// name and needs the registrations regardless).
+	// Self-registering protocols and model families for the scenario
+	// matrix (the experiment suite pulls these in transitively; the
+	// matrix addresses them by name and needs the registrations
+	// regardless).
+	_ "amnesiacflood/internal/async"
 	_ "amnesiacflood/internal/classic"
 	_ "amnesiacflood/internal/core"
 	_ "amnesiacflood/internal/detect"
+	_ "amnesiacflood/internal/dynamic"
 	_ "amnesiacflood/internal/faults"
 	_ "amnesiacflood/internal/multiflood"
 	_ "amnesiacflood/internal/spantree"
@@ -58,6 +64,9 @@ func run(args []string) error {
 	graphs := fs.String("graphs", "", "semicolon-separated graph specs, e.g. \"grid:rows=8,cols=8;cycle:n=65\" (suite mode)")
 	protocols := fs.String("protocols", "amnesiac", "comma-separated protocol names (suite mode)")
 	engines := fs.String("engines", sim.Sequential.String(), "comma-separated engine names (suite mode)")
+	models := fs.String("models", "", "semicolon-separated execution-model specs, e.g. \"sync;adversary:collision;schedule:blink:period=2\" (suite mode; default sync)")
+	adversaries := fs.String("adversaries", "", "comma-separated adversary family names, shorthand appended to -models as adversary:<name> (suite mode)")
+	schedules := fs.String("schedules", "", "comma-separated schedule family names, shorthand appended to -models as schedule:<name> (suite mode)")
 	origins := fs.String("origins", "0", "semicolon-separated origin sets, nodes comma-separated, e.g. \"0;0,3\" (suite mode)")
 	seeds := fs.String("seeds", "1", "comma-separated seeds (suite mode)")
 	reps := fs.Int("reps", 1, "repetitions per matrix cell (suite mode)")
@@ -85,7 +94,8 @@ func run(args []string) error {
 		if len(bad) > 0 {
 			return fmt.Errorf("experiment-mode flags are not valid with -suite: %s", strings.Join(bad, ", "))
 		}
-		return runSuite(*graphs, *protocols, *engines, *origins, *seeds, *reps, *workers, *maxRounds, *format, *out)
+		return runSuite(*graphs, *protocols, *engines, modelAxis(*models, *adversaries, *schedules),
+			*origins, *seeds, *reps, *workers, *maxRounds, *format, *out)
 	}
 
 	cfg.Seed = *seed
@@ -130,13 +140,27 @@ func run(args []string) error {
 	return nil
 }
 
+// modelAxis merges the -models specs with the -adversaries/-schedules
+// family-name shorthands into one axis value list.
+func modelAxis(models, adversaries, schedules string) []string {
+	axis := splitList(models, ";")
+	for _, name := range splitList(adversaries, ",") {
+		axis = append(axis, "adversary:"+name)
+	}
+	for _, name := range splitList(schedules, ",") {
+		axis = append(axis, "schedule:"+name)
+	}
+	return axis
+}
+
 // runSuite expands and executes the scenario matrix described by the suite
 // flags.
-func runSuite(graphs, protocols, engines, origins, seeds string, reps, workers, maxRounds int, format, out string) error {
+func runSuite(graphs, protocols, engines string, models []string, origins, seeds string, reps, workers, maxRounds int, format, out string) error {
 	matrix := scenario.Matrix{
 		Graphs:    splitList(graphs, ";"),
 		Protocols: splitList(protocols, ","),
 		Engines:   splitList(engines, ","),
+		Models:    models,
 		Reps:      reps,
 		MaxRounds: maxRounds,
 	}

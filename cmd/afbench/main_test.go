@@ -84,6 +84,70 @@ func TestRunSuiteJSONL(t *testing.T) {
 	}
 }
 
+// TestRunSuiteModelAxis drives the execution-model dimension: sync, an
+// adversary, and a schedule over the same graphs, including the
+// -adversaries/-schedules shorthands, and checks the certified rows.
+func TestRunSuiteModelAxis(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "models.jsonl")
+	args := []string{"-suite",
+		"-graphs", "cycle:n=9;path:n=6",
+		"-models", "sync;adversary:collision",
+		"-adversaries", "uniform",
+		"-schedules", "alternating",
+		"-maxrounds", "4096",
+		"-format", "jsonl",
+		"-out", out,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, certified := 0, 0
+	models := map[string]bool{}
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		rows++
+		var row struct {
+			Spec struct {
+				Graph string `json:"graph"`
+				Model string `json:"model"`
+			} `json:"spec"`
+			Outcome     string `json:"outcome"`
+			CycleLength int    `json:"cycleLength"`
+			Err         string `json:"err"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &row); err != nil {
+			t.Fatalf("bad JSONL row %q: %v", scanner.Text(), err)
+		}
+		if row.Err != "" {
+			t.Errorf("row failed: %s", scanner.Text())
+		}
+		models[row.Spec.Model] = true
+		if row.Outcome == "non-termination-certified" {
+			certified++
+			if row.CycleLength == 0 {
+				t.Errorf("certified row without a cycle length: %s", scanner.Text())
+			}
+		}
+	}
+	if want := 2 * 4; rows != want {
+		t.Fatalf("suite emitted %d rows, want %d", rows, want)
+	}
+	for _, want := range []string{"sync", "adversary:collision", "adversary:uniform", "schedule:alternating"} {
+		if !models[want] {
+			t.Errorf("no row ran under model %q (have %v)", want, models)
+		}
+	}
+	// The collision delayer certifies non-termination on the odd cycle.
+	if certified == 0 {
+		t.Error("no row produced a non-termination certificate")
+	}
+}
+
 func TestRunSuiteTableAndCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "suite.csv")
 	if err := run([]string{"-suite", "-graphs", "path:n=6", "-format", "csv", "-out", out}); err != nil {
@@ -112,6 +176,11 @@ func TestRunSuiteErrors(t *testing.T) {
 		{"-suite", "-graphs", "path:n=6", "-origins", "a"},       // bad origin
 		{"-suite", "-graphs", "path:n=6", "-origins", "99"},      // origin outside graph (run fails)
 		{"-suite", "-graphs", "path:n=6", "-protocols", "zzz"},   // unknown protocol
+		{"-suite", "-graphs", "path:n=6", "-models", "warp"},     // unknown model kind
+		{"-suite", "-graphs", "path:n=6", "-adversaries", "zzz"}, // unknown adversary family
+		{"-suite", "-graphs", "path:n=6", "-schedules", "zzz"},   // unknown schedule family
+		// classic × adversary cells fail at run time (model needs amnesiac).
+		{"-suite", "-graphs", "path:n=6", "-protocols", "classic", "-adversaries", "sync"},
 		{"-suite", "-graphs", "path:n=6", "-engine", "parallel"}, // experiment-mode flag in suite mode
 		{"-suite", "-graphs", "path:n=6", "-seed", "3"},          // -seed typo for -seeds
 		{"-suite", "-graphs", "path:n=6", "-json"},               // -json typo for -format

@@ -4,8 +4,10 @@
 // — see internal/graph/gen and afsim -list), from a legacy alias (-topo
 // with the -n size knob), or from an edge-list file (-file, format of
 // internal/graph.WriteEdgeList). Protocols come from the sim façade's
-// registry — every registered protocol runs on every engine — or the
-// asynchronous variant under an adversary (-async).
+// registry — every registered protocol runs on every engine — and the
+// execution model is a registry axis of its own (-model: "sync", an
+// "adversary:..." spec for the paper's asynchronous variant, or a
+// "schedule:..." spec for dynamic networks).
 //
 // Examples:
 //
@@ -16,7 +18,8 @@
 //	afsim -topo path -n 4 -source 1 -engine channels -render
 //	afsim -topo cycle -n 12 -origins 0,3 -protocol multiflood
 //	afsim -topo cycle -n 6 -source 0 -protocol faulty -param loss=0.05 -maxrounds 512
-//	afsim -topo cycle -n 3 -source 1 -async collision
+//	afsim -topo cycle -n 3 -source 1 -model adversary:collision
+//	afsim -topo cycle -n 4 -source 0 -model schedule:outage:round=1,u=0,v=3
 //	afsim -file mygraph.txt -source 0 -json
 package main
 
@@ -30,22 +33,25 @@ import (
 	"strconv"
 	"strings"
 
-	"amnesiacflood/internal/async"
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/doublecover"
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/model"
 	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/trace"
 
 	"amnesiacflood/internal/cli"
 
 	// Self-registering protocols: importing a protocol package adds it to
-	// the sim registry, which is all the wiring -protocol needs.
+	// the sim registry, which is all the wiring -protocol needs. The async
+	// and dynamic packages likewise register the -model families.
+	_ "amnesiacflood/internal/async"
 	_ "amnesiacflood/internal/classic"
 	_ "amnesiacflood/internal/detect"
+	_ "amnesiacflood/internal/dynamic"
 	_ "amnesiacflood/internal/faults"
 	_ "amnesiacflood/internal/multiflood"
 	_ "amnesiacflood/internal/spantree"
@@ -78,15 +84,16 @@ func run(args []string) error {
 	topo := fs.String("topo", "", "legacy topology alias sized by -n: "+strings.Join(cli.TopologyNames(), ", "))
 	n := fs.Int("n", 8, "topology size parameter for -topo aliases")
 	file := fs.String("file", "", "edge-list file (alternative to -graph/-topo)")
-	list := fs.Bool("list", false, "list registered graph families, protocols, engines, and adversaries, then exit")
+	list := fs.Bool("list", false, "list registered graph families, protocols, engines, and models, then exit")
 	sourceFlag := fs.Int("source", 0, "origin node")
 	originsFlag := fs.String("origins", "", "comma-separated origin nodes (multi-source; overrides -source)")
 	protocol := fs.String("protocol", "amnesiac", "protocol: "+strings.Join(sim.Protocols(), ", "))
 	engineName := fs.String("engine", "sequential", "engine: "+strings.Join(sim.EngineNames(), ", "))
+	modelSpec := fs.String("model", "", "execution model spec: sync (default), adversary:..., or schedule:... (see -list)")
 	params := paramFlags{}
 	fs.Var(params, "param", "protocol parameter key=value (repeatable, e.g. -param loss=0.05)")
-	asyncAdv := fs.String("async", "", "run the asynchronous variant under an adversary: sync, collision, uniform, random")
-	seed := fs.Int64("seed", 1, "seed for the random adversary and randomised protocols")
+	asyncAdv := fs.String("async", "", "legacy alias for -model adversary:...: sync, collision, uniform, random")
+	seed := fs.Int64("seed", 1, "seed for random graphs, models, and randomised protocols")
 	maxRounds := fs.Int("maxrounds", 0, "round limit (0 = default)")
 	render := fs.Bool("render", false, "print the per-round trace")
 	timeline := fs.Bool("timeline", false, "print the per-node timeline grid")
@@ -98,6 +105,28 @@ func run(args []string) error {
 	}
 	if *list {
 		return printRegistries(os.Stdout)
+	}
+
+	if *asyncAdv != "" {
+		if *modelSpec != "" {
+			return fmt.Errorf("use either -model or the legacy -async alias, not both")
+		}
+		spec, err := cli.AsyncAlias(*asyncAdv)
+		if err != nil {
+			return err
+		}
+		*modelSpec = spec
+	}
+	// Parse the model up front so flag validation (-predict, -timeline)
+	// happens before any simulation runs and an explicit "-model sync"
+	// behaves exactly like the default.
+	mdl := model.SyncSpec()
+	if *modelSpec != "" {
+		parsed, err := model.Parse(*modelSpec)
+		if err != nil {
+			return err
+		}
+		mdl = parsed
 	}
 
 	g, err := cli.LoadGraphSpec(*graphSpec, *topo, *n, *file, *seed)
@@ -114,14 +143,14 @@ func run(args []string) error {
 		label = trace.Letters
 	}
 
-	if *asyncAdv != "" {
-		return runAsync(g, *asyncAdv, *seed, *maxRounds, origins, *render, *asJSON, label)
-	}
 	if *predict {
-		if len(origins) != 1 || *protocol != "amnesiac" {
-			return fmt.Errorf("-predict needs a single origin and the amnesiac protocol")
+		if len(origins) != 1 || *protocol != "amnesiac" || !mdl.IsSync() {
+			return fmt.Errorf("-predict needs a single origin, the amnesiac protocol, and the sync model")
 		}
 		return runPredict(g, source, label)
+	}
+	if *timeline && !mdl.IsSync() {
+		return fmt.Errorf("-timeline needs the sync model (the timeline grid assumes synchronous receipt analysis)")
 	}
 
 	kind, err := sim.ParseEngine(*engineName)
@@ -131,6 +160,7 @@ func run(args []string) error {
 	sessOpts := []sim.Option{
 		sim.WithProtocol(*protocol),
 		sim.WithEngine(kind),
+		sim.WithModel(mdl.String()),
 		sim.WithOrigins(origins...),
 		sim.WithSeed(*seed),
 		sim.WithMaxRounds(*maxRounds),
@@ -153,9 +183,16 @@ func run(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	fmt.Printf("%s on %s from %s via %s: terminated=%t rounds=%d messages=%d (%.3fms)\n",
-		res.Protocol, g, labelAll(origins, label), res.Engine,
-		res.Terminated, res.Rounds, res.TotalMessages, float64(res.WallTime.Microseconds())/1000)
+	fmt.Printf("%s on %s from %s via %s under %s: %s rounds=%d messages=%d (%.3fms)\n",
+		res.Protocol, g, labelAll(origins, label), res.Engine, res.Model,
+		res.Outcome, res.Rounds, res.TotalMessages, float64(res.WallTime.Microseconds())/1000)
+	if res.Lost > 0 {
+		fmt.Printf("messages lost to dead edges: %d\n", res.Lost)
+	}
+	if res.Certificate != nil {
+		fmt.Printf("non-termination certificate: configuration at round %d recurs at round %d (period %d)\n",
+			res.Certificate.Start, res.Certificate.Start+res.Certificate.Length, res.Certificate.Length)
+	}
 	fmt.Printf("graph: diameter=%d eccentricity(source)=%d bipartite=%t\n",
 		algo.Diameter(g), algo.Eccentricity(g, source), algo.IsBipartite(g))
 	if *render {
@@ -173,8 +210,8 @@ func run(args []string) error {
 }
 
 // printRegistries renders every registry the CLI can address: graph
-// families with their typed parameters, protocols, engines, and
-// adversaries.
+// families with their typed parameters, protocols, engines, and execution
+// models.
 func printRegistries(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "graph families (-graph family:key=value,...):"); err != nil {
 		return err
@@ -196,9 +233,36 @@ func printRegistries(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "protocols (-protocol): %s\nengines (-engine): %s\nadversaries (-async): sync, collision, uniform, random\n",
-		strings.Join(sim.Protocols(), ", "), strings.Join(sim.EngineNames(), ", "))
-	return err
+	if _, err := fmt.Fprintf(w, "protocols (-protocol): %s\nengines (-engine): %s\n",
+		strings.Join(sim.Protocols(), ", "), strings.Join(sim.EngineNames(), ", ")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "execution models (-model kind:family:key=value,...):"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  sync — the paper's synchronous model (default; runs on every -engine)"); err != nil {
+		return err
+	}
+	for _, kind := range []model.Kind{model.KindAdversary, model.KindSchedule} {
+		for _, name := range model.Families(kind) {
+			info, _ := model.Lookup(kind, name)
+			params := make([]string, len(info.Params))
+			for i, p := range info.Params {
+				params[i] = fmt.Sprintf("%s %s (default %s)", p.Name, p.Kind, p.Default)
+			}
+			line := fmt.Sprintf("  %s:%s", kind, name)
+			if len(params) > 0 {
+				line += ": " + strings.Join(params, ", ")
+			}
+			if info.Doc != "" {
+				line += " — " + info.Doc
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // parseOrigins resolves -origins (comma-separated) or falls back to
@@ -263,38 +327,6 @@ func runPredict(g *graph.Graph, source graph.NodeID, label trace.Labeler) error 
 	}
 	if !same {
 		return fmt.Errorf("prediction diverged from simulation — this is a bug")
-	}
-	return nil
-}
-
-func runAsync(g *graph.Graph, advName string, seed int64, maxRounds int, origins []graph.NodeID, render, asJSON bool, label trace.Labeler) error {
-	adv, err := cli.Adversary(advName, seed)
-	if err != nil {
-		return err
-	}
-	res, err := async.Run(g, adv, async.Options{Trace: render, MaxRounds: maxRounds}, origins...)
-	if err != nil {
-		return err
-	}
-	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
-	}
-	fmt.Printf("async amnesiac flooding on %s from %s under %s: %s (rounds=%d, deliveries=%d)\n",
-		g, labelAll(origins, label), adv.Name(), res.Outcome, res.Rounds, res.TotalMessages)
-	if res.Outcome == async.CycleDetected {
-		fmt.Printf("non-termination certificate: configuration at round %d recurs at round %d (period %d)\n",
-			res.CycleStart, res.CycleStart+res.CycleLength, res.CycleLength)
-	}
-	if render {
-		for _, d := range res.Trace {
-			edges := make([]string, len(d.Msgs))
-			for i, m := range d.Msgs {
-				edges[i] = label(m.From) + "->" + label(m.To)
-			}
-			fmt.Printf("round %d: %s\n", d.Round, strings.Join(edges, " "))
-		}
 	}
 	return nil
 }

@@ -19,7 +19,9 @@ func TestListOutput(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"graph families", "grid", "rows int (default 8)", "petersen",
-		"protocols", "amnesiac", "engines", "parallel", "adversaries", "collision",
+		"protocols", "amnesiac", "engines", "parallel",
+		"execution models", "adversary:collision", "adversary:hold: node int (default 0)",
+		"schedule:blink", "period int (default 2)", "schedule:alternating",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-list output missing %q:\n%s", want, out)
@@ -38,9 +40,17 @@ func TestRunHappyPaths(t *testing.T) {
 		{"-topo", "cycle", "-n", "3", "-source", "1", "-async", "sync", "-render"},
 		{"-topo", "cycle", "-n", "6", "-source", "0", "-async", "random", "-maxrounds", "256"},
 		{"-topo", "cycle", "-n", "6", "-source", "0", "-async", "uniform"},
+		{"-topo", "cycle", "-n", "3", "-source", "1", "-model", "adversary:collision", "-render"},
+		{"-topo", "cycle", "-n", "3", "-source", "1", "-model", "adversary:collision", "-json"},
+		{"-topo", "path", "-n", "8", "-model", "adversary:hold:node=3,extra=2"},
+		{"-topo", "cycle", "-n", "4", "-source", "0", "-model", "schedule:outage:round=1,u=0,v=3"},
+		{"-topo", "path", "-n", "4", "-model", "schedule:blink:u=1,v=2,period=2,phase=1"},
+		{"-graph", "grid:rows=4,cols=4", "-model", "schedule:alternating", "-maxrounds", "512"},
 		{"-topo", "cycle", "-n", "12", "-origins", "0,3,6"},
 		{"-topo", "cycle", "-n", "12", "-origins", "0, 6", "-protocol", "classic"},
 		{"-topo", "cycle", "-n", "9", "-source", "2", "-predict"},
+		{"-topo", "cycle", "-n", "9", "-source", "2", "-predict", "-model", "sync"}, // explicit sync ok
+		{"-topo", "path", "-n", "4", "-source", "1", "-timeline", "-model", "sync"},
 		{"-topo", "grid", "-n", "4", "-source", "5", "-predict"},
 		{"-graph", "grid:rows=4,cols=5", "-protocol", "detect", "-engine", "parallel"},
 		{"-graph", "petersen", "-source", "3", "-render"},
@@ -64,6 +74,13 @@ func TestRunErrors(t *testing.T) {
 		{"-topo", "path", "-n", "4", "-protocol", "x"},              // bad protocol
 		{"-topo", "path", "-n", "4", "-engine", "x"},                // bad engine
 		{"-topo", "path", "-n", "4", "-async", "x"},                 // bad adversary
+		{"-topo", "path", "-n", "4", "-model", "adversary:nosuch"},  // unknown model family
+		{"-topo", "path", "-n", "4", "-model", "warp"},              // unknown model kind
+		{"-topo", "path", "-n", "4", "-model", "adversary:hold:extra=x"}, // malformed model param
+		{"-topo", "path", "-n", "4", "-model", "adversary:sync", "-async", "sync"},      // both flags
+		{"-topo", "path", "-n", "4", "-model", "adversary:sync", "-protocol", "classic"}, // model needs amnesiac
+		{"-topo", "path", "-n", "4", "-model", "schedule:static", "-timeline"},           // timeline needs sync
+		{"-topo", "path", "-n", "4", "-model", "adversary:sync", "-predict"},             // predict needs sync
 		{"-topo", "path", "-n", "4", "-origins", "0,9"},             // origin out of range
 		{"-topo", "path", "-n", "4", "-origins", "a"},               // unparseable origin
 		{"-topo", "path", "-n", "4", "-origins", ","},               // empty origin list

@@ -3,9 +3,16 @@
 // CSV/JSON trace export, and per-round Graphviz DOT files with the sending
 // nodes highlighted (the "circled" nodes of Figures 1-3).
 //
+// Topologies come from the graph-spec registry (-graph family:key=value,...
+// — see internal/graph/gen and afviz -list) or from a legacy alias (-topo
+// with the -n size knob), matching afsim.
+//
 // Examples:
 //
+//	afviz -list
 //	afviz -topo cycle -n 6 -source 0
+//	afviz -graph grid:rows=4,cols=5 -source 7 -format timeline
+//	afviz -graph gnp:n=24,p=0.2,connect=true -seed 7 -format rounds
 //	afviz -topo cycle -n 3 -source 1 -format csv
 //	afviz -topo path -n 4 -source 1 -format dot -out ./frames
 package main
@@ -14,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +29,7 @@ import (
 	"amnesiacflood/internal/cli"
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/trace"
 )
@@ -34,18 +43,24 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("afviz", flag.ContinueOnError)
-	topo := fs.String("topo", "", "built-in topology: "+strings.Join(cli.TopologyNames(), ", "))
-	n := fs.Int("n", 8, "topology size parameter")
-	file := fs.String("file", "", "edge-list file (alternative to -topo)")
+	graphSpec := fs.String("graph", "", "graph spec family:key=value,... (families: "+strings.Join(gen.Families(), ", ")+"; see -list)")
+	topo := fs.String("topo", "", "legacy topology alias sized by -n: "+strings.Join(cli.TopologyNames(), ", "))
+	n := fs.Int("n", 8, "topology size parameter for -topo aliases")
+	file := fs.String("file", "", "edge-list file (alternative to -graph/-topo)")
+	list := fs.Bool("list", false, "list registered graph families and output formats, then exit")
 	sourceFlag := fs.Int("source", 0, "origin node")
+	seed := fs.Int64("seed", 1, "seed for random graph families")
 	format := fs.String("format", "rounds", "output: rounds, timeline, csv, json, dot, or svg")
 	out := fs.String("out", ".", "output directory for -format dot/svg frames")
 	engineName := fs.String("engine", sim.Sequential.String(), "engine: "+strings.Join(sim.EngineNames(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		return printRegistries(os.Stdout)
+	}
 
-	g, err := cli.LoadGraph(*topo, *n, *file)
+	g, err := cli.LoadGraphSpec(*graphSpec, *topo, *n, *file, *seed)
 	if err != nil {
 		return err
 	}
@@ -94,6 +109,34 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// printRegistries renders the registries afviz can address: graph families
+// with their typed parameters, engines, and output formats.
+func printRegistries(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "graph families (-graph family:key=value,...):"); err != nil {
+		return err
+	}
+	for _, name := range gen.Families() {
+		fam, _ := gen.Lookup(name)
+		params := make([]string, len(fam.Params))
+		for i, p := range fam.Params {
+			params[i] = fmt.Sprintf("%s %s (default %s)", p.Name, p.Kind, p.Default)
+		}
+		line := "  " + name
+		if len(params) > 0 {
+			line += ": " + strings.Join(params, ", ")
+		}
+		if fam.Doc != "" {
+			line += " — " + fam.Doc
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "engines (-engine): %s\nformats (-format): rounds, timeline, csv, json, dot, svg\n",
+		strings.Join(sim.EngineNames(), ", "))
+	return err
 }
 
 // writeSVGFrames emits one SVG per round in the paper's figure style:

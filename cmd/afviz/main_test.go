@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -10,6 +11,46 @@ func TestRunFormats(t *testing.T) {
 	for _, format := range []string{"rounds", "timeline", "csv", "json"} {
 		if err := run([]string{"-topo", "cycle", "-n", "6", "-source", "0", "-format", format}); err != nil {
 			t.Errorf("format %s: %v", format, err)
+		}
+	}
+}
+
+// TestRunGraphSpec drives the -graph/-seed/-list parity flags.
+func TestRunGraphSpec(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "grid:rows=3,cols=4", "-source", "5"},
+		{"-graph", "petersen", "-source", "3", "-format", "timeline"},
+		{"-graph", "gnp:n=20,p=0.2,connect=true", "-seed", "7"},
+		{"-list"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunGraphSpecErrors(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "nosuchfamily"},
+		{"-graph", "grid:depth=4"},
+		{"-graph", "cycle:n=8", "-topo", "cycle"}, // -graph + -topo conflict
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestListOutput(t *testing.T) {
+	var buf strings.Builder
+	if err := printRegistries(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"graph families", "grid", "rows int (default 8)", "engines", "formats", "svg"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, buf.String())
 		}
 	}
 }

@@ -17,11 +17,13 @@
 // interchangeable synchronous substrates — a deterministic sequential
 // reference engine, a goroutine-per-node channel engine, and a
 // zero-allocation compressed-sparse-row engine with an optional parallel
-// sharded-delivery mode — plus an asynchronous simulator with pluggable
-// adversaries and configuration-cycle non-termination certificates. The
-// engines are trace-equivalent: byte-identical traces on every protocol,
-// asserted by differential and fuzz tests (internal/engine/README.md
-// documents the determinism contract and the performance numbers).
+// sharded-delivery mode — plus asynchronous and dynamic-network model
+// engines with pluggable adversaries/schedules and configuration-cycle
+// non-termination certificates. The engines are trace-equivalent:
+// byte-identical traces on every protocol (and, for the model engines,
+// under the zero-delay adversary and the static schedule), asserted by
+// differential and fuzz tests (internal/engine/README.md documents the
+// determinism contract and the performance numbers).
 //
 // The public face of the simulator is the internal/sim façade: protocols
 // self-register by name (amnesiac, classic, multiflood, detect, spantree,
@@ -31,6 +33,17 @@
 //
 //	sess, _ := sim.New(g, sim.WithProtocol("amnesiac"), sim.WithEngine(sim.Parallel))
 //	res, err := sess.Run(ctx)
+//
+// The execution model is a fourth registry-driven axis (internal/model):
+// adversaries (internal/async) and schedules (internal/dynamic)
+// self-register under a round-trippable spec grammar — "adversary:collision"
+// is the paper's Figure 5 delaying scheduler, "schedule:blink:period=2" a
+// flapping link — and sim.WithModel runs amnesiac flooding under them on
+// dedicated packed-arena engines that certify non-termination by
+// configuration repetition (Result.Outcome, Result.Certificate):
+//
+//	sess, _ := sim.New(g, sim.WithModel("adversary:collision"), sim.WithTrace(true))
+//	res, _ := sess.Run(ctx) // res.Outcome == engine.OutcomeCycle on odd cycles
 //
 // Graphs are equally registry-driven: every family in internal/graph/gen
 // self-registers under a canonical spec grammar ("grid:rows=64,cols=64",
@@ -49,7 +62,8 @@
 //
 // Packages:
 //
-//	internal/sim              façade: protocol registry, session API, observers
+//	internal/sim              façade: protocol registry, session API, observers, model axis
+//	internal/model            execution-model registry, packed async/dynamic engines, certificates
 //	internal/scenario         declarative suites: spec matrix, pooled runner, sinks
 //	internal/graph            immutable simple graphs, builder, CSR view, encodings
 //	internal/graph/gen        graph families behind a spec-grammar registry
@@ -59,11 +73,11 @@
 //	internal/engine/fastengine zero-allocation CSR engine, parallel mode
 //	internal/core             Amnesiac Flooding protocol and run reports
 //	internal/classic          flag-based flooding baseline
-//	internal/async            asynchronous variant, adversaries, certificates
+//	internal/async            delay adversaries of the asynchronous model
 //	internal/doublecover      exact prediction via the bipartite double cover
 //	internal/theory           the paper's lemmas/theorems as executable checks
 //	internal/faults           message-loss and crash injection (+ engine-hosted protocol)
-//	internal/dynamic          dynamic networks (edge churn schedules)
+//	internal/dynamic          edge-churn schedules of the dynamic model
 //	internal/detect           bipartiteness detection, streaming early-stop probe
 //	internal/spantree         BFS spanning trees, streaming tree recorder
 //	internal/multiflood       concurrent broadcasts, union replay protocol
@@ -74,7 +88,9 @@
 //	internal/experiments      one registered experiment per paper artifact
 //
 // Binaries: cmd/afsim (single runs, any registered protocol on any engine
-// on any graph spec; -list prints every registry), cmd/afbench (paper
-// experiment suite, or a scenario matrix with -suite), cmd/afviz (trace
-// rendering). Runnable examples live under examples/.
+// on any graph spec under any -model; -list prints every registry),
+// cmd/afbench (paper experiment suite, or a scenario matrix with -suite
+// and the -models/-adversaries/-schedules axis), cmd/afviz (trace
+// rendering; -graph/-list mirror afsim). Runnable examples live under
+// examples/.
 package amnesiacflood

@@ -4,18 +4,25 @@
 // simulator proves it by detecting a repeated global configuration — a
 // finite certificate of an infinite execution.
 //
+// The demo runs everything through the sim façade's model axis: the
+// adversary is the registry spec "adversary:collision", selected with
+// sim.WithModel exactly like a protocol or an engine.
+//
 //	go run ./examples/asyncadversary
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"amnesiacflood/internal/async"
-	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/trace"
+
+	// Registers the adversary model families.
+	_ "amnesiacflood/internal/async"
 )
 
 func main() {
@@ -25,48 +32,68 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	fmt.Println("## Figure 5: the triangle under the delaying adversary")
 	fmt.Println()
 	tri := gen.Cycle(3)
-	res, err := async.Run(tri, async.CollisionDelayer{}, async.Options{Trace: true}, 1)
+	sess, err := sim.New(tri,
+		sim.WithModel("adversary:collision"),
+		sim.WithOrigins(1),
+		sim.WithTrace(true),
+	)
 	if err != nil {
 		return err
 	}
-	for _, d := range res.Trace {
-		edges := make([]string, len(d.Msgs))
-		for i, m := range d.Msgs {
-			edges[i] = trace.Letters(m.From) + "->" + trace.Letters(m.To)
+	res, err := sess.Run(ctx)
+	if err != nil {
+		return err
+	}
+	for _, rec := range res.Trace {
+		edges := make([]string, len(rec.Sends))
+		for i, s := range rec.Sends {
+			edges[i] = trace.Letters(s.From) + "->" + trace.Letters(s.To)
 		}
-		fmt.Printf("round %d: %s\n", d.Round, strings.Join(edges, " "))
+		fmt.Printf("round %d: %s\n", rec.Round, strings.Join(edges, " "))
 	}
 	fmt.Printf("\noutcome: %s\n", res.Outcome)
 	fmt.Printf("the configuration at round %d recurs at round %d — the execution is periodic and never terminates\n\n",
-		res.CycleStart, res.CycleStart+res.CycleLength)
+		res.Certificate.Start, res.Certificate.Start+res.Certificate.Length)
 
 	fmt.Println("## The same adversary across topologies")
 	fmt.Println()
-	cases := []*graph.Graph{
-		gen.Cycle(3), gen.Cycle(5), gen.Cycle(6), gen.Cycle(7),
-		gen.Path(8), gen.CompleteBinaryTree(4), gen.Complete(4),
-	}
-	for _, g := range cases {
-		r, err := async.Run(g, async.CollisionDelayer{}, async.Options{MaxRounds: 4096}, 0)
+	for _, spec := range []string{
+		"cycle:n=3", "cycle:n=5", "cycle:n=6", "cycle:n=7",
+		"path:n=8", "bintree:levels=4", "complete:n=4",
+	} {
+		g := gen.MustBuild(spec, 1)
+		sess, err := sim.New(g,
+			sim.WithModel("adversary:collision"),
+			sim.WithMaxRounds(4096),
+		)
+		if err != nil {
+			return err
+		}
+		r, err := sess.Run(ctx)
 		if err != nil {
 			return err
 		}
 		detail := ""
-		if r.Outcome == async.CycleDetected {
-			detail = fmt.Sprintf(" (period %d)", r.CycleLength)
+		if r.Certificate != nil {
+			detail = fmt.Sprintf(" (period %d)", r.Certificate.Length)
 		}
 		fmt.Printf("%-16s %s%s\n", g.Name()+":", r.Outcome, detail)
 	}
 	fmt.Println()
 	fmt.Println("## Control: the synchronous (zero-delay) adversary on the triangle")
-	ctrl, err := async.Run(tri, async.SyncAdversary{}, async.Options{}, 1)
+	ctrl, err := sim.New(tri, sim.WithModel("adversary:sync"), sim.WithOrigins(1))
+	if err != nil {
+		return err
+	}
+	cres, err := ctrl.Run(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("outcome: %s after %d rounds — asynchrony, not the graph, causes non-termination\n",
-		ctrl.Outcome, ctrl.Rounds)
+		cres.Outcome, cres.Rounds)
 	return nil
 }

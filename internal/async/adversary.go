@@ -1,29 +1,44 @@
+// Package async defines the delay adversaries of the asynchronous amnesiac
+// flooding model from Section 4 of the paper, in which a scheduling
+// adversary adaptively chooses the delay of every message.
+//
+// The adversaries implement model.Adversary and self-register in the
+// model-spec registry from this package's init, so importing the package is
+// all it takes to make them addressable as execution-model specs
+// ("adversary:collision", "adversary:hold:node=3,extra=2", ...) through
+// sim.WithModel, scenario matrices, and the CLIs. The model itself — in-
+// flight arenas, delivery semantics, configuration-repeat certificates — is
+// executed by model.AsyncEngine; this package holds only the scheduling
+// policies.
 package async
 
 import (
 	"math/rand"
 
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/model"
 )
 
 // SyncAdversary delivers every message with zero extra delay, making the
 // asynchronous model coincide with the synchronous one. It is the control
 // adversary: runs under it must terminate exactly like the synchronous
-// engine (verified by tests).
+// engines (verified by fuzz tests against byte-identical traces).
 type SyncAdversary struct{}
 
-var _ Adversary = SyncAdversary{}
+var _ model.Adversary = SyncAdversary{}
 
-// Name implements Adversary.
+// Name implements model.Adversary.
 func (SyncAdversary) Name() string { return "sync" }
 
-// Schedule implements Adversary with all-zero delays.
-func (SyncAdversary) Schedule(batch []graph.Edge, _ ConfigView) []int {
-	return make([]int, len(batch))
-}
+// Delays implements model.Adversary with all-zero delays.
+func (SyncAdversary) Delays([]graph.Edge, model.ConfigView, []int) {}
 
-// Deterministic implements Adversary.
+// Deterministic implements model.Adversary.
 func (SyncAdversary) Deterministic() bool { return true }
+
+// IgnoresView implements model.ViewIgnorer: delays never depend on the
+// in-flight configuration.
+func (SyncAdversary) IgnoresView() bool { return true }
 
 // CollisionDelayer is the paper's Figure 5 adversary, generalised: whenever
 // two or more messages sent in the same round target the same node, the one
@@ -34,15 +49,14 @@ func (SyncAdversary) Deterministic() bool { return true }
 // cycles.
 type CollisionDelayer struct{}
 
-var _ Adversary = CollisionDelayer{}
+var _ model.Adversary = CollisionDelayer{}
 
-// Name implements Adversary.
+// Name implements model.Adversary.
 func (CollisionDelayer) Name() string { return "collision-delayer" }
 
-// Schedule implements Adversary. batch is sorted by (From, To), so within a
-// target the lowest-ID sender appears first.
-func (CollisionDelayer) Schedule(batch []graph.Edge, _ ConfigView) []int {
-	delays := make([]int, len(batch))
+// Delays implements model.Adversary. batch is sorted by (From, To), so
+// within a target the lowest-ID sender appears first.
+func (CollisionDelayer) Delays(batch []graph.Edge, _ model.ConfigView, delays []int) {
 	firstTo := map[graph.NodeID]graph.NodeID{} // target -> lowest sender
 	for _, e := range batch {
 		if cur, ok := firstTo[e.V]; !ok || e.U < cur {
@@ -54,11 +68,14 @@ func (CollisionDelayer) Schedule(batch []graph.Edge, _ ConfigView) []int {
 			delays[i] = 1
 		}
 	}
-	return delays
 }
 
-// Deterministic implements Adversary.
+// Deterministic implements model.Adversary.
 func (CollisionDelayer) Deterministic() bool { return true }
+
+// IgnoresView implements model.ViewIgnorer: delays depend only on the
+// batch's collision structure.
+func (CollisionDelayer) IgnoresView() bool { return true }
 
 // HoldNode delays every message sent *by* one fixed node by a constant
 // amount, modelling a single slow link/node; all other messages are
@@ -70,24 +87,25 @@ type HoldNode struct {
 	Extra int
 }
 
-var _ Adversary = HoldNode{}
+var _ model.Adversary = HoldNode{}
 
-// Name implements Adversary.
+// Name implements model.Adversary.
 func (a HoldNode) Name() string { return "hold-node" }
 
-// Schedule implements Adversary.
-func (a HoldNode) Schedule(batch []graph.Edge, _ ConfigView) []int {
-	delays := make([]int, len(batch))
+// Delays implements model.Adversary.
+func (a HoldNode) Delays(batch []graph.Edge, _ model.ConfigView, delays []int) {
 	for i, e := range batch {
 		if e.U == a.Node {
 			delays[i] = a.Extra
 		}
 	}
-	return delays
 }
 
-// Deterministic implements Adversary.
+// Deterministic implements model.Adversary.
 func (a HoldNode) Deterministic() bool { return true }
+
+// IgnoresView implements model.ViewIgnorer.
+func (a HoldNode) IgnoresView() bool { return true }
 
 // UniformDelayer delays every message by the same constant k. The
 // execution is the synchronous one stretched in time (message lifetimes
@@ -99,22 +117,23 @@ type UniformDelayer struct {
 	Extra int
 }
 
-var _ Adversary = UniformDelayer{}
+var _ model.Adversary = UniformDelayer{}
 
-// Name implements Adversary.
+// Name implements model.Adversary.
 func (a UniformDelayer) Name() string { return "uniform-delayer" }
 
-// Schedule implements Adversary.
-func (a UniformDelayer) Schedule(batch []graph.Edge, _ ConfigView) []int {
-	delays := make([]int, len(batch))
+// Delays implements model.Adversary.
+func (a UniformDelayer) Delays(batch []graph.Edge, _ model.ConfigView, delays []int) {
 	for i := range delays {
 		delays[i] = a.Extra
 	}
-	return delays
 }
 
-// Deterministic implements Adversary.
+// Deterministic implements model.Adversary.
 func (a UniformDelayer) Deterministic() bool { return true }
+
+// IgnoresView implements model.ViewIgnorer.
+func (a UniformDelayer) IgnoresView() bool { return true }
 
 // EdgeDelayer adds a fixed extra delay to every message crossing one
 // specific undirected edge (in either direction), modelling a single slow
@@ -126,36 +145,37 @@ type EdgeDelayer struct {
 	Extra int
 }
 
-var _ Adversary = EdgeDelayer{}
+var _ model.Adversary = EdgeDelayer{}
 
-// Name implements Adversary.
+// Name implements model.Adversary.
 func (a EdgeDelayer) Name() string { return "edge-delayer" }
 
-// Schedule implements Adversary.
-func (a EdgeDelayer) Schedule(batch []graph.Edge, _ ConfigView) []int {
+// Delays implements model.Adversary.
+func (a EdgeDelayer) Delays(batch []graph.Edge, _ model.ConfigView, delays []int) {
 	slow := a.Edge.Normalize()
-	delays := make([]int, len(batch))
 	for i, e := range batch {
 		if e.Normalize() == slow {
 			delays[i] = a.Extra
 		}
 	}
-	return delays
 }
 
-// Deterministic implements Adversary.
+// Deterministic implements model.Adversary.
 func (a EdgeDelayer) Deterministic() bool { return true }
+
+// IgnoresView implements model.ViewIgnorer.
+func (a EdgeDelayer) IgnoresView() bool { return true }
 
 // RandomAdversary delays each message independently and uniformly in
 // {0..MaxExtra}, seeded for reproducibility. It is not deterministic in the
-// certificate sense, so runs under it can only end in Terminated or
-// RoundLimit.
+// certificate sense, so runs under it can only end in termination or the
+// round limit.
 type RandomAdversary struct {
 	rng      *rand.Rand
 	maxExtra int
 }
 
-var _ Adversary = (*RandomAdversary)(nil)
+var _ model.Adversary = (*RandomAdversary)(nil)
 
 // NewRandomAdversary returns a seeded random adversary with delays in
 // {0..maxExtra}.
@@ -166,17 +186,18 @@ func NewRandomAdversary(seed int64, maxExtra int) *RandomAdversary {
 	return &RandomAdversary{rng: rand.New(rand.NewSource(seed)), maxExtra: maxExtra}
 }
 
-// Name implements Adversary.
+// Name implements model.Adversary.
 func (a *RandomAdversary) Name() string { return "random" }
 
-// Schedule implements Adversary.
-func (a *RandomAdversary) Schedule(batch []graph.Edge, _ ConfigView) []int {
-	delays := make([]int, len(batch))
+// Delays implements model.Adversary.
+func (a *RandomAdversary) Delays(batch []graph.Edge, _ model.ConfigView, delays []int) {
 	for i := range delays {
 		delays[i] = a.rng.Intn(a.maxExtra + 1)
 	}
-	return delays
 }
 
-// Deterministic implements Adversary.
+// Deterministic implements model.Adversary.
 func (a *RandomAdversary) Deterministic() bool { return false }
+
+// IgnoresView implements model.ViewIgnorer.
+func (a *RandomAdversary) IgnoresView() bool { return true }

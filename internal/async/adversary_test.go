@@ -1,97 +1,114 @@
 package async_test
 
 import (
-	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"amnesiacflood/internal/async"
-	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/graph"
-	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/model"
 )
 
-func TestUniformDelayerPreservesTermination(t *testing.T) {
-	// Uniform delay stretches the synchronous schedule without reordering
-	// anything, so every run must terminate with the synchronous message
-	// count.
-	check := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		g := gen.RandomConnected(2+rng.Intn(30), 0.1, rng)
-		src := graph.NodeID(rng.Intn(g.N()))
-		extra := rng.Intn(4)
-		res, err := async.Run(g, async.UniformDelayer{Extra: extra}, async.Options{}, src)
-		if err != nil || res.Outcome != async.Terminated {
-			return false
+// Engine-level behaviour of these adversaries (termination, certificates,
+// equivalence with the synchronous engines) is covered by the differential
+// and fuzz tests in internal/model; this file unit-tests the scheduling
+// policies themselves.
+
+func delaysOf(adv model.Adversary, batch []graph.Edge) []int {
+	delays := make([]int, len(batch))
+	adv.Delays(batch, model.ConfigView{}, delays)
+	return delays
+}
+
+func TestAdversaryNames(t *testing.T) {
+	names := map[string]model.Adversary{
+		"sync":              async.SyncAdversary{},
+		"collision-delayer": async.CollisionDelayer{},
+		"hold-node":         async.HoldNode{Node: 1, Extra: 1},
+		"uniform-delayer":   async.UniformDelayer{},
+		"edge-delayer":      async.EdgeDelayer{},
+		"random":            async.NewRandomAdversary(1, 1),
+	}
+	for want, adv := range names {
+		if adv.Name() != want {
+			t.Errorf("adversary name = %q, want %q", adv.Name(), want)
 		}
-		rep, err := core.Run(g, src)
-		if err != nil {
-			return false
+	}
+}
+
+func TestCollisionDelayerHoldsAllButLowestSender(t *testing.T) {
+	// Two messages collide at node 2; the copy from the higher sender is
+	// held one round. The lone message to node 3 is on time.
+	batch := []graph.Edge{{U: 0, V: 2}, {U: 1, V: 2}, {U: 1, V: 3}}
+	got := delaysOf(async.CollisionDelayer{}, batch)
+	want := []int{0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delays = %v, want %v", got, want)
 		}
-		if res.TotalMessages != rep.TotalMessages() {
-			return false
+	}
+}
+
+func TestHoldNodeDelaysOnlyItsSender(t *testing.T) {
+	batch := []graph.Edge{{U: 0, V: 1}, {U: 3, V: 1}, {U: 3, V: 4}}
+	got := delaysOf(async.HoldNode{Node: 3, Extra: 2}, batch)
+	want := []int{0, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delays = %v, want %v", got, want)
 		}
-		// The stretched run takes (extra+1) times the rounds, up to the
-		// trailing delivery offset.
-		return res.Rounds == rep.Rounds()*(extra+1)
-	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
-		t.Fatal(err)
 	}
 }
 
-func TestUniformDelayerZeroEqualsSync(t *testing.T) {
-	g := gen.Cycle(7)
-	a, err := async.Run(g, async.UniformDelayer{}, async.Options{Trace: true}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := async.Run(g, async.SyncAdversary{}, async.Options{Trace: true}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Rounds != b.Rounds || a.TotalMessages != b.TotalMessages {
-		t.Fatalf("zero uniform delay diverged from sync: %+v vs %+v", a, b)
+func TestEdgeDelayerBothDirections(t *testing.T) {
+	adv := async.EdgeDelayer{Edge: graph.Edge{U: 2, V: 1}, Extra: 3}
+	batch := []graph.Edge{{U: 1, V: 2}, {U: 2, V: 1}, {U: 2, V: 3}}
+	got := delaysOf(adv, batch)
+	want := []int{3, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delays = %v, want %v", got, want)
+		}
 	}
 }
 
-func TestEdgeDelayerOnTriangle(t *testing.T) {
-	// Slowing one triangle edge merges the wavefronts at node c: c hears
-	// the delayed b->c copy and a's forward in the same round, so its
-	// complement is empty and the flood dies after 2 rounds — one round
-	// FASTER than the synchronous 2D+1 = 3. Asymmetric delay can
-	// accelerate termination as well as (with the collision-delayer's
-	// schedule) destroy it.
-	g := gen.Cycle(3)
-	res, err := async.Run(g, async.EdgeDelayer{Edge: graph.Edge{U: 1, V: 2}, Extra: 1}, async.Options{}, 1)
-	if err != nil {
-		t.Fatal(err)
+func TestUniformAndSyncDelays(t *testing.T) {
+	batch := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}}
+	for _, d := range delaysOf(async.UniformDelayer{Extra: 2}, batch) {
+		if d != 2 {
+			t.Fatal("uniform delayer must delay everything equally")
+		}
 	}
-	if res.Outcome != async.Terminated || res.Rounds != 2 {
-		t.Fatalf("run = %+v, want termination in 2 rounds", res)
+	for _, d := range delaysOf(async.SyncAdversary{}, batch) {
+		if d != 0 {
+			t.Fatal("sync adversary must never delay")
+		}
 	}
 }
 
-func TestEdgeDelayerOnPathTerminates(t *testing.T) {
-	g := gen.Path(6)
-	res, err := async.Run(g, async.EdgeDelayer{Edge: graph.Edge{U: 2, V: 3}, Extra: 3}, async.Options{}, 0)
-	if err != nil {
-		t.Fatal(err)
+func TestRandomAdversarySeedReproducible(t *testing.T) {
+	batch := make([]graph.Edge, 8)
+	a := delaysOf(async.NewRandomAdversary(42, 3), batch)
+	b := delaysOf(async.NewRandomAdversary(42, 3), batch)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different delays")
+		}
+		if a[i] < 0 || a[i] > 3 {
+			t.Fatalf("delay %d outside {0..3}", a[i])
+		}
 	}
-	if res.Outcome != async.Terminated {
-		t.Fatalf("outcome = %v, want Terminated", res.Outcome)
-	}
-	// The slow edge adds exactly its extra delay to the one crossing.
-	if res.Rounds != 5+3 {
-		t.Fatalf("rounds = %d, want 8", res.Rounds)
+	if async.NewRandomAdversary(1, 1).Deterministic() {
+		t.Fatal("random adversary must not claim determinism")
 	}
 }
 
-func TestNewAdversaryNames(t *testing.T) {
-	if (async.UniformDelayer{}).Name() != "uniform-delayer" {
-		t.Fatal("uniform delayer name")
-	}
-	if (async.EdgeDelayer{}).Name() != "edge-delayer" {
-		t.Fatal("edge delayer name")
+func TestDeterministicFlags(t *testing.T) {
+	for _, adv := range []model.Adversary{
+		async.SyncAdversary{}, async.CollisionDelayer{}, async.HoldNode{},
+		async.UniformDelayer{}, async.EdgeDelayer{},
+	} {
+		if !adv.Deterministic() {
+			t.Errorf("%s must be deterministic", adv.Name())
+		}
 	}
 }

@@ -1,7 +1,8 @@
 // Package cli holds the small helpers shared by the cmd/ binaries: graph
-// loading through the gen spec registry, legacy -topo aliases, and
-// adversary lookup. It exists so the binaries stay single-purpose mains.
-// (Engine and protocol selection live in the sim façade.)
+// loading through the gen spec registry, legacy -topo aliases, and legacy
+// -async adversary aliases over the model-spec registry. It exists so the
+// binaries stay single-purpose mains. (Engine, protocol, and model
+// selection live in the sim façade.)
 package cli
 
 import (
@@ -10,7 +11,6 @@ import (
 	"sort"
 	"strings"
 
-	"amnesiacflood/internal/async"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 )
@@ -109,18 +109,26 @@ func LoadGraphSpec(spec, topo string, n int, file string, seed int64) (*graph.Gr
 	}
 }
 
-// Adversary resolves the -async flag into an adversary.
-func Adversary(name string, seed int64) (async.Adversary, error) {
-	switch strings.ToLower(name) {
-	case "sync":
-		return async.SyncAdversary{}, nil
-	case "collision":
-		return async.CollisionDelayer{}, nil
-	case "uniform":
-		return async.UniformDelayer{Extra: 2}, nil
-	case "random":
-		return async.NewRandomAdversary(seed, 3), nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q (want sync, collision, uniform, or random)", name)
+// asyncAliases maps the historical -async adversary names onto model specs
+// with the historical parameter choices baked in. New call sites should
+// pass full model specs (-model).
+var asyncAliases = map[string]string{
+	"sync":      "adversary:sync",
+	"collision": "adversary:collision",
+	"uniform":   "adversary:uniform:extra=2",
+	"random":    "adversary:random:max=3",
+}
+
+// AsyncAlias resolves a legacy -async adversary name into its model spec.
+// Full "adversary:..." specs are additionally accepted, so the two flags
+// converge on the same grammar.
+func AsyncAlias(name string) (string, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if spec, ok := asyncAliases[key]; ok {
+		return spec, nil
 	}
+	if strings.HasPrefix(key, "adversary:") {
+		return key, nil
+	}
+	return "", fmt.Errorf("unknown adversary %q (want sync, collision, uniform, random, or an adversary:... model spec)", name)
 }

@@ -155,13 +155,26 @@ func TestLoadGraphFromFile(t *testing.T) {
 	}
 }
 
-func TestAdversaryLookup(t *testing.T) {
-	for _, name := range []string{"sync", "collision", "random", "SYNC"} {
-		if _, err := cli.Adversary(name, 1); err != nil {
-			t.Errorf("adversary %s: %v", name, err)
+func TestAsyncAlias(t *testing.T) {
+	cases := map[string]string{
+		"sync":      "adversary:sync",
+		"collision": "adversary:collision",
+		"uniform":   "adversary:uniform:extra=2",
+		"random":    "adversary:random:max=3",
+		"SYNC":      "adversary:sync",
+		"adversary:hold:node=3": "adversary:hold:node=3",
+	}
+	for name, want := range cases {
+		spec, err := cli.AsyncAlias(name)
+		if err != nil {
+			t.Errorf("alias %s: %v", name, err)
+			continue
+		}
+		if spec != want {
+			t.Errorf("alias %s = %q, want %q", name, spec, want)
 		}
 	}
-	if _, err := cli.Adversary("nosuch", 1); err == nil {
+	if _, err := cli.AsyncAlias("nosuch"); err == nil {
 		t.Error("unknown adversary accepted")
 	}
 }

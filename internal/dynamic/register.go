@@ -1,0 +1,51 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/model"
+)
+
+// The schedule families of the model-spec registry. Parameter order here is
+// the canonical spec order (model.Spec.String emits it), so these
+// declarations are the grammar of "schedule:..." specs.
+func init() {
+	model.RegisterSchedule("static", model.ScheduleFamily{
+		Doc: "every edge alive forever; coincides with the synchronous model",
+		New: func(model.Values, int64) (model.Schedule, error) { return Static{}, nil },
+	})
+	model.RegisterSchedule("outage", model.ScheduleFamily{
+		Params: []model.Param{
+			{Name: "round", Kind: model.IntParam, Default: "1", Doc: "the round the edge is down"},
+			{Name: "u", Kind: model.IntParam, Default: "0", Doc: "one endpoint of the edge"},
+			{Name: "v", Kind: model.IntParam, Default: "1", Doc: "the other endpoint"},
+		},
+		Doc: "one edge down for exactly one round — the minimal dynamic fault",
+		New: func(v model.Values, _ int64) (model.Schedule, error) {
+			if v.Int("round") < 1 {
+				return nil, fmt.Errorf("round must be >= 1, got %d", v.Int("round"))
+			}
+			return OutageOnce{Round: v.Int("round"), Edge: graph.Edge{U: graph.NodeID(v.Int("u")), V: graph.NodeID(v.Int("v"))}}, nil
+		},
+	})
+	model.RegisterSchedule("blink", model.ScheduleFamily{
+		Params: []model.Param{
+			{Name: "u", Kind: model.IntParam, Default: "0", Doc: "one endpoint of the blinking edge"},
+			{Name: "v", Kind: model.IntParam, Default: "1", Doc: "the other endpoint"},
+			{Name: "period", Kind: model.IntParam, Default: "2", Doc: "the edge is alive every period-th round"},
+			{Name: "phase", Kind: model.IntParam, Default: "0", Doc: "alive when round % period == phase"},
+		},
+		Doc: "one edge alive only every period-th round, all others always up",
+		New: func(v model.Values, _ int64) (model.Schedule, error) {
+			if v.Int("period") < 1 {
+				return nil, fmt.Errorf("period must be >= 1, got %d", v.Int("period"))
+			}
+			return Blinking{Edge: graph.Edge{U: graph.NodeID(v.Int("u")), V: graph.NodeID(v.Int("v"))}, K: v.Int("period"), Phase: v.Int("phase")}, nil
+		},
+	})
+	model.RegisterSchedule("alternating", model.ScheduleFamily{
+		Doc: "parity halves of the edge set alive in alternating rounds",
+		New: func(model.Values, int64) (model.Schedule, error) { return Alternating{}, nil },
+	})
+}

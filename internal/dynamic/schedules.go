@@ -1,24 +1,46 @@
+// Package dynamic defines the edge schedules of the dynamic-network
+// amnesiac flooding model: the edge set of a base graph may change between
+// rounds, and messages sent onto dead edges are lost. The paper's open
+// questions ask how the process behaves beyond static synchronous graphs;
+// these schedules give the question an executable form, complementing the
+// asynchronous (internal/async) and faulty (internal/faults) variants.
+//
+// The schedules implement model.Schedule and self-register in the
+// model-spec registry from this package's init, so importing the package is
+// all it takes to make them addressable as execution-model specs
+// ("schedule:static", "schedule:blink:period=2,phase=1", ...) through
+// sim.WithModel, scenario matrices, and the CLIs. The model itself —
+// delivery, loss accounting, (configuration, phase) certificates — is
+// executed by model.DynamicEngine; this package holds only the liveness
+// policies.
+//
+// Findings (experiment E14): a static schedule reproduces the synchronous
+// engine exactly; a single edge outage in the right round is equivalent to
+// a lost message and can leave a wavefront circulating forever; periodically
+// blinking edges can sustain the flood on graphs where every static
+// subgraph would terminate.
 package dynamic
 
 import (
 	"fmt"
 
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/model"
 )
 
-// Static keeps every edge alive forever: the dynamic runner must match the
-// synchronous engine exactly under it.
+// Static keeps every edge alive forever: the dynamic engine must match the
+// synchronous engines exactly under it (verified by fuzz tests).
 type Static struct{}
 
-var _ Schedule = Static{}
+var _ model.Schedule = Static{}
 
-// Name implements Schedule.
+// Name implements model.Schedule.
 func (Static) Name() string { return "static" }
 
-// Alive implements Schedule.
+// Alive implements model.Schedule.
 func (Static) Alive(int, graph.Edge) bool { return true }
 
-// Period implements Schedule: static behaviour has period 1.
+// Period implements model.Schedule: static behaviour has period 1.
 func (Static) Period() int { return 1 }
 
 // OutageOnce takes one edge down for exactly one round — the minimal
@@ -29,25 +51,27 @@ type OutageOnce struct {
 	Edge  graph.Edge
 }
 
-var _ Schedule = OutageOnce{}
+var _ model.Schedule = OutageOnce{}
+var _ model.Settler = OutageOnce{}
 
-// Name implements Schedule.
+// Name implements model.Schedule.
 func (o OutageOnce) Name() string {
 	return fmt.Sprintf("outage(r%d,%s)", o.Round, o.Edge.Normalize())
 }
 
-// Alive implements Schedule.
+// Alive implements model.Schedule.
 func (o OutageOnce) Alive(round int, e graph.Edge) bool {
 	return !(round == o.Round && e == o.Edge.Normalize())
 }
 
-// Period implements Schedule: after the outage round the schedule is
-// static (period 1). SettledAfter tells the runner to start recording
+// Period implements model.Schedule: after the outage round the schedule is
+// static (period 1). SettledAfter tells the engine to start recording
 // configurations only once the transient has passed, so pre-outage
 // configurations can never alias post-outage ones.
 func (o OutageOnce) Period() int { return 1 }
 
-// SettledAfter reports the last round with transient behaviour.
+// SettledAfter implements model.Settler: the outage round is the last
+// transient round.
 func (o OutageOnce) SettledAfter() int { return o.Round }
 
 // Blinking keeps one edge alive only every k-th round (round % K == Phase),
@@ -59,14 +83,14 @@ type Blinking struct {
 	Phase int
 }
 
-var _ Schedule = Blinking{}
+var _ model.Schedule = Blinking{}
 
-// Name implements Schedule.
+// Name implements model.Schedule.
 func (b Blinking) Name() string {
 	return fmt.Sprintf("blinking(%s,k=%d)", b.Edge.Normalize(), b.K)
 }
 
-// Alive implements Schedule.
+// Alive implements model.Schedule.
 func (b Blinking) Alive(round int, e graph.Edge) bool {
 	if e != b.Edge.Normalize() {
 		return true
@@ -74,7 +98,7 @@ func (b Blinking) Alive(round int, e graph.Edge) bool {
 	return round%b.K == b.Phase%b.K
 }
 
-// Period implements Schedule.
+// Period implements model.Schedule.
 func (b Blinking) Period() int { return b.K }
 
 // Alternating splits the edge set in two halves that are alive in
@@ -83,15 +107,15 @@ func (b Blinking) Period() int { return b.K }
 // time.
 type Alternating struct{}
 
-var _ Schedule = Alternating{}
+var _ model.Schedule = Alternating{}
 
-// Name implements Schedule.
+// Name implements model.Schedule.
 func (Alternating) Name() string { return "alternating-halves" }
 
-// Alive implements Schedule.
+// Alive implements model.Schedule.
 func (Alternating) Alive(round int, e graph.Edge) bool {
 	return (int(e.U+e.V)+round)%2 == 0
 }
 
-// Period implements Schedule.
+// Period implements model.Schedule.
 func (Alternating) Period() int { return 2 }

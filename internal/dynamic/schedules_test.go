@@ -1,0 +1,88 @@
+package dynamic_test
+
+import (
+	"testing"
+
+	"amnesiacflood/internal/dynamic"
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/model"
+)
+
+// Engine-level behaviour of these schedules (termination, certificates,
+// equivalence with the synchronous engines) is covered by the differential
+// and fuzz tests in internal/model; this file unit-tests the liveness
+// policies themselves.
+
+func TestScheduleNames(t *testing.T) {
+	cases := []struct {
+		sched model.Schedule
+		want  string
+	}{
+		{dynamic.Static{}, "static"},
+		{dynamic.OutageOnce{Round: 2, Edge: graph.Edge{U: 3, V: 1}}, "outage(r2,(1,3))"},
+		{dynamic.Blinking{Edge: graph.Edge{U: 0, V: 1}, K: 2}, "blinking((0,1),k=2)"},
+		{dynamic.Alternating{}, "alternating-halves"},
+	}
+	for _, tc := range cases {
+		if got := tc.sched.Name(); got != tc.want {
+			t.Errorf("name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOutageOnceLiveness(t *testing.T) {
+	o := dynamic.OutageOnce{Round: 2, Edge: graph.Edge{U: 3, V: 1}}
+	e := graph.Edge{U: 1, V: 3}
+	if o.Alive(2, e) {
+		t.Error("edge alive in its outage round")
+	}
+	if !o.Alive(1, e) || !o.Alive(3, e) {
+		t.Error("edge dead outside its outage round")
+	}
+	if !o.Alive(2, graph.Edge{U: 0, V: 1}) {
+		t.Error("outage leaked onto another edge")
+	}
+	if o.Period() != 1 || o.SettledAfter() != 2 {
+		t.Errorf("period/settled = %d/%d, want 1/2", o.Period(), o.SettledAfter())
+	}
+}
+
+func TestBlinkingLiveness(t *testing.T) {
+	b := dynamic.Blinking{Edge: graph.Edge{U: 1, V: 2}, K: 3, Phase: 1}
+	e := graph.Edge{U: 1, V: 2}
+	for round := 1; round <= 9; round++ {
+		want := round%3 == 1
+		if b.Alive(round, e) != want {
+			t.Errorf("round %d: alive = %t, want %t", round, b.Alive(round, e), want)
+		}
+		if !b.Alive(round, graph.Edge{U: 0, V: 1}) {
+			t.Errorf("round %d: other edges must stay up", round)
+		}
+	}
+	if b.Period() != 3 {
+		t.Errorf("period = %d, want 3", b.Period())
+	}
+}
+
+func TestAlternatingLiveness(t *testing.T) {
+	a := dynamic.Alternating{}
+	if a.Period() != 2 {
+		t.Errorf("period = %d, want 2", a.Period())
+	}
+	// Every edge flips between consecutive rounds.
+	for _, e := range []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 4}} {
+		if a.Alive(1, e) == a.Alive(2, e) {
+			t.Errorf("edge %v does not alternate", e)
+		}
+		if a.Alive(1, e) != a.Alive(3, e) {
+			t.Errorf("edge %v is not 2-periodic", e)
+		}
+	}
+}
+
+func TestStaticLiveness(t *testing.T) {
+	s := dynamic.Static{}
+	if !s.Alive(1, graph.Edge{U: 0, V: 1}) || s.Period() != 1 {
+		t.Error("static schedule must keep everything alive with period 1")
+	}
+}

@@ -15,6 +15,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"slices"
@@ -90,6 +91,79 @@ type DenseProtocol interface {
 	NewRun() RoundAppender
 }
 
+// Outcome classifies how a run ended across every execution model. The
+// synchronous engines prove termination by reaching an empty round; the
+// asynchronous and dynamic model engines (internal/model) can additionally
+// certify *non*-termination by configuration repetition, or give up at a
+// round limit without a verdict (randomised adversaries, aperiodic
+// schedules). The zero value means "no verdict" — the run was stopped or
+// cancelled before one was reached.
+type Outcome int
+
+// Possible outcomes.
+const (
+	// OutcomeNone: no verdict (stopped by an observer or cancelled).
+	OutcomeNone Outcome = iota
+	// OutcomeTerminated: a round with no message in flight arrived.
+	OutcomeTerminated
+	// OutcomeCycle: the global configuration repeated under a
+	// deterministic model — a finite certificate of an infinite execution.
+	OutcomeCycle
+	// OutcomeRoundLimit: the round limit was reached without termination
+	// or a certificate.
+	OutcomeRoundLimit
+)
+
+// String implements fmt.Stringer, matching the historical report spellings.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNone:
+		return ""
+	case OutcomeTerminated:
+		return "terminated"
+	case OutcomeCycle:
+		return "non-termination-certified"
+	case OutcomeRoundLimit:
+		return "round-limit"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// MarshalJSON renders the outcome as its string spelling.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.String())
+}
+
+// UnmarshalJSON parses the string spelling emitted by MarshalJSON.
+func (o *Outcome) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "":
+		*o = OutcomeNone
+	case "terminated":
+		*o = OutcomeTerminated
+	case "non-termination-certified":
+		*o = OutcomeCycle
+	case "round-limit":
+		*o = OutcomeRoundLimit
+	default:
+		return fmt.Errorf("engine: unknown outcome %q", s)
+	}
+	return nil
+}
+
+// Certificate is a non-termination certificate: the global configuration at
+// the start of round Start reoccurred at Start+Length, so the execution is
+// periodic from Start on and never terminates.
+type Certificate struct {
+	Start  int `json:"start"`
+	Length int `json:"length"`
+}
+
 // RoundRecord is the trace of a single round: the messages crossing edges
 // during that round, sorted by (From, To).
 type RoundRecord struct {
@@ -136,6 +210,18 @@ type Result struct {
 	// it empty; the sim façade fills it in so benchmark JSON and
 	// experiment tables can attribute numbers to a substrate.
 	Engine string `json:"engine,omitempty"`
+	// Model is the canonical execution-model spec (internal/model grammar)
+	// the run executed under. The engines leave it empty; the sim façade
+	// stamps it ("sync", "adversary:collision", ...).
+	Model string `json:"model,omitempty"`
+	// Outcome classifies how the run ended. The synchronous engines leave
+	// it unset (the façade derives OutcomeTerminated from Terminated); the
+	// model engines report their verdict directly, including certified
+	// non-termination, which Terminated alone cannot express.
+	Outcome Outcome `json:"outcome,omitempty"`
+	// Certificate describes the certified non-termination loop when
+	// Outcome == OutcomeCycle, nil otherwise.
+	Certificate *Certificate `json:"certificate,omitempty"`
 	// Terminated is true when the run reached a round with no messages
 	// within the round limit; false means the limit was hit first or an
 	// observer stopped the run.
@@ -150,6 +236,10 @@ type Result struct {
 	// TotalMessages counts every (sender, receiver) message delivery over
 	// the whole run.
 	TotalMessages int `json:"totalMessages"`
+	// Lost counts messages dropped in transit. Only the dynamic model
+	// engine produces losses (sends onto dead edges); it is zero
+	// everywhere else.
+	Lost int `json:"lost,omitempty"`
 	// WallTime is the wall-clock duration of the run. The engines leave
 	// it zero; the sim façade populates it.
 	WallTime time.Duration `json:"wallTimeNs,omitempty"`

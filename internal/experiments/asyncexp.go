@@ -1,13 +1,20 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"amnesiacflood/internal/async"
+	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/trace"
+
+	// The model specs below address the adversary and schedule registries,
+	// which their defining packages populate from init.
+	_ "amnesiacflood/internal/async"
+	_ "amnesiacflood/internal/dynamic"
 )
 
 // AsyncNonTermination is experiment E7 (Figure 5): under the paper's
@@ -15,11 +22,12 @@ import (
 // terminates — certified by a repeated configuration — while the same run
 // under the synchronous (zero-delay) adversary terminates like Figure 2.
 // The sweep extends the certificate to longer cycles and shows trees
-// terminate under every adversary tried.
+// terminate under every adversary tried. All runs go through the sim
+// façade's model axis (sim.WithModel), so the table's adversary column is
+// the exact round-trippable model spec.
 func AsyncNonTermination(cfg Config) ([]*Table, error) {
 	// Part 1: the triangle schedule of Figure 5, round by round.
-	tri := gen.Cycle(3)
-	res, err := async.Run(tri, async.CollisionDelayer{}, async.Options{Trace: true}, 1)
+	res, err := runModel(cfg, "cycle:n=3", "adversary:collision", 0, true, 1)
 	if err != nil {
 		return nil, fmt.Errorf("E7: triangle: %w", err)
 	}
@@ -28,58 +36,78 @@ func AsyncNonTermination(cfg Config) ([]*Table, error) {
 		Title:   "Figure 5: async AF on the triangle from b under the delaying adversary",
 		Columns: []string{"round", "deliveries"},
 	}
-	for _, d := range res.Trace {
-		edges := make([]string, len(d.Msgs))
-		for i, m := range d.Msgs {
-			edges[i] = trace.Letters(m.From) + "->" + trace.Letters(m.To)
+	for _, rec := range res.Trace {
+		edges := make([]string, len(rec.Sends))
+		for i, s := range rec.Sends {
+			edges[i] = trace.Letters(s.From) + "->" + trace.Letters(s.To)
 		}
-		fig.AddRow(d.Round, strings.Join(edges, " "))
+		fig.AddRow(rec.Round, strings.Join(edges, " "))
 	}
-	if res.Outcome != async.CycleDetected {
+	if res.Outcome != engine.OutcomeCycle || res.Certificate == nil {
 		return nil, fmt.Errorf("E7: triangle outcome %v, want non-termination certificate", res.Outcome)
 	}
 	fig.AddNote("paper: the schedule loops forever; measured: configuration at round %d recurs at round %d (period %d) — non-termination certified",
-		res.CycleStart, res.CycleStart+res.CycleLength, res.CycleLength)
+		res.Certificate.Start, res.Certificate.Start+res.Certificate.Length, res.Certificate.Length)
 
-	// Part 2: adversary sweep over topologies.
+	// Part 2: adversary sweep over topologies, addressed by model spec.
 	sweep := &Table{
 		ID:      "E7",
 		Title:   "Figure 5 (cont.): adversary sweep",
-		Columns: []string{"graph", "adversary", "outcome", "rounds", "period"},
+		Columns: []string{"graph", "model", "outcome", "rounds", "period"},
 	}
 	type testCase struct {
-		g   *graph.Graph
-		adv async.Adversary
+		graph string
+		model string
 	}
 	cases := []testCase{
-		{gen.Cycle(3), async.SyncAdversary{}},
-		{gen.Cycle(3), async.CollisionDelayer{}},
-		{gen.Cycle(5), async.CollisionDelayer{}},
-		{gen.Cycle(7), async.CollisionDelayer{}},
-		{gen.Cycle(6), async.CollisionDelayer{}},
-		{gen.Complete(4), async.CollisionDelayer{}},
-		{gen.Path(8), async.CollisionDelayer{}},
-		{gen.Path(8), async.HoldNode{Node: 3, Extra: 2}},
-		{gen.CompleteBinaryTree(4), async.CollisionDelayer{}},
-		{gen.CompleteBinaryTree(4), async.NewRandomAdversary(cfg.Seed, 3)},
-		{gen.Cycle(3), async.NewRandomAdversary(cfg.Seed, 3)},
-		{gen.Cycle(3), async.UniformDelayer{Extra: 2}},
-		{gen.Cycle(9), async.UniformDelayer{Extra: 2}},
-		{gen.Cycle(3), async.EdgeDelayer{Edge: graph.Edge{U: 1, V: 2}, Extra: 1}},
-		{gen.Cycle(9), async.EdgeDelayer{Edge: graph.Edge{U: 0, V: 8}, Extra: 1}},
+		{"cycle:n=3", "adversary:sync"},
+		{"cycle:n=3", "adversary:collision"},
+		{"cycle:n=5", "adversary:collision"},
+		{"cycle:n=7", "adversary:collision"},
+		{"cycle:n=6", "adversary:collision"},
+		{"complete:n=4", "adversary:collision"},
+		{"path:n=8", "adversary:collision"},
+		{"path:n=8", "adversary:hold:node=3,extra=2"},
+		{"bintree:levels=4", "adversary:collision"},
+		{"bintree:levels=4", "adversary:random:max=3"},
+		{"cycle:n=3", "adversary:random:max=3"},
+		{"cycle:n=3", "adversary:uniform:extra=2"},
+		{"cycle:n=9", "adversary:uniform:extra=2"},
+		{"cycle:n=3", "adversary:edge:u=1,v=2,extra=1"},
+		{"cycle:n=9", "adversary:edge:u=0,v=8,extra=1"},
 	}
 	for _, tc := range cases {
-		r, err := async.Run(tc.g, tc.adv, async.Options{MaxRounds: 4096}, 0)
+		r, err := runModel(cfg, tc.graph, tc.model, 4096, false, 0)
 		if err != nil {
-			return nil, fmt.Errorf("E7: %s under %s: %w", tc.g, tc.adv.Name(), err)
+			return nil, fmt.Errorf("E7: %s under %s: %w", tc.graph, tc.model, err)
 		}
 		period := "-"
-		if r.Outcome == async.CycleDetected {
-			period = fmt.Sprintf("%d", r.CycleLength)
+		if r.Certificate != nil {
+			period = fmt.Sprintf("%d", r.Certificate.Length)
 		}
-		sweep.AddRow(tc.g.Name(), tc.adv.Name(), r.Outcome, r.Rounds, period)
+		sweep.AddRow(tc.graph, tc.model, r.Outcome, r.Rounds, period)
 	}
 	sweep.AddNote("paper claims an adversary can force non-termination; the delaying adversary certifies it on every cycle, while trees/paths terminate under all adversaries tried (messages only die at leaves)")
 	sweep.AddNote("controls: uniform delay only stretches the synchronous run (termination preserved); one slow edge can even accelerate termination by merging wavefronts — asymmetric collision-splitting is the specific mechanism that breaks it")
 	return []*Table{fig, sweep}, nil
+}
+
+// runModel executes one model-axis run through the sim façade.
+func runModel(cfg Config, graphSpec, modelSpec string, maxRounds int, traced bool, origin int) (engine.Result, error) {
+	g, err := gen.Build(graphSpec, cfg.Seed)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	sess, err := sim.New(g,
+		sim.WithProtocol("amnesiac"),
+		sim.WithModel(modelSpec),
+		sim.WithOrigins(graph.NodeID(origin)),
+		sim.WithSeed(cfg.Seed),
+		sim.WithMaxRounds(maxRounds),
+		sim.WithTrace(traced),
+	)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	return sess.Run(context.Background())
 }

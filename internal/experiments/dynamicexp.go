@@ -1,16 +1,20 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"amnesiacflood/internal/dynamic"
+	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/model"
+	"amnesiacflood/internal/sim"
 )
 
 // DynamicNetworks is experiment E14, executing the paper's open question
 // about non-static networks: amnesiac flooding over graphs whose edges
-// come and go between rounds.
+// come and go between rounds, addressed as "schedule:..." model specs
+// through the sim façade.
 //
 // Findings: a static schedule reproduces the synchronous results exactly;
 // one single-round edge outage on a cycle leaves an eternally circulating
@@ -24,57 +28,79 @@ func DynamicNetworks(cfg Config) ([]*Table, error) {
 		ID:    "E14",
 		Title: "Dynamic networks: AF under edge churn",
 		Columns: []string{
-			"graph", "schedule", "outcome", "rounds", "delivered", "lost", "coverage", "period",
+			"graph", "model", "outcome", "rounds", "delivered", "lost", "coverage", "period",
 		},
 	}
 	type testCase struct {
-		g     *graph.Graph
-		sched dynamic.Schedule
+		graph string
+		model string
 	}
 	cases := []testCase{
-		{gen.Cycle(4), dynamic.Static{}},
-		{gen.Cycle(4), dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 3}}},
-		{gen.Cycle(6), dynamic.OutageOnce{Round: 2, Edge: graph.Edge{U: 2, V: 3}}},
-		{gen.Cycle(7), dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 6}}},
-		{gen.CompleteBinaryTree(4), dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 1}}},
-		{gen.Path(4), dynamic.Blinking{Edge: graph.Edge{U: 1, V: 2}, K: 2, Phase: 0}},
-		{gen.Path(4), dynamic.Blinking{Edge: graph.Edge{U: 1, V: 2}, K: 2, Phase: 1}},
-		{gen.Cycle(8), dynamic.Blinking{Edge: graph.Edge{U: 0, V: 7}, K: 3, Phase: 1}},
-		{gen.Cycle(6), dynamic.Alternating{}},
-		{gen.Grid(4, 4), dynamic.Alternating{}},
-		{gen.Complete(6), dynamic.Alternating{}},
-		{gen.Petersen(), dynamic.Alternating{}},
+		{"cycle:n=4", "schedule:static"},
+		{"cycle:n=4", "schedule:outage:round=1,u=0,v=3"},
+		{"cycle:n=6", "schedule:outage:round=2,u=2,v=3"},
+		{"cycle:n=7", "schedule:outage:round=1,u=0,v=6"},
+		{"bintree:levels=4", "schedule:outage:round=1,u=0,v=1"},
+		{"path:n=4", "schedule:blink:u=1,v=2,period=2,phase=0"},
+		{"path:n=4", "schedule:blink:u=1,v=2,period=2,phase=1"},
+		{"cycle:n=8", "schedule:blink:u=0,v=7,period=3,phase=1"},
+		{"cycle:n=6", "schedule:alternating"},
+		{"grid:rows=4,cols=4", "schedule:alternating"},
+		{"complete:n=6", "schedule:alternating"},
+		{"petersen", "schedule:alternating"},
 	}
 	for _, tc := range cases {
-		res, err := dynamic.Run(tc.g, tc.sched, dynamic.Options{MaxRounds: 4096}, 0)
+		res, cov, n, err := runSchedule(cfg, tc.graph, tc.model, 4096)
 		if err != nil {
-			return nil, fmt.Errorf("E14: %s under %s: %w", tc.g, tc.sched.Name(), err)
+			return nil, fmt.Errorf("E14: %s under %s: %w", tc.graph, tc.model, err)
 		}
 		period := "-"
-		if res.Outcome == dynamic.CycleDetected {
-			period = fmt.Sprintf("%d", res.CycleLength)
+		if res.Certificate != nil {
+			period = fmt.Sprintf("%d", res.Certificate.Length)
 		}
-		t.AddRow(tc.g.Name(), tc.sched.Name(), res.Outcome, res.Rounds,
-			res.Delivered, res.Lost,
-			fmt.Sprintf("%d/%d", res.CoverageCount(), tc.g.N()), period)
+		t.AddRow(tc.graph, tc.model, res.Outcome, res.Rounds,
+			res.TotalMessages, res.Lost,
+			fmt.Sprintf("%d/%d", cov.Count(), n), period)
 	}
 	// Hard assertions for the headline rows.
-	check, err := dynamic.Run(gen.Cycle(4),
-		dynamic.OutageOnce{Round: 1, Edge: graph.Edge{U: 0, V: 3}}, dynamic.Options{}, 0)
+	check, _, _, err := runSchedule(cfg, "cycle:n=4", "schedule:outage:round=1,u=0,v=3", 0)
 	if err != nil {
 		return nil, err
 	}
-	if check.Outcome != dynamic.CycleDetected {
+	if check.Outcome != engine.OutcomeCycle {
 		return nil, fmt.Errorf("E14: C4 single outage outcome %v, want certified non-termination", check.Outcome)
 	}
-	static, err := dynamic.Run(gen.Cycle(4), dynamic.Static{}, dynamic.Options{}, 0)
+	static, _, _, err := runSchedule(cfg, "cycle:n=4", "schedule:static", 0)
 	if err != nil {
 		return nil, err
 	}
-	if static.Outcome != dynamic.Terminated || static.Rounds != 2 {
+	if static.Outcome != engine.OutcomeTerminated || static.Rounds != 2 {
 		return nil, fmt.Errorf("E14: static C4 run diverged from the synchronous engine")
 	}
 	t.AddNote("a one-round outage of a single cycle edge leaves a wavefront circulating forever — the dynamic counterpart of E12's lost message")
 	t.AddNote("periodic churn outcomes are certified (configuration x schedule-phase repetition), never timed out")
 	return []*Table{t}, nil
+}
+
+// runSchedule executes one dynamic-model run through the sim façade with a
+// coverage observer attached, returning the built graph's size alongside.
+func runSchedule(cfg Config, graphSpec, modelSpec string, maxRounds int) (engine.Result, *model.Coverage, int, error) {
+	g, err := gen.Build(graphSpec, cfg.Seed)
+	if err != nil {
+		return engine.Result{}, nil, 0, err
+	}
+	cov := model.NewCoverage(g.N(), 0)
+	sess, err := sim.New(g,
+		sim.WithProtocol("amnesiac"),
+		sim.WithModel(modelSpec),
+		sim.WithOrigins(graph.NodeID(0)),
+		sim.WithSeed(cfg.Seed),
+		sim.WithMaxRounds(maxRounds),
+		sim.WithObserver(cov),
+	)
+	if err != nil {
+		return engine.Result{}, nil, 0, err
+	}
+	res, err := sess.Run(context.Background())
+	return res, cov, g.N(), err
 }

@@ -8,7 +8,6 @@ import (
 	"context"
 	"testing"
 
-	"amnesiacflood/internal/async"
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/detect"
 	"amnesiacflood/internal/engine"
@@ -16,9 +15,14 @@ import (
 	"amnesiacflood/internal/faults"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/sim"
 	"amnesiacflood/internal/spantree"
 	"amnesiacflood/internal/theory"
 	"amnesiacflood/internal/workload"
+
+	// Registers the model families addressed by sim.WithModel below.
+	_ "amnesiacflood/internal/async"
+	_ "amnesiacflood/internal/dynamic"
 )
 
 const catalogSeed = 20190729
@@ -107,14 +111,20 @@ func TestInvariantMatrix(t *testing.T) {
 					t.Errorf("spanning tree: %v", err)
 				}
 
-				// The zero-delay adversary and the zero-fault injector
-				// both reproduce the synchronous run.
-				ares, err := async.Run(g, async.SyncAdversary{}, async.Options{}, src)
-				if err != nil {
-					t.Fatalf("async control: %v", err)
-				}
-				if ares.Outcome != async.Terminated || ares.Rounds != rep.Rounds() {
-					t.Errorf("async control diverged: %v after %d rounds", ares.Outcome, ares.Rounds)
+				// The zero-delay adversary, the static schedule, and the
+				// zero-fault injector all reproduce the synchronous run.
+				for _, mdl := range []string{"adversary:sync", "schedule:static"} {
+					sess, err := sim.New(g, sim.WithModel(mdl), sim.WithOrigins(src))
+					if err != nil {
+						t.Fatalf("model control %s: %v", mdl, err)
+					}
+					mres, err := sess.Run(context.Background())
+					if err != nil {
+						t.Fatalf("model control %s: %v", mdl, err)
+					}
+					if mres.Outcome != engine.OutcomeTerminated || mres.Rounds != rep.Rounds() {
+						t.Errorf("%s control diverged: %v after %d rounds", mdl, mres.Outcome, mres.Rounds)
+					}
 				}
 				fres, err := faults.Run(g, faults.NoFaults{}, faults.Options{}, src)
 				if err != nil {

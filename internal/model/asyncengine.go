@@ -1,0 +1,242 @@
+package model
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// AsyncEngine runs asynchronous amnesiac flooding (paper Section 4) on one
+// graph under one Adversary. It owns reusable round state — double-buffered
+// in-flight arenas of packed (delivery round, edge index) words, the
+// counting-sort grouper, the cycle detector, and the adversary-facing view
+// buffers — so a single engine amortises everything across runs; it is not
+// safe for concurrent use (run several engines for that).
+//
+// # Semantics
+//
+// When a node sends a batch of messages in round r, the adversary assigns
+// each message an extra delay k >= 0; the message is delivered in round
+// r+k. A node processes all messages delivered to it in the same round as
+// a single batch and responds (to the complement of that batch's senders)
+// in the next round. With every delay zero the model coincides exactly with
+// the synchronous model: traces are byte-identical to the synchronous
+// engines' (asserted by fuzz tests).
+//
+// Under a deterministic adversary the engine feeds each round's
+// configuration — the in-flight multiset with delays relative to the
+// current round — to the shared Detector and certifies non-termination on
+// the first repeat (engine.OutcomeCycle with a Certificate), which is how
+// the paper's Figure 5 triangle schedule is reproduced without running
+// forever.
+//
+// Rounds in which every in-flight message is still delayed deliver nothing:
+// they are counted, but produce no trace record and no observer call, so a
+// trace under the zero-delay adversary aligns round-for-round with the
+// synchronous engines'.
+type AsyncEngine struct {
+	g         *graph.Graph
+	idx       csrIndex
+	adv       Adversary
+	wantsView bool // false when adv declares IgnoresView (see ViewIgnorer)
+
+	cur, nxt  []uint64 // in-flight arenas: deliverAt<<32 | edgeIdx, sorted
+	cfg       []uint64 // scratch: round-relative configuration
+	sends     []engine.Send
+	gr        grouper
+	batch     []graph.Edge // adversary-facing response batch
+	batchIdx  []int32      // edge index of each batch entry
+	delays    []int
+	viewEdges []graph.Edge
+	viewRem   []int
+	origins   []graph.NodeID
+	det       Detector
+}
+
+// NewAsync returns an engine running amnesiac flooding on g under adv.
+func NewAsync(g *graph.Graph, adv Adversary) *AsyncEngine {
+	wantsView := true
+	if vi, ok := adv.(ViewIgnorer); ok && vi.IgnoresView() {
+		wantsView = false
+	}
+	return &AsyncEngine{g: g, idx: newCSRIndex(g), adv: adv, wantsView: wantsView, gr: newGrouper(g.N())}
+}
+
+// Adversary returns the engine's adversary.
+func (e *AsyncEngine) Adversary() Adversary { return e.adv }
+
+// Run floods from the origins to termination, a non-termination
+// certificate, or the round limit. Options are honoured as in the
+// synchronous engines — per-round context checks, Trace, and a
+// stop-capable Observer — except that MaxRounds == 0 means
+// model.DefaultMaxRounds and hitting the limit is an outcome
+// (engine.OutcomeRoundLimit), not an error: asynchronous runs can
+// legitimately never terminate.
+func (e *AsyncEngine) Run(ctx context.Context, origins []graph.NodeID, opts engine.Options) (engine.Result, error) {
+	var err error
+	e.origins, err = validateOrigins(e.g, origins, e.origins, "async under "+e.adv.Name())
+	if err != nil {
+		return engine.Result{}, err
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	res := engine.Result{Protocol: amnesiacName}
+
+	// Bootstrap: origins send to all neighbours; the adversary schedules
+	// this batch like any other (sent "in round 1", so delays are added
+	// to delivery round 1), seeing an empty in-flight view.
+	e.batch, e.batchIdx = e.batch[:0], e.batchIdx[:0]
+	for _, o := range e.origins {
+		base := e.idx.csr.Offsets[o]
+		for i, w := range e.idx.csr.Row(o) {
+			e.batch = append(e.batch, graph.Edge{U: o, V: w})
+			e.batchIdx = append(e.batchIdx, base+int32(i))
+		}
+	}
+	e.scheduleDelays(ConfigView{})
+	e.cur = e.cur[:0]
+	if err := e.commitBatch(&e.cur, 0); err != nil {
+		return engine.Result{}, err
+	}
+	slices.Sort(e.cur)
+
+	deterministic := e.adv.Deterministic()
+	e.det.Reset()
+	for round := 1; len(e.cur) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("model: async %s on %s: %w", e.adv.Name(), e.g, err)
+		}
+		if round > maxRounds {
+			res.Outcome = engine.OutcomeRoundLimit
+			res.Rounds = maxRounds
+			return res, nil
+		}
+		if deterministic {
+			// The round-relative configuration is the sorted arena with
+			// the round subtracted from every delivery time — one linear
+			// pass, already canonically ordered.
+			e.cfg = e.cfg[:0]
+			for _, p := range e.cur {
+				e.cfg = append(e.cfg, p-uint64(round)<<32)
+			}
+			if first, ok := e.det.Check(round, e.cfg); ok {
+				res.Outcome = engine.OutcomeCycle
+				res.Certificate = &engine.Certificate{Start: first, Length: round - first}
+				res.Rounds = round
+				return res, nil
+			}
+		}
+		res.Rounds = round
+
+		// Deliveries due this round are the arena prefix with
+		// deliverAt == round, sorted by edge index, i.e. by (From, To).
+		nDue := 0
+		for nDue < len(e.cur) && e.cur[nDue]>>32 == uint64(round) {
+			nDue++
+		}
+		if nDue == 0 {
+			// Nothing delivered this round; time passes.
+			continue
+		}
+		later := e.cur[nDue:]
+		res.TotalMessages += nDue
+		e.sends = e.sends[:0]
+		for _, p := range e.cur[:nDue] {
+			from, to := e.idx.decode(int32(uint32(p)))
+			e.sends = append(e.sends, engine.Send{From: from, To: to})
+		}
+		if opts.Trace {
+			res.Trace = append(res.Trace, engine.RoundRecord{Round: round, Sends: append([]engine.Send(nil), e.sends...)})
+		}
+		stop, err := opts.Observe(engine.RoundRecord{Round: round, Sends: e.sends})
+		if err != nil {
+			return res, fmt.Errorf("model: async %s on %s: observer at round %d: %w", e.adv.Name(), e.g, round, err)
+		}
+		if stop {
+			res.Stopped = true
+			return res, nil
+		}
+
+		// Each receiver responds to the complement of its senders, sent
+		// in round+1 under adversary-chosen delays.
+		e.gr.group(e.sends)
+		e.batch, e.batchIdx = e.batch[:0], e.batchIdx[:0]
+		for _, v := range e.gr.receivers {
+			senders := e.gr.senders(v)
+			base := e.idx.csr.Offsets[v]
+			i := 0
+			for j, w := range e.idx.csr.Row(v) {
+				for i < len(senders) && senders[i] < w {
+					i++
+				}
+				if i < len(senders) && senders[i] == w {
+					continue
+				}
+				e.batch = append(e.batch, graph.Edge{U: v, V: w})
+				e.batchIdx = append(e.batchIdx, base+int32(j))
+			}
+		}
+		e.gr.reset()
+
+		view := ConfigView{}
+		if e.wantsView {
+			e.viewEdges, e.viewRem = e.viewEdges[:0], e.viewRem[:0]
+			for _, p := range later {
+				from, to := e.idx.decode(int32(uint32(p)))
+				e.viewEdges = append(e.viewEdges, graph.Edge{U: from, V: to})
+				e.viewRem = append(e.viewRem, int(p>>32)-round)
+			}
+			view = ConfigView{InFlight: e.viewEdges, Remaining: e.viewRem}
+		}
+		e.scheduleDelays(view)
+
+		e.nxt = append(e.nxt[:0], later...)
+		if err := e.commitBatch(&e.nxt, round); err != nil {
+			return res, err
+		}
+		slices.Sort(e.nxt)
+		e.cur, e.nxt = e.nxt, e.cur
+	}
+	res.Terminated = true
+	res.Outcome = engine.OutcomeTerminated
+	return res, nil
+}
+
+// scheduleDelays invokes the adversary on the current batch with a
+// pre-zeroed delay buffer.
+func (e *AsyncEngine) scheduleDelays(view ConfigView) {
+	if cap(e.delays) < len(e.batch) {
+		e.delays = make([]int, len(e.batch))
+	}
+	e.delays = e.delays[:len(e.batch)]
+	for i := range e.delays {
+		e.delays[i] = 0
+	}
+	if len(e.batch) > 0 {
+		e.adv.Delays(e.batch, view, e.delays)
+	}
+}
+
+// commitBatch packs the scheduled batch (sent in round, delivered in
+// round+1+delay) into the arena, clamping negative delays to zero so a
+// buggy adversary cannot corrupt the run. The overflow guard compares
+// before adding, so an absurd delay near MaxInt cannot wrap past it.
+func (e *AsyncEngine) commitBatch(arena *[]uint64, round int) error {
+	for i, idx := range e.batchIdx {
+		d := e.delays[i]
+		if d < 0 {
+			d = 0
+		}
+		if d > math.MaxInt32-round-1 {
+			return fmt.Errorf("model: async %s on %s: delay %d at round %d overflows the packed delivery time", e.adv.Name(), e.g, d, round)
+		}
+		*arena = append(*arena, uint64(round+1+d)<<32|uint64(uint32(idx)))
+	}
+	return nil
+}

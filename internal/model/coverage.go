@@ -1,0 +1,56 @@
+package model
+
+import (
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// Coverage is a RoundObserver tracking which nodes hold or have held M —
+// the dynamic-model coverage metric, usable with any engine or model
+// through sim.WithObserver. It never stops the run.
+type Coverage struct {
+	covered []bool
+	count   int
+}
+
+var _ engine.RoundObserver = (*Coverage)(nil)
+
+// NewCoverage returns a coverage tracker for an n-node graph with the
+// origins pre-marked (origins hold M before any delivery).
+func NewCoverage(n int, origins ...graph.NodeID) *Coverage {
+	c := &Coverage{covered: make([]bool, n)}
+	c.Reset(origins...)
+	return c
+}
+
+// Reset clears the tracker for a new run and pre-marks the origins.
+func (c *Coverage) Reset(origins ...graph.NodeID) {
+	for i := range c.covered {
+		c.covered[i] = false
+	}
+	c.count = 0
+	for _, o := range origins {
+		c.mark(o)
+	}
+}
+
+// ObserveRound implements engine.RoundObserver.
+func (c *Coverage) ObserveRound(rec engine.RoundRecord) (bool, error) {
+	for _, s := range rec.Sends {
+		c.mark(s.To)
+	}
+	return false, nil
+}
+
+func (c *Coverage) mark(v graph.NodeID) {
+	if !c.covered[v] {
+		c.covered[v] = true
+		c.count++
+	}
+}
+
+// Count returns how many nodes hold or have held M.
+func (c *Coverage) Count() int { return c.count }
+
+// Covered reports whether v holds or has held M.
+func (c *Coverage) Covered(v graph.NodeID) bool { return c.covered[v] }

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+	"slices"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/graph"
+)
+
+// amnesiacName is the protocol name both model engines stamp on their
+// results; the model is an axis of *amnesiac* flooding (see the package
+// comment), and the spelling matches core.Flood's Name so model runs and
+// synchronous runs attribute to the same protocol in reports.
+const amnesiacName = "amnesiac-flooding"
+
+// csrIndex is the directed-edge view shared by both model engines: the
+// graph's CSR plus the inverse row map. Directed edge i runs
+// edgeFrom[i] -> csr.Targets[i], and edge indices sort exactly like
+// (From, To) pairs, which is what lets the engines keep messages as packed
+// integers yet deliver in the reference engines' canonical order.
+type csrIndex struct {
+	csr      graph.CSR
+	edgeFrom []graph.NodeID
+}
+
+func newCSRIndex(g *graph.Graph) csrIndex {
+	csr := g.CSR()
+	edgeFrom := make([]graph.NodeID, len(csr.Targets))
+	for v := 0; v < csr.N(); v++ {
+		row := csr.Targets[csr.Offsets[v]:csr.Offsets[v+1]]
+		for i := range row {
+			edgeFrom[int(csr.Offsets[v])+i] = graph.NodeID(v)
+		}
+	}
+	return csrIndex{csr: csr, edgeFrom: edgeFrom}
+}
+
+// decode returns the endpoints of directed edge idx.
+func (x csrIndex) decode(idx int32) (from, to graph.NodeID) {
+	return x.edgeFrom[idx], x.csr.Targets[idx]
+}
+
+// grouper buckets one round's deliveries by receiver with the counting-sort
+// arena of the fastengine: one pass counts senders per receiver, one pass
+// scatters them. Because rounds are processed in (From, To) order, each
+// receiver's senders land in the arena already sorted ascending. The count
+// array is reset sparsely (only touched entries), so short rounds on huge
+// graphs stay cheap.
+type grouper struct {
+	count, cursor []int32
+	senderArena   []graph.NodeID
+	receivers     []graph.NodeID
+}
+
+func newGrouper(n int) grouper {
+	return grouper{count: make([]int32, n), cursor: make([]int32, n)}
+}
+
+// group buckets sends (sorted by (From, To)) by receiver. Afterwards
+// receivers holds the sorted distinct receivers and senders(v) returns
+// each one's ascending sender batch. It leaves count populated; the caller
+// must call reset once the batches have been consumed.
+func (gr *grouper) group(sends []engine.Send) {
+	gr.receivers = gr.receivers[:0]
+	for _, s := range sends {
+		if gr.count[s.To] == 0 {
+			gr.receivers = append(gr.receivers, s.To)
+		}
+		gr.count[s.To]++
+	}
+	slices.Sort(gr.receivers)
+	if cap(gr.senderArena) < len(sends) {
+		gr.senderArena = make([]graph.NodeID, len(sends))
+	}
+	gr.senderArena = gr.senderArena[:len(sends)]
+	off := int32(0)
+	for _, v := range gr.receivers {
+		gr.cursor[v] = off
+		off += gr.count[v]
+	}
+	for _, s := range sends {
+		gr.senderArena[gr.cursor[s.To]] = s.From
+		gr.cursor[s.To]++
+	}
+}
+
+// senders returns receiver v's delivery batch within the arena.
+func (gr *grouper) senders(v graph.NodeID) []graph.NodeID {
+	end := gr.cursor[v]
+	return gr.senderArena[end-gr.count[v] : end]
+}
+
+// reset sparsely clears the count array for the next round.
+func (gr *grouper) reset() {
+	for _, v := range gr.receivers {
+		gr.count[v] = 0
+	}
+}
+
+// validateOrigins checks the origin set and returns it sorted and
+// deduplicated, appending into buf (reused across runs).
+func validateOrigins(g *graph.Graph, origins []graph.NodeID, buf []graph.NodeID, model string) ([]graph.NodeID, error) {
+	if len(origins) == 0 {
+		return nil, fmt.Errorf("model: %s: need at least one origin on %s", model, g)
+	}
+	for _, o := range origins {
+		if !g.HasNode(o) {
+			return nil, fmt.Errorf("model: %s: origin %d is not a node of %s", model, o, g)
+		}
+	}
+	buf = append(buf[:0], origins...)
+	slices.Sort(buf)
+	return slices.Compact(buf), nil
+}

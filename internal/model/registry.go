@@ -1,0 +1,500 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the model registry and the spec grammar: every adversary and
+// schedule family self-registers under a name, and a one-line spec string
+// selects a model and binds its parameters:
+//
+//	sync
+//	adversary:<family>[:key=value[,key=value]...]
+//	schedule:<family>[:key=value[,key=value]...]
+//
+// Kind, family, and key names are case-insensitive; values must not contain
+// ',' or '='. Omitted parameters take the family's declared defaults.
+// Random families consume the seed passed to New, so equal (spec, seed)
+// pairs build identically-behaving models.
+//
+// A parsed Spec round-trips: String emits the parameters in the family's
+// declared order, so Parse(spec.String()) == spec for every parseable spec,
+// and Parse(s).String() == s for every canonically ordered s.
+
+// Kind partitions the model axis.
+type Kind string
+
+// The three model kinds.
+const (
+	// KindSync is the paper's synchronous model — the identity model,
+	// executed by the ordinary engines. It has no families or parameters.
+	KindSync Kind = "sync"
+	// KindAdversary is the asynchronous model under a delay adversary.
+	KindAdversary Kind = "adversary"
+	// KindSchedule is the dynamic-network model under an edge schedule.
+	KindSchedule Kind = "schedule"
+)
+
+// ParamKind types a family parameter.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// IntParam values parse with strconv.Atoi.
+	IntParam ParamKind = iota + 1
+	// FloatParam values parse with strconv.ParseFloat.
+	FloatParam
+	// BoolParam values parse with strconv.ParseBool.
+	BoolParam
+)
+
+// String implements fmt.Stringer.
+func (k ParamKind) String() string {
+	switch k {
+	case IntParam:
+		return "int"
+	case FloatParam:
+		return "float"
+	case BoolParam:
+		return "bool"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", int(k))
+	}
+}
+
+// check validates that raw parses as a value of kind k.
+func (k ParamKind) check(raw string) error {
+	var err error
+	switch k {
+	case IntParam:
+		_, err = strconv.Atoi(raw)
+	case FloatParam:
+		_, err = strconv.ParseFloat(raw, 64)
+	case BoolParam:
+		_, err = strconv.ParseBool(raw)
+	default:
+		err = fmt.Errorf("unknown parameter kind %d", int(k))
+	}
+	return err
+}
+
+// Param declares one parameter of a family: its name, type, default value
+// (a canonical literal of the declared kind), and a one-line doc string for
+// -list output.
+type Param struct {
+	Name    string
+	Kind    ParamKind
+	Default string
+	Doc     string
+}
+
+// Values holds the resolved, type-checked parameters handed to a family's
+// constructor. Accessors are keyed by declared parameter name; asking for
+// an undeclared parameter is a programmer error and panics.
+type Values struct {
+	ints   map[string]int
+	floats map[string]float64
+	bools  map[string]bool
+}
+
+// Int returns the named int parameter.
+func (v Values) Int(name string) int {
+	n, ok := v.ints[name]
+	if !ok {
+		panic("model: constructor read undeclared int parameter " + name)
+	}
+	return n
+}
+
+// Float returns the named float parameter.
+func (v Values) Float(name string) float64 {
+	f, ok := v.floats[name]
+	if !ok {
+		panic("model: constructor read undeclared float parameter " + name)
+	}
+	return f
+}
+
+// Bool returns the named bool parameter.
+func (v Values) Bool(name string) bool {
+	b, ok := v.bools[name]
+	if !ok {
+		panic("model: constructor read undeclared bool parameter " + name)
+	}
+	return b
+}
+
+// AdversaryFamily declares one registered adversary: its parameters (order
+// defines the canonical spec order), whether it consumes the seed, and the
+// constructor.
+type AdversaryFamily struct {
+	// Params declares the accepted parameters in canonical order.
+	Params []Param
+	// Random marks families that consume the seed passed to New.
+	Random bool
+	// Doc is a one-line description for listings.
+	Doc string
+	// New constructs the adversary from resolved values. It must validate
+	// ranges and return an error (never panic) on unusable parameters.
+	New func(v Values, seed int64) (Adversary, error)
+}
+
+// ScheduleFamily declares one registered schedule, mirroring
+// AdversaryFamily.
+type ScheduleFamily struct {
+	Params []Param
+	Random bool
+	Doc    string
+	New    func(v Values, seed int64) (Schedule, error)
+}
+
+// family is the kind-agnostic registry entry.
+type family struct {
+	params []Param
+	random bool
+	doc    string
+	newAdv func(Values, int64) (Adversary, error)
+	newSch func(Values, int64) (Schedule, error)
+}
+
+// Info describes a registered family for listings (afsim -list).
+type Info struct {
+	Params []Param
+	Random bool
+	Doc    string
+}
+
+func (f family) param(name string) *Param {
+	for i := range f.params {
+		if f.params[i].Name == name {
+			return &f.params[i]
+		}
+	}
+	return nil
+}
+
+var (
+	regMu sync.RWMutex
+	reg   = map[Kind]map[string]family{
+		KindAdversary: {},
+		KindSchedule:  {},
+	}
+)
+
+// RegisterAdversary adds an adversary family under a name, normally from
+// the defining package's init so importing it is all it takes to make the
+// adversary spec-addressable. It panics on empty or duplicate names, nil
+// constructors, and malformed parameter declarations — programmer errors.
+func RegisterAdversary(name string, fam AdversaryFamily) {
+	if fam.New == nil {
+		panic("model: RegisterAdversary " + name + " with nil New")
+	}
+	register(KindAdversary, name, family{params: fam.Params, random: fam.Random, doc: fam.Doc, newAdv: fam.New})
+}
+
+// RegisterSchedule adds a schedule family under a name; see
+// RegisterAdversary.
+func RegisterSchedule(name string, fam ScheduleFamily) {
+	if fam.New == nil {
+		panic("model: RegisterSchedule " + name + " with nil New")
+	}
+	register(KindSchedule, name, family{params: fam.Params, random: fam.Random, doc: fam.Doc, newSch: fam.New})
+}
+
+func register(kind Kind, name string, fam family) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		panic("model: Register with empty family name")
+	}
+	if strings.ContainsAny(name, ":,= \t") {
+		panic("model: family name " + name + " contains spec metacharacters")
+	}
+	seen := map[string]bool{}
+	for _, p := range fam.params {
+		if p.Name == "" || strings.ContainsAny(p.Name, ":,= \t") {
+			panic("model: family " + name + " declares invalid parameter name " + strconv.Quote(p.Name))
+		}
+		if seen[p.Name] {
+			panic("model: family " + name + " declares parameter " + p.Name + " twice")
+		}
+		seen[p.Name] = true
+		if err := p.Kind.check(p.Default); err != nil {
+			panic(fmt.Sprintf("model: family %s parameter %s has unparseable default %q: %v", name, p.Name, p.Default, err))
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[kind][name]; dup {
+		panic(fmt.Sprintf("model: Register called twice for %s %s", kind, name))
+	}
+	reg[kind][name] = fam
+}
+
+// Families enumerates the registered family names of a kind, sorted.
+// KindSync has none.
+func Families(kind Kind) []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(reg[kind]))
+	for name := range reg[kind] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the named family's declaration.
+func Lookup(kind Kind, name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	fam, ok := reg[kind][strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Info{}, false
+	}
+	return Info{Params: fam.params, Random: fam.random, Doc: fam.doc}, true
+}
+
+// lookup is the internal accessor returning the constructor-bearing entry.
+func lookup(kind Kind, name string) (family, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	fam, ok := reg[kind][name]
+	return fam, ok
+}
+
+// Spec is a parsed model specification: a kind, a family name (empty for
+// sync), and explicit parameter assignments. The zero value is invalid;
+// build Specs with Parse. SyncSpec is the canonical synchronous spec.
+type Spec struct {
+	// Kind is the model kind.
+	Kind Kind
+	// Family is the lower-case registered family name; empty for sync.
+	Family string
+	// Params maps explicitly assigned parameter names to their raw
+	// values; omitted parameters default at build time.
+	Params map[string]string
+}
+
+// SyncSpec returns the canonical spec of the synchronous model.
+func SyncSpec() Spec { return Spec{Kind: KindSync} }
+
+// IsSync reports whether the spec names the synchronous model.
+func (s Spec) IsSync() bool { return s.Kind == KindSync }
+
+// String renders the canonical spec string: "sync", or the kind, family
+// name, and any explicit parameters in the family's declared order. For
+// specs produced by Parse, Parse(spec.String()) reproduces spec exactly.
+func (s Spec) String() string {
+	if s.Kind == KindSync {
+		return string(KindSync)
+	}
+	head := string(s.Kind) + ":" + s.Family
+	if len(s.Params) == 0 {
+		return head
+	}
+	ordered := make([]string, 0, len(s.Params))
+	emitted := map[string]bool{}
+	if fam, ok := lookup(s.Kind, s.Family); ok {
+		for _, p := range fam.params {
+			if v, set := s.Params[p.Name]; set {
+				ordered = append(ordered, p.Name+"="+v)
+				emitted[p.Name] = true
+			}
+		}
+	}
+	// Parameters the family does not declare (possible only on hand-built
+	// specs, which New rejects) trail in alphabetical order so String
+	// stays total and deterministic.
+	var extra []string
+	for k, v := range s.Params {
+		if !emitted[k] {
+			extra = append(extra, k+"="+v)
+		}
+	}
+	sort.Strings(extra)
+	return head + ":" + strings.Join(append(ordered, extra...), ",")
+}
+
+// ErrUnknownModel is wrapped into errors for kinds or families outside the
+// registry, matchable with errors.Is.
+var ErrUnknownModel = fmt.Errorf("unknown execution model")
+
+// Parse parses a model spec string (see the grammar at the top of this
+// file) against the registry: the kind must be sync/adversary/schedule, the
+// family registered, every key declared, and every value parseable as the
+// declared kind. Parse never panics and never builds a model — use New for
+// that.
+func Parse(s string) (Spec, error) {
+	kindName, rest, hasFamily := strings.Cut(strings.TrimSpace(s), ":")
+	kindName = strings.ToLower(strings.TrimSpace(kindName))
+	switch Kind(kindName) {
+	case KindSync:
+		if hasFamily && strings.TrimSpace(rest) != "" {
+			return Spec{}, fmt.Errorf("model: the sync model takes no family or parameters (got %q)", s)
+		}
+		return SyncSpec(), nil
+	case KindAdversary, KindSchedule:
+		// parsed below
+	case "":
+		return Spec{}, fmt.Errorf("model: empty model spec")
+	default:
+		return Spec{}, fmt.Errorf("model: %w kind %q (want sync, adversary, or schedule)", ErrUnknownModel, kindName)
+	}
+	kind := Kind(kindName)
+	famName, paramStr, hasParams := strings.Cut(rest, ":")
+	famName = strings.ToLower(strings.TrimSpace(famName))
+	if famName == "" {
+		return Spec{}, fmt.Errorf("model: spec %q names no %s family (registered: %s)", s, kind, strings.Join(Families(kind), ", "))
+	}
+	fam, ok := lookup(kind, famName)
+	if !ok {
+		return Spec{}, fmt.Errorf("model: %w %s:%s (registered: %s)", ErrUnknownModel, kind, famName, strings.Join(Families(kind), ", "))
+	}
+	spec := Spec{Kind: kind, Family: famName}
+	if !hasParams {
+		return spec, nil
+	}
+	if strings.TrimSpace(paramStr) == "" {
+		return Spec{}, fmt.Errorf("model: spec %q has an empty parameter list (drop the trailing ':')", s)
+	}
+	spec.Params = map[string]string{}
+	for _, kv := range strings.Split(paramStr, ",") {
+		key, value, ok := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if !ok || key == "" || value == "" {
+			return Spec{}, fmt.Errorf("model: spec %q: want key=value, got %q", s, kv)
+		}
+		decl := fam.param(key)
+		if decl == nil {
+			return Spec{}, fmt.Errorf("model: spec %q: %s %s has no parameter %q (accepts %s)", s, kind, famName, key, paramNames(fam))
+		}
+		if err := decl.Kind.check(value); err != nil {
+			return Spec{}, fmt.Errorf("model: spec %q: parameter %s wants %s, got %q", s, key, decl.Kind, value)
+		}
+		if _, dup := spec.Params[key]; dup {
+			return Spec{}, fmt.Errorf("model: spec %q assigns parameter %s twice", s, key)
+		}
+		spec.Params[key] = value
+	}
+	return spec, nil
+}
+
+// MustParse is Parse for specs known good at compile time; it panics on
+// error.
+func MustParse(s string) Spec {
+	spec, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// Model is a built execution model: the sync model (both fields nil), an
+// adversary, or a schedule. Spec is the parsed spec that built it.
+type Model struct {
+	Spec      Spec
+	Adversary Adversary
+	Schedule  Schedule
+}
+
+// New builds the model a spec describes. Omitted parameters take their
+// declared defaults; random families derive all randomness from seed.
+func New(spec Spec, seed int64) (Model, error) {
+	if spec.Kind == KindSync {
+		if spec.Family != "" || len(spec.Params) > 0 {
+			return Model{}, fmt.Errorf("model: the sync model takes no family or parameters")
+		}
+		return Model{Spec: SyncSpec()}, nil
+	}
+	fam, ok := lookup(spec.Kind, spec.Family)
+	if !ok {
+		return Model{}, fmt.Errorf("model: %w %s:%s (registered: %s)", ErrUnknownModel, spec.Kind, spec.Family, strings.Join(Families(spec.Kind), ", "))
+	}
+	for k := range spec.Params {
+		if fam.param(k) == nil {
+			return Model{}, fmt.Errorf("model: %s %s has no parameter %q (accepts %s)", spec.Kind, spec.Family, k, paramNames(fam))
+		}
+	}
+	values := Values{ints: map[string]int{}, floats: map[string]float64{}, bools: map[string]bool{}}
+	for _, p := range fam.params {
+		raw, set := spec.Params[p.Name]
+		if !set {
+			raw = p.Default
+		}
+		var err error
+		switch p.Kind {
+		case IntParam:
+			values.ints[p.Name], err = strconv.Atoi(raw)
+		case FloatParam:
+			values.floats[p.Name], err = strconv.ParseFloat(raw, 64)
+		case BoolParam:
+			values.bools[p.Name], err = strconv.ParseBool(raw)
+		}
+		if err != nil {
+			return Model{}, fmt.Errorf("model: %s:%s: parameter %s wants %s, got %q", spec.Kind, spec.Family, p.Name, p.Kind, raw)
+		}
+	}
+	m := Model{Spec: spec}
+	var err error
+	switch spec.Kind {
+	case KindAdversary:
+		m.Adversary, err = fam.newAdv(values, seed)
+	case KindSchedule:
+		m.Schedule, err = fam.newSch(values, seed)
+	}
+	if err != nil {
+		return Model{}, fmt.Errorf("model: %s: %w", spec, err)
+	}
+	return m, nil
+}
+
+// Build parses and builds in one step — the convenience entry point for
+// CLIs and suites holding spec strings.
+func Build(spec string, seed int64) (Model, error) {
+	parsed, err := Parse(spec)
+	if err != nil {
+		return Model{}, err
+	}
+	return New(parsed, seed)
+}
+
+// MustBuild is Build for specs known good at compile time; it panics on
+// error.
+func MustBuild(spec string, seed int64) Model {
+	m, err := Build(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Specs enumerates the canonical family specs of every registered model,
+// sync first — the natural seed for tools sweeping the model axis.
+func Specs() []string {
+	out := []string{string(KindSync)}
+	for _, name := range Families(KindAdversary) {
+		out = append(out, string(KindAdversary)+":"+name)
+	}
+	for _, name := range Families(KindSchedule) {
+		out = append(out, string(KindSchedule)+":"+name)
+	}
+	return out
+}
+
+// paramNames renders a family's parameter declarations for error messages,
+// e.g. "node int, extra int".
+func paramNames(fam family) string {
+	if len(fam.params) == 0 {
+		return "no parameters"
+	}
+	parts := make([]string, len(fam.params))
+	for i, p := range fam.params {
+		parts[i] = p.Name + " " + p.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/sim"
@@ -23,12 +24,19 @@ type Result struct {
 	// exact instance even for seeded random families.
 	N int `json:"n"`
 	M int `json:"m"`
-	// Rounds, TotalMessages, Terminated, and Stopped mirror
+	// Rounds, TotalMessages, Lost, Terminated, and Stopped mirror
 	// engine.Result.
 	Rounds        int  `json:"rounds"`
 	TotalMessages int  `json:"totalMessages"`
+	Lost          int  `json:"lost,omitempty"`
 	Terminated    bool `json:"terminated"`
 	Stopped       bool `json:"stopped,omitempty"`
+	// Outcome is the run's verdict ("terminated",
+	// "non-termination-certified", "round-limit"); CycleStart/CycleLength
+	// describe the certificate when the outcome is a certified cycle.
+	Outcome     string `json:"outcome,omitempty"`
+	CycleStart  int    `json:"cycleStart,omitempty"`
+	CycleLength int    `json:"cycleLength,omitempty"`
 	// WallMicros is the wall-clock run time in microseconds. It is the
 	// one nondeterministic field; comparisons must ignore it.
 	WallMicros int64 `json:"wallMicros"`
@@ -75,7 +83,7 @@ type group struct {
 // and rep).
 func groupKey(s Spec) string {
 	return Spec{Graph: s.Graph, Protocol: s.Protocol, Engine: s.Engine,
-		Seed: s.Seed, Params: s.Params, MaxRounds: s.MaxRounds}.ID()
+		Model: s.Model, Seed: s.Seed, Params: s.Params, MaxRounds: s.MaxRounds}.ID()
 }
 
 // Run executes every spec and returns the results sorted by Spec ID (the
@@ -288,10 +296,7 @@ func runGroup(ctx context.Context, grp *group, cache *graphCache, out chan<- Res
 			if runErr != nil {
 				out1.Err = runErr.Error()
 			} else {
-				r := res[0]
-				out1.Rounds, out1.TotalMessages = r.Rounds, r.TotalMessages
-				out1.Terminated, out1.Stopped = r.Terminated, r.Stopped
-				out1.WallMicros = r.WallTime.Microseconds()
+				out1.fill(res[0])
 			}
 			if !emit(out1) {
 				return
@@ -309,14 +314,23 @@ func runGroup(ctx context.Context, grp *group, cache *graphCache, out chan<- Res
 		} else if res, runErr := sess.Run(ctx); runErr != nil {
 			out1.Err = runErr.Error()
 		} else {
-			out1.Rounds, out1.TotalMessages = res.Rounds, res.TotalMessages
-			out1.Terminated, out1.Stopped = res.Terminated, res.Stopped
-			out1.WallMicros = res.WallTime.Microseconds()
+			out1.fill(res)
 		}
 		if !emit(out1) {
 			return
 		}
 	}
+}
+
+// fill copies one engine result into the scenario result row.
+func (out *Result) fill(r engine.Result) {
+	out.Rounds, out.TotalMessages, out.Lost = r.Rounds, r.TotalMessages, r.Lost
+	out.Terminated, out.Stopped = r.Terminated, r.Stopped
+	out.Outcome = r.Outcome.String()
+	if r.Certificate != nil {
+		out.CycleStart, out.CycleLength = r.Certificate.Start, r.Certificate.Length
+	}
+	out.WallMicros = r.WallTime.Microseconds()
 }
 
 // sessionOptions assembles the shared sim options of a spec (origins are
@@ -327,6 +341,9 @@ func sessionOptions(s Spec, kind sim.EngineKind) []sim.Option {
 		sim.WithEngine(kind),
 		sim.WithSeed(s.Seed),
 		sim.WithMaxRounds(s.MaxRounds),
+	}
+	if s.Model != "" {
+		opts = append(opts, sim.WithModel(s.Model))
 	}
 	for k, v := range s.Params {
 		opts = append(opts, sim.WithParam(k, v))

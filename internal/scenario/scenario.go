@@ -1,7 +1,7 @@
 // Package scenario is the declarative suite layer over the sim façade: a
-// Spec names one run as data (graph spec × protocol × engine × origins ×
-// seed), a Matrix expands the cross-product of those axes, and a Runner
-// executes a suite over a bounded worker pool, streaming results to
+// Spec names one run as data (graph spec × protocol × engine × model ×
+// origins × seed), a Matrix expands the cross-product of those axes, and a
+// Runner executes a suite over a bounded worker pool, streaming results to
 // pluggable sinks (JSONL, CSV, in-memory aggregation).
 //
 // Where the sim package answers "run this protocol on this graph", scenario
@@ -31,12 +31,14 @@ import (
 
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/model"
 	"amnesiacflood/internal/sim"
 )
 
 // Spec fully determines one simulation run: it is pure data, safe to
 // marshal, log, and replay. The graph is a gen spec string, the protocol a
-// sim registry name, the engine a sim.ParseEngine spelling.
+// sim registry name, the engine a sim.ParseEngine spelling, the model an
+// internal/model spec string.
 type Spec struct {
 	// Graph is the graph spec, e.g. "grid:rows=64,cols=64" (see
 	// internal/graph/gen). Random families consume Seed.
@@ -45,6 +47,12 @@ type Spec struct {
 	Protocol string `json:"protocol"`
 	// Engine is the engine name (see sim.EngineNames).
 	Engine string `json:"engine"`
+	// Model is the execution-model spec ("sync", "adversary:collision",
+	// "schedule:blink:period=2", ...; see internal/model). Empty means
+	// sync. Non-sync models run amnesiac flooding on their own substrate;
+	// the Engine axis then does not apply (see sim.WithModel). Random
+	// model families consume Seed.
+	Model string `json:"model,omitempty"`
 	// Origins is the origin node set; empty means node 0.
 	Origins []graph.NodeID `json:"origins,omitempty"`
 	// Seed drives graph construction and protocol randomness.
@@ -71,12 +79,16 @@ func (s Spec) ID() string {
 		params = append(params, k+"="+strconv.Quote(v))
 	}
 	sort.Strings(params)
-	return fmt.Sprintf("%s|%s|%s|o=%s|seed=%d|rep=%d|%s|max=%d",
-		s.Graph, s.Protocol, s.Engine, strings.Join(origins, ","), s.Seed, s.Rep,
+	mdl := s.Model
+	if mdl == "" {
+		mdl = string(model.KindSync)
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|o=%s|seed=%d|rep=%d|%s|max=%d",
+		s.Graph, s.Protocol, s.Engine, mdl, strings.Join(origins, ","), s.Seed, s.Rep,
 		strings.Join(params, ","), s.MaxRounds)
 }
 
-// Validate checks the spec against the graph, protocol, and engine
+// Validate checks the spec against the graph, protocol, engine, and model
 // registries without running anything.
 func (s Spec) Validate() error {
 	if _, err := gen.Parse(s.Graph); err != nil {
@@ -84,6 +96,11 @@ func (s Spec) Validate() error {
 	}
 	if _, err := sim.ParseEngine(s.Engine); err != nil {
 		return fmt.Errorf("scenario: %w", err)
+	}
+	if s.Model != "" {
+		if _, err := model.Parse(s.Model); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
 	}
 	proto := strings.ToLower(strings.TrimSpace(s.Protocol))
 	for _, name := range sim.Protocols() {
@@ -97,8 +114,8 @@ func (s Spec) Validate() error {
 
 // Matrix declares a suite as the cross-product of its axes. Zero-valued
 // axes default to the identity: protocols to amnesiac, engines to
-// sequential, origin sets to {0}, seeds to {1}, reps to 1. Graphs is the
-// only mandatory axis.
+// sequential, models to sync, origin sets to {0}, seeds to {1}, reps to 1.
+// Graphs is the only mandatory axis.
 type Matrix struct {
 	// Graphs lists gen spec strings.
 	Graphs []string
@@ -106,6 +123,10 @@ type Matrix struct {
 	Protocols []string
 	// Engines lists engine names.
 	Engines []string
+	// Models lists execution-model specs (internal/model grammar). Note
+	// that non-sync models run only the amnesiac protocol; cells crossing
+	// them with another protocol fail at run time with Result.Err set.
+	Models []string
 	// OriginSets lists origin sets; each set is one run's origins.
 	OriginSets [][]graph.NodeID
 	// Seeds lists seeds; each seed rebuilds random graphs and reseeds
@@ -120,11 +141,12 @@ type Matrix struct {
 }
 
 // Expand enumerates the cross-product in deterministic order (graphs ×
-// protocols × engines × origin sets × seeds × reps), validating every axis
-// value against its registry up front. Graph specs are canonically ordered
-// (lower-cased, parameters in declared order), so two spellings of the
-// same explicit parameter set expand to equal Specs; defaults are not
-// expanded, so "gnp" and its fully explicit form remain distinct cells.
+// protocols × engines × models × origin sets × seeds × reps), validating
+// every axis value against its registry up front. Graph and model specs
+// are canonically ordered (lower-cased, parameters in declared order), so
+// two spellings of the same explicit parameter set expand to equal Specs;
+// defaults are not expanded, so "gnp" and its fully explicit form remain
+// distinct cells.
 func (m Matrix) Expand() ([]Spec, error) {
 	if len(m.Graphs) == 0 {
 		return nil, fmt.Errorf("scenario: matrix has no graphs")
@@ -166,6 +188,17 @@ func (m Matrix) Expand() ([]Spec, error) {
 	if len(engines) == 0 {
 		engines = []string{sim.Sequential.String()}
 	}
+	models := make([]string, len(m.Models))
+	for i, spec := range m.Models {
+		parsed, err := model.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		models[i] = parsed.String()
+	}
+	if len(models) == 0 {
+		models = []string{string(model.KindSync)}
+	}
 	originSets := m.OriginSets
 	if len(originSets) == 0 {
 		originSets = [][]graph.NodeID{{0}}
@@ -178,7 +211,7 @@ func (m Matrix) Expand() ([]Spec, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	specs := make([]Spec, 0, len(graphs)*len(protocols)*len(engines)*len(originSets)*len(seeds)*reps)
+	specs := make([]Spec, 0, len(graphs)*len(protocols)*len(engines)*len(models)*len(originSets)*len(seeds)*reps)
 	params := func() map[string]string {
 		if len(m.Params) == 0 {
 			return nil
@@ -192,22 +225,25 @@ func (m Matrix) Expand() ([]Spec, error) {
 	for _, g := range graphs {
 		for _, proto := range protocols {
 			for _, eng := range engines {
-				for _, origins := range originSets {
-					for _, seed := range seeds {
-						// Every axis value was validated against its
-						// registry above, so the cells need no
-						// per-spec re-validation.
-						for rep := 0; rep < reps; rep++ {
-							specs = append(specs, Spec{
-								Graph:     g,
-								Protocol:  proto,
-								Engine:    eng,
-								Origins:   append([]graph.NodeID(nil), origins...),
-								Seed:      seed,
-								Rep:       rep,
-								Params:    params(),
-								MaxRounds: m.MaxRounds,
-							})
+				for _, mdl := range models {
+					for _, origins := range originSets {
+						for _, seed := range seeds {
+							// Every axis value was validated against its
+							// registry above, so the cells need no
+							// per-spec re-validation.
+							for rep := 0; rep < reps; rep++ {
+								specs = append(specs, Spec{
+									Graph:     g,
+									Protocol:  proto,
+									Engine:    eng,
+									Model:     mdl,
+									Origins:   append([]graph.NodeID(nil), origins...),
+									Seed:      seed,
+									Rep:       rep,
+									Params:    params(),
+									MaxRounds: m.MaxRounds,
+								})
+							}
 						}
 					}
 				}

@@ -12,10 +12,12 @@ import (
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/scenario"
 
-	// Protocols under test self-register on import.
+	// Protocols and model families under test self-register on import.
+	_ "amnesiacflood/internal/async"
 	_ "amnesiacflood/internal/classic"
 	_ "amnesiacflood/internal/core"
 	_ "amnesiacflood/internal/detect"
+	_ "amnesiacflood/internal/dynamic"
 	_ "amnesiacflood/internal/multiflood"
 )
 
@@ -68,8 +70,80 @@ func TestMatrixDefaults(t *testing.T) {
 		t.Fatalf("got %d specs", len(specs))
 	}
 	s := specs[0]
-	if s.Protocol != "amnesiac" || s.Engine != "sequential" || s.Seed != 1 || len(s.Origins) != 1 || s.Origins[0] != 0 {
+	if s.Protocol != "amnesiac" || s.Engine != "sequential" || s.Model != "sync" || s.Seed != 1 || len(s.Origins) != 1 || s.Origins[0] != 0 {
 		t.Fatalf("defaults wrong: %+v", s)
+	}
+}
+
+// TestMatrixModelAxis expands and runs the fourth axis: sync, an
+// adversary, and a schedule over two graphs, asserting canonicalisation,
+// certified outcomes, and the model column in the sinks.
+func TestMatrixModelAxis(t *testing.T) {
+	matrix := scenario.Matrix{
+		Graphs: []string{"cycle:n=9", "path:n=6"},
+		// Non-canonical spellings canonicalise on expansion.
+		Models:    []string{"SYNC", "adversary:collision", "schedule:blink:phase=1,period=2"},
+		MaxRounds: 4096,
+	}
+	specs, err := matrix.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3; len(specs) != want {
+		t.Fatalf("expanded %d specs, want %d", len(specs), want)
+	}
+	models := map[string]bool{}
+	for _, s := range specs {
+		models[s.Model] = true
+		if err := s.Validate(); err != nil {
+			t.Fatalf("expanded spec invalid: %v", err)
+		}
+	}
+	for _, want := range []string{"sync", "adversary:collision", "schedule:blink:period=2,phase=1"} {
+		if !models[want] {
+			t.Fatalf("model axis missing %q (have %v)", want, models)
+		}
+	}
+
+	agg := scenario.NewAggregate()
+	results, err := (&scenario.Runner{Workers: 4, Sink: agg}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certified := 0
+	for _, res := range results {
+		if res.Err != "" {
+			t.Fatalf("run %s failed: %s", res.Spec.ID(), res.Err)
+		}
+		if res.Outcome == "" {
+			t.Fatalf("run %s has no outcome", res.Spec.ID())
+		}
+		if res.Outcome == "non-termination-certified" {
+			certified++
+			if res.CycleLength == 0 {
+				t.Fatalf("certified run %s lacks a cycle length", res.Spec.ID())
+			}
+		}
+	}
+	if certified == 0 {
+		t.Fatal("collision delayer on the odd cycle should have certified non-termination")
+	}
+	var cells int
+	for _, c := range agg.Cells() {
+		if c.Model == "" {
+			t.Fatalf("aggregate cell lacks a model: %+v", c)
+		}
+		cells++
+	}
+	if cells != len(specs) {
+		t.Fatalf("aggregate has %d cells, want %d", cells, len(specs))
+	}
+
+	if _, err := (scenario.Matrix{Graphs: []string{"path:n=4"}, Models: []string{"warp"}}).Expand(); err == nil {
+		t.Fatal("unknown model kind accepted")
+	}
+	if _, err := (scenario.Matrix{Graphs: []string{"path:n=4"}, Models: []string{"adversary:nope"}}).Expand(); err == nil {
+		t.Fatal("unknown model family accepted")
 	}
 }
 
@@ -282,7 +356,7 @@ func TestSpecIDStable(t *testing.T) {
 	s := scenario.Spec{Graph: "path:n=4", Protocol: "amnesiac", Engine: "fast",
 		Origins: []graph.NodeID{1, 2}, Seed: 3, Rep: 1,
 		Params: map[string]string{"b": "2", "a": "1"}, MaxRounds: 9}
-	want := `path:n=4|amnesiac|fast|o=1,2|seed=3|rep=1|a="1",b="2"|max=9`
+	want := `path:n=4|amnesiac|fast|sync|o=1,2|seed=3|rep=1|a="1",b="2"|max=9`
 	if got := s.ID(); got != want {
 		t.Fatalf("ID = %q, want %q", got, want)
 	}

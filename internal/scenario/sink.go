@@ -63,8 +63,9 @@ func NewCSVSink(w io.Writer) *CSVSink {
 
 // csvHeader is the column layout of CSVSink.
 var csvHeader = []string{
-	"graph", "protocol", "engine", "origins", "seed", "rep",
-	"n", "m", "rounds", "messages", "terminated", "stopped", "wall_us", "err",
+	"graph", "protocol", "engine", "model", "origins", "seed", "rep",
+	"n", "m", "rounds", "messages", "lost", "terminated", "stopped",
+	"outcome", "cycle_start", "cycle_length", "wall_us", "err",
 }
 
 // Write implements Sink.
@@ -80,13 +81,22 @@ func (s *CSVSink) Write(res Result) error {
 		origins[i] = strconv.Itoa(int(o))
 	}
 	return s.w.Write([]string{
-		res.Spec.Graph, res.Spec.Protocol, res.Spec.Engine, strings.Join(origins, " "),
+		res.Spec.Graph, res.Spec.Protocol, res.Spec.Engine, modelOf(res.Spec), strings.Join(origins, " "),
 		strconv.FormatInt(res.Spec.Seed, 10), strconv.Itoa(res.Spec.Rep),
 		strconv.Itoa(res.N), strconv.Itoa(res.M),
-		strconv.Itoa(res.Rounds), strconv.Itoa(res.TotalMessages),
+		strconv.Itoa(res.Rounds), strconv.Itoa(res.TotalMessages), strconv.Itoa(res.Lost),
 		strconv.FormatBool(res.Terminated), strconv.FormatBool(res.Stopped),
+		res.Outcome, strconv.Itoa(res.CycleStart), strconv.Itoa(res.CycleLength),
 		strconv.FormatInt(res.WallMicros, 10), res.Err,
 	})
+}
+
+// modelOf renders a spec's model axis with the empty spelling normalised.
+func modelOf(s Spec) string {
+	if s.Model == "" {
+		return "sync"
+	}
+	return s.Model
 }
 
 // Flush drains the CSV writer's buffer and reports any deferred write
@@ -106,13 +116,16 @@ type Aggregate struct {
 
 // Cell is one aggregation bucket of an Aggregate.
 type Cell struct {
-	// Graph, Protocol, and Engine identify the bucket.
+	// Graph, Protocol, Engine, and Model identify the bucket.
 	Graph    string
 	Protocol string
 	Engine   string
+	Model    string
 	// Runs and Errors count completed and failed runs.
 	Runs   int
 	Errors int
+	// Certified counts runs ending in a non-termination certificate.
+	Certified int
 	// MinRounds/MaxRounds/SumRounds summarise round counts over the
 	// non-failed runs, and SumMessages their message totals.
 	MinRounds   int
@@ -141,16 +154,19 @@ func (a *Aggregate) Write(res Result) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.results = append(a.results, res)
-	key := res.Spec.Graph + "|" + res.Spec.Protocol + "|" + res.Spec.Engine
+	key := res.Spec.Graph + "|" + res.Spec.Protocol + "|" + res.Spec.Engine + "|" + modelOf(res.Spec)
 	cell, ok := a.cells[key]
 	if !ok {
-		cell = &Cell{Graph: res.Spec.Graph, Protocol: res.Spec.Protocol, Engine: res.Spec.Engine}
+		cell = &Cell{Graph: res.Spec.Graph, Protocol: res.Spec.Protocol, Engine: res.Spec.Engine, Model: modelOf(res.Spec)}
 		a.cells[key] = cell
 	}
 	cell.Runs++
 	if res.Err != "" {
 		cell.Errors++
 		return nil
+	}
+	if res.CycleLength > 0 {
+		cell.Certified++
 	}
 	if cell.Runs-cell.Errors == 1 || res.Rounds < cell.MinRounds {
 		cell.MinRounds = res.Rounds
@@ -191,7 +207,10 @@ func (a *Aggregate) Cells() []*Cell {
 		if out[i].Protocol != out[j].Protocol {
 			return out[i].Protocol < out[j].Protocol
 		}
-		return out[i].Engine < out[j].Engine
+		if out[i].Engine != out[j].Engine {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Model < out[j].Model
 	})
 	return out
 }
@@ -199,13 +218,13 @@ func (a *Aggregate) Cells() []*Cell {
 // Fprint renders the aggregate as an aligned text table, one row per cell.
 func (a *Aggregate) Fprint(w io.Writer) error {
 	cells := a.Cells()
-	if _, err := fmt.Fprintf(w, "%-40s %-12s %-12s %5s %4s %6s %6s %8s %10s %10s\n",
-		"graph", "protocol", "engine", "runs", "err", "minR", "maxR", "meanR", "msgs", "wall_us"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-40s %-12s %-12s %-28s %5s %4s %5s %6s %6s %8s %10s %10s\n",
+		"graph", "protocol", "engine", "model", "runs", "err", "cert", "minR", "maxR", "meanR", "msgs", "wall_us"); err != nil {
 		return err
 	}
 	for _, c := range cells {
-		if _, err := fmt.Fprintf(w, "%-40s %-12s %-12s %5d %4d %6d %6d %8.1f %10d %10d\n",
-			c.Graph, c.Protocol, c.Engine, c.Runs, c.Errors,
+		if _, err := fmt.Fprintf(w, "%-40s %-12s %-12s %-28s %5d %4d %5d %6d %6d %8.1f %10d %10d\n",
+			c.Graph, c.Protocol, c.Engine, c.Model, c.Runs, c.Errors, c.Certified,
 			c.MinRounds, c.MaxRounds, c.MeanRounds(), c.SumMessages, c.SumWallMicros); err != nil {
 			return err
 		}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/engine/chanengine"
 	"amnesiacflood/internal/engine/fastengine"
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/model"
 )
 
 // Session is a configured simulation: one graph, one protocol, one engine,
@@ -22,6 +24,7 @@ type Session struct {
 	kind      EngineKind
 	protoName string
 	proto     engine.Protocol // explicit instance, overrides protoName
+	modelSpec string          // raw WithModel spec; parsed in New
 	origins   []graph.NodeID
 	seed      int64
 	params    map[string]string
@@ -30,7 +33,10 @@ type Session struct {
 	observer  engine.RoundObserver
 
 	built engine.Protocol
-	fast  *fastengine.Engine // lazily created, reused across runs
+	mdl   model.Model         // built execution model (sync: both nil)
+	fast  *fastengine.Engine  // lazily created, reused across runs
+	async *model.AsyncEngine  // lazily created, reused across runs
+	dyn   *model.DynamicEngine
 }
 
 // Option configures a Session under construction.
@@ -53,6 +59,19 @@ func WithProtocolInstance(p engine.Protocol) Option {
 // WithEngine selects the synchronous substrate. Default: Sequential.
 func WithEngine(kind EngineKind) Option {
 	return func(s *Session) { s.kind = kind }
+}
+
+// WithModel selects the execution model by spec (internal/model grammar:
+// "sync", "adversary:collision", "schedule:blink:period=2,phase=1", ...).
+// Default: "sync", the paper's synchronous model, executed by the engine
+// chosen with WithEngine. Non-sync models run on their own dedicated
+// substrate (model.AsyncEngine / model.DynamicEngine) — the WithEngine
+// choice does not apply to them and Result.Engine reports "async" or
+// "dynamic" — and execute amnesiac flooding only, so they compose with
+// every option except a non-amnesiac protocol. Random model families
+// (adversary:random) consume WithSeed.
+func WithModel(spec string) Option {
+	return func(s *Session) { s.modelSpec = spec }
 }
 
 // WithOrigins sets the origin node set handed to the protocol factory.
@@ -109,6 +128,28 @@ func New(g *graph.Graph, opts ...Option) (*Session, error) {
 	if len(s.origins) == 0 {
 		s.origins = []graph.NodeID{0}
 	}
+	if s.modelSpec == "" {
+		s.mdl = model.Model{Spec: model.SyncSpec()}
+	} else {
+		mdl, err := model.Build(s.modelSpec, s.seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.mdl = mdl
+	}
+	if !s.mdl.Spec.IsSync() {
+		// The model engines execute amnesiac flooding only (see the
+		// internal/model package comment); reject other protocols rather
+		// than silently running the wrong one. Compare the normalised
+		// name, matching NewProtocol's case/whitespace folding.
+		if s.proto != nil || strings.ToLower(strings.TrimSpace(s.protoName)) != "amnesiac" {
+			name := s.protoName
+			if s.proto != nil {
+				name = s.proto.Name()
+			}
+			return nil, fmt.Errorf("sim: model %s runs only the amnesiac protocol (got %q)", s.mdl.Spec, name)
+		}
+	}
 	if s.proto != nil {
 		s.built = s.proto
 		return s, nil
@@ -137,39 +178,63 @@ func (s *Session) Protocol() engine.Protocol { return s.built }
 // Engine returns the session's engine kind.
 func (s *Session) Engine() EngineKind { return s.kind }
 
+// Model returns the session's parsed execution-model spec.
+func (s *Session) Model() model.Spec { return s.mdl.Spec }
+
 // Run executes the session's protocol once. The context is honoured by
 // every engine with a per-round cancellation check; the returned Result is
-// stamped with the engine name and the wall-clock duration.
+// stamped with the substrate name, the model spec, the outcome, and the
+// wall-clock duration.
 func (s *Session) Run(ctx context.Context) (engine.Result, error) {
-	return s.runProto(ctx, s.built)
+	return s.runProto(ctx, s.built, s.origins)
 }
 
-// runProto executes one protocol instance on the session's engine — the
-// façade's single substrate dispatch. The Fast and Parallel kinds run on a
-// session-owned fastengine.Engine that is reused across calls, so repeated
-// runs amortise its arenas; New has already validated s.kind, so the
-// default arm is Sequential.
-func (s *Session) runProto(ctx context.Context, proto engine.Protocol) (engine.Result, error) {
+// runProto executes one protocol instance — the façade's single substrate
+// dispatch. Non-sync models run on session-owned model engines; the sync
+// model runs on the configured synchronous engine, with the Fast and
+// Parallel kinds on a session-owned fastengine.Engine. All session-owned
+// engines are reused across calls, so repeated runs amortise their arenas;
+// New has already validated s.kind, so the default arm is Sequential.
+func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins []graph.NodeID) (engine.Result, error) {
 	start := time.Now()
 	var (
 		res engine.Result
 		err error
 	)
-	switch s.kind {
-	case Fast, Parallel:
-		if s.fast == nil {
-			s.fast = fastengine.New(s.g)
-			if s.kind == Parallel {
-				s.fast.Parallel(0)
-			}
+	switch s.mdl.Spec.Kind {
+	case model.KindAdversary:
+		if s.async == nil {
+			s.async = model.NewAsync(s.g, s.mdl.Adversary)
 		}
-		res, err = s.fast.Run(ctx, proto, s.options())
-	case Channels:
-		res, err = chanengine.Run(ctx, s.g, proto, s.options())
+		res, err = s.async.Run(ctx, origins, s.options())
+		res.Engine = "async"
+	case model.KindSchedule:
+		if s.dyn == nil {
+			s.dyn = model.NewDynamic(s.g, s.mdl.Schedule)
+		}
+		res, err = s.dyn.Run(ctx, origins, s.options())
+		res.Engine = "dynamic"
 	default:
-		res, err = engine.Run(ctx, s.g, proto, s.options())
+		switch s.kind {
+		case Fast, Parallel:
+			if s.fast == nil {
+				s.fast = fastengine.New(s.g)
+				if s.kind == Parallel {
+					s.fast.Parallel(0)
+				}
+			}
+			res, err = s.fast.Run(ctx, proto, s.options())
+		case Channels:
+			res, err = chanengine.Run(ctx, s.g, proto, s.options())
+		default:
+			res, err = engine.Run(ctx, s.g, proto, s.options())
+		}
+		res.Engine = s.kind.String()
 	}
-	res.Engine = s.kind.String()
+	res.Model = s.mdl.Spec.String()
+	if res.Outcome == engine.OutcomeNone && res.Terminated {
+		res.Outcome = engine.OutcomeTerminated
+	}
 	res.WallTime = time.Since(start)
 	return res, err
 }
@@ -190,7 +255,7 @@ func (s *Session) RunBatch(ctx context.Context, sources []graph.NodeID) ([]engin
 		if err != nil {
 			return results, err
 		}
-		res, err := s.runProto(ctx, proto)
+		res, err := s.runProto(ctx, proto, []graph.NodeID{src})
 		if err != nil {
 			return results, fmt.Errorf("sim: batch source %d: %w", src, err)
 		}

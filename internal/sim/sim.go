@@ -17,10 +17,18 @@
 //	        sim.WithObserver(obs))
 //	res, err := sess.Run(ctx)
 //
-// All four engines accept a context.Context (cancellation checked per
-// round) and a stop-capable engine.RoundObserver, so runs can be bounded,
+// The execution model is a fourth registry-driven axis (internal/model):
+// WithModel("adversary:collision") runs the paper's Section 4 asynchronous
+// variant under a delay adversary, WithModel("schedule:blink:period=2")
+// floods a dynamic network under an edge schedule, and the default "sync"
+// is the synchronous model above. Non-sync runs execute on dedicated
+// session-owned model engines and can end in a certified-non-termination
+// verdict (Result.Outcome, Result.Certificate) as well as termination.
+//
+// All engines accept a context.Context (cancellation checked per round)
+// and a stop-capable engine.RoundObserver, so runs can be bounded,
 // cancelled, or ended early the moment an observer has seen enough — the
-// building blocks any serving layer needs.  RunBatch amortises fastengine
+// building blocks any serving layer needs.  RunBatch amortises engine
 // arenas across sweep-style workloads.
 package sim
 

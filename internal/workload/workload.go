@@ -113,6 +113,53 @@ func Specs(instances []Instance) []string {
 	return out
 }
 
+// ModelInstance is one curated execution-model entry: a model spec
+// (internal/model grammar) with declared behaviour, mirroring what
+// Instance does for graphs. Certifying marks models that are expected to
+// produce non-termination certificates on the right graphs (odd cycles
+// under the collision delayer, an even cycle with one outage, ...);
+// non-certifying entries are controls that always terminate.
+type ModelInstance struct {
+	// Name is unique within the model catalog.
+	Name string
+	// Spec is the instance's model spec; scenario suites consume it
+	// directly via scenario.Matrix.Models.
+	Spec string
+	// Certifying declares whether the model can certify non-termination.
+	Certifying bool
+}
+
+// Models returns the curated execution-model set swept by integration
+// tests and model-dimension suites. The slice is freshly allocated.
+func Models() []ModelInstance {
+	return []ModelInstance{
+		// Controls: coincide with the synchronous model.
+		{Name: "synchronous", Spec: "sync"},
+		{Name: "zeroDelay", Spec: "adversary:sync"},
+		{Name: "staticEdges", Spec: "schedule:static"},
+		// Termination-preserving perturbations.
+		{Name: "uniformDelay-2", Spec: "adversary:uniform:extra=2"},
+		{Name: "slowEdge", Spec: "adversary:edge:u=0,v=1,extra=1"},
+		// The paper's Figure 5 adversary and the dynamic counterparts.
+		{Name: "collisionDelayer", Spec: "adversary:collision", Certifying: true},
+		{Name: "firstRoundOutage", Spec: "schedule:outage:round=1,u=0,v=1", Certifying: true},
+		{Name: "blinkingEdge", Spec: "schedule:blink:period=2,phase=1", Certifying: true},
+		{Name: "alternatingHalves", Spec: "schedule:alternating", Certifying: true},
+		// Randomised stressor (consumes the suite seed; no certificates).
+		{Name: "randomDelay-3", Spec: "adversary:random:max=3"},
+	}
+}
+
+// ModelSpecs returns the model specs of the given instances — the bridge
+// into scenario.Matrix.Models.
+func ModelSpecs(instances []ModelInstance) []string {
+	out := make([]string, len(instances))
+	for i, inst := range instances {
+		out[i] = inst.Spec
+	}
+	return out
+}
+
 // Figures returns only the paper-figure instances.
 func Figures() []Instance {
 	return filter(func(i Instance) bool { return i.Class == PaperFigure })

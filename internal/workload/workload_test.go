@@ -5,7 +5,12 @@ import (
 
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/model"
 	"amnesiacflood/internal/workload"
+
+	// The model catalog's specs address these registries.
+	_ "amnesiacflood/internal/async"
+	_ "amnesiacflood/internal/dynamic"
 )
 
 func TestCatalogNamesUnique(t *testing.T) {
@@ -81,6 +86,41 @@ func TestFilters(t *testing.T) {
 	}
 	if bip < 8 || non < 8 {
 		t.Errorf("catalog unbalanced: %d bipartite vs %d non-bipartite", bip, non)
+	}
+}
+
+// TestModelCatalog validates the execution-model catalog: unique names,
+// canonical round-trippable specs, buildable instances, and the
+// ModelSpecs bridge.
+func TestModelCatalog(t *testing.T) {
+	seen := map[string]bool{}
+	certifying := 0
+	for _, inst := range workload.Models() {
+		if inst.Name == "" || seen[inst.Name] {
+			t.Errorf("bad or duplicate model name %q", inst.Name)
+		}
+		seen[inst.Name] = true
+		spec, err := model.Parse(inst.Spec)
+		if err != nil {
+			t.Errorf("%s: %v", inst.Name, err)
+			continue
+		}
+		if spec.String() != inst.Spec {
+			t.Errorf("%s: spec %q is not canonical (String() = %q)", inst.Name, inst.Spec, spec.String())
+		}
+		if _, err := model.Build(inst.Spec, 1); err != nil {
+			t.Errorf("%s: build: %v", inst.Name, err)
+		}
+		if inst.Certifying {
+			certifying++
+		}
+	}
+	if certifying < 3 {
+		t.Errorf("only %d certifying models in the catalog", certifying)
+	}
+	specs := workload.ModelSpecs(workload.Models())
+	if len(specs) != len(workload.Models()) || specs[0] != "sync" {
+		t.Fatalf("ModelSpecs bridge wrong: %v", specs)
 	}
 }
 
