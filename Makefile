@@ -43,8 +43,11 @@ bench-smoke:
 # end-to-end smoke test of the graph-spec registry, the scenario layer, and
 # the afbench suite mode — followed by an execution-model matrix (sync,
 # asynchronous adversaries, dynamic schedules over the same graphs; amnesiac
-# only, since non-sync models run only that protocol). CI runs both on
-# every push.
+# only, since non-sync models run only that protocol), and an analyses
+# matrix (streaming coverage+termination+bipartite metrics over 3 graph
+# families x 2 models, flattened into CSV columns). CI runs all three on
+# every push, and `go test ./internal/scenario` asserts that the metric
+# columns are identical under parallel and sequential execution.
 suite:
 	go run ./cmd/afbench -suite \
 	  -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
@@ -56,3 +59,8 @@ suite:
 	  -models "sync;adversary:collision;adversary:uniform:extra=2;schedule:blink:period=2,phase=1;schedule:alternating" \
 	  -schedules static \
 	  -seeds 1,2 -workers 8 -maxrounds 4096 -format jsonl
+	go run ./cmd/afbench -suite \
+	  -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
+	  -models "sync;schedule:static" \
+	  -analyses "coverage;termination;bipartite;quantiles:metric=messages" \
+	  -seeds 1,2 -workers 8 -format csv

@@ -316,6 +316,95 @@ func BenchmarkModels(b *testing.B) {
 	})
 }
 
+// BenchmarkAnalyses measures the streaming analysis registry against the
+// frozen post-hoc path it replaces: coverage and bipartiteness computed
+// round by round inside the run (sim.WithAnalysis, reusable buffers, no
+// trace) versus materialising the full trace and re-walking it through
+// core.Analyze / detect.FromReport. allocs/op is the headline number — the
+// post-hoc path pays one slice per round for the trace plus the re-walk,
+// the streaming path reuses one session-owned buffer set.
+func BenchmarkAnalyses(b *testing.B) {
+	g := gen.MustBuild("randnonbipartite:n=1024,p=0.005", 2)
+	stream := func(b *testing.B, analyses ...string) *sim.Session {
+		b.Helper()
+		sess, err := sim.New(g,
+			sim.WithProtocol("amnesiac"),
+			sim.WithEngine(sim.Fast),
+			sim.WithOrigins(0),
+			sim.WithAnalysis(analyses...),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sess
+	}
+	b.Run("coverage/streaming", func(b *testing.B) {
+		sess := stream(b, "coverage")
+		var res engine.Result
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = sess.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Metrics["coverage.covered"] != 1 {
+			b.Fatal("uncovered")
+		}
+	})
+	b.Run("coverage/posthoc", func(b *testing.B) {
+		sess := newBenchSession(b, g, sim.Fast, 0)
+		var rep *core.Report
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep = benchReport(b, sess, g, 0)
+		}
+		b.StopTimer()
+		if !rep.Covered() {
+			b.Fatal("uncovered")
+		}
+	})
+	b.Run("bipartite/streaming", func(b *testing.B) {
+		sess := stream(b, "bipartite")
+		var res engine.Result
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = sess.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Metrics["bipartite.bipartite"] != 0 {
+			b.Fatal("non-bipartite instance judged bipartite")
+		}
+	})
+	b.Run("bipartite/posthoc", func(b *testing.B) {
+		sess := newBenchSession(b, g, sim.Fast, 0)
+		var verdict detect.Verdict
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := benchReport(b, sess, g, 0)
+			var err error
+			verdict, err = detect.FromReport(g, rep)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if verdict.Bipartite {
+			b.Fatal("non-bipartite instance judged bipartite")
+		}
+	})
+}
+
 // E8: amnesiac vs classic flooding on the same instances — the message and
 // round overhead of amnesia.
 func BenchmarkClassicComparison(b *testing.B) {

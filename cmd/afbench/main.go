@@ -14,6 +14,8 @@
 //	afbench -suite -graphs "cycle:n=9;grid:rows=4,cols=5" \
 //	        -models "sync;adversary:collision;schedule:alternating" \
 //	        -adversaries uniform -schedules static -maxrounds 4096
+//	afbench -suite -graphs "cycle:n=65;grid:rows=8,cols=8" \
+//	        -analyses "coverage;termination;bipartite" -format csv
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/experiments"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/scenario"
@@ -67,6 +70,7 @@ func run(args []string) error {
 	models := fs.String("models", "", "semicolon-separated execution-model specs, e.g. \"sync;adversary:collision;schedule:blink:period=2\" (suite mode; default sync)")
 	adversaries := fs.String("adversaries", "", "comma-separated adversary family names, shorthand appended to -models as adversary:<name> (suite mode)")
 	schedules := fs.String("schedules", "", "comma-separated schedule family names, shorthand appended to -models as schedule:<name> (suite mode)")
+	analyses := fs.String("analyses", "", "semicolon-separated streaming-analysis specs attached to every cell, e.g. \"coverage;termination;quantiles:metric=messages\" (suite mode)")
 	origins := fs.String("origins", "0", "semicolon-separated origin sets, nodes comma-separated, e.g. \"0;0,3\" (suite mode)")
 	seeds := fs.String("seeds", "1", "comma-separated seeds (suite mode)")
 	reps := fs.Int("reps", 1, "repetitions per matrix cell (suite mode)")
@@ -95,7 +99,7 @@ func run(args []string) error {
 			return fmt.Errorf("experiment-mode flags are not valid with -suite: %s", strings.Join(bad, ", "))
 		}
 		return runSuite(*graphs, *protocols, *engines, modelAxis(*models, *adversaries, *schedules),
-			*origins, *seeds, *reps, *workers, *maxRounds, *format, *out)
+			*analyses, *origins, *seeds, *reps, *workers, *maxRounds, *format, *out)
 	}
 
 	cfg.Seed = *seed
@@ -155,12 +159,13 @@ func modelAxis(models, adversaries, schedules string) []string {
 
 // runSuite expands and executes the scenario matrix described by the suite
 // flags.
-func runSuite(graphs, protocols, engines string, models []string, origins, seeds string, reps, workers, maxRounds int, format, out string) error {
+func runSuite(graphs, protocols, engines string, models []string, analyses, origins, seeds string, reps, workers, maxRounds int, format, out string) error {
 	matrix := scenario.Matrix{
 		Graphs:    splitList(graphs, ";"),
 		Protocols: splitList(protocols, ","),
 		Engines:   splitList(engines, ","),
 		Models:    models,
+		Analyses:  splitList(analyses, ";"),
 		Reps:      reps,
 		MaxRounds: maxRounds,
 	}
@@ -215,7 +220,11 @@ func runSuite(graphs, protocols, engines string, models []string, origins, seeds
 	case "jsonl":
 		sink = scenario.NewJSONLSink(w)
 	case "csv":
-		csvSink := scenario.NewCSVSink(w)
+		metricCols, err := analysis.MetricColumns(matrix.Analyses)
+		if err != nil {
+			return err
+		}
+		csvSink := scenario.NewCSVSink(w, metricCols...)
 		flush = csvSink.Flush
 		// Best-effort flush on error paths too, so completed rows are not
 		// lost from -out when the suite fails partway; the success path

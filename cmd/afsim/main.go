@@ -14,6 +14,7 @@
 //	afsim -list
 //	afsim -graph grid:rows=4,cols=5 -protocol detect -engine parallel
 //	afsim -graph gnp:n=200,p=0.05,connect=true -seed 7 -source 0
+//	afsim -graph cycle:n=65 -analyze coverage,termination,bipartite
 //	afsim -topo cycle -n 6 -source 0 -render
 //	afsim -topo path -n 4 -source 1 -engine channels -render
 //	afsim -topo cycle -n 12 -origins 0,3 -protocol multiflood
@@ -30,9 +31,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
+	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/doublecover"
 	"amnesiacflood/internal/engine"
@@ -84,12 +87,13 @@ func run(args []string) error {
 	topo := fs.String("topo", "", "legacy topology alias sized by -n: "+strings.Join(cli.TopologyNames(), ", "))
 	n := fs.Int("n", 8, "topology size parameter for -topo aliases")
 	file := fs.String("file", "", "edge-list file (alternative to -graph/-topo)")
-	list := fs.Bool("list", false, "list registered graph families, protocols, engines, and models, then exit")
+	list := fs.Bool("list", false, "list registered graph families, protocols, engines, models, and analyses, then exit")
 	sourceFlag := fs.Int("source", 0, "origin node")
 	originsFlag := fs.String("origins", "", "comma-separated origin nodes (multi-source; overrides -source)")
 	protocol := fs.String("protocol", "amnesiac", "protocol: "+strings.Join(sim.Protocols(), ", "))
 	engineName := fs.String("engine", "sequential", "engine: "+strings.Join(sim.EngineNames(), ", "))
 	modelSpec := fs.String("model", "", "execution model spec: sync (default), adversary:..., or schedule:... (see -list)")
+	analyze := fs.String("analyze", "", "streaming analyses, semicolon- or comma-separated, e.g. \"coverage;termination\" or \"quantiles:metric=messages;coverage\" (see -list)")
 	params := paramFlags{}
 	fs.Var(params, "param", "protocol parameter key=value (repeatable, e.g. -param loss=0.05)")
 	asyncAdv := fs.String("async", "", "legacy alias for -model adversary:...: sync, collision, uniform, random")
@@ -166,6 +170,9 @@ func run(args []string) error {
 		sim.WithMaxRounds(*maxRounds),
 		sim.WithTrace(true),
 	}
+	if specs := splitAnalyses(*analyze); len(specs) > 0 {
+		sessOpts = append(sessOpts, sim.WithAnalysis(specs...))
+	}
 	for key, value := range params {
 		sessOpts = append(sessOpts, sim.WithParam(key, value))
 	}
@@ -195,6 +202,20 @@ func run(args []string) error {
 	}
 	fmt.Printf("graph: diameter=%d eccentricity(source)=%d bipartite=%t\n",
 		algo.Diameter(g), algo.Eccentricity(g, source), algo.IsBipartite(g))
+	if len(res.Metrics) > 0 {
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		fmt.Println("analysis metrics:")
+		for _, k := range keys {
+			fmt.Printf("  %-28s %g\n", k, res.Metrics[k])
+		}
+		if witnesses, ok := sess.Witnesses(); ok && len(witnesses) > 0 {
+			fmt.Printf("  odd-cycle witnesses: %s\n", labelAll(witnesses, label))
+		}
+	}
 	if *render {
 		if err := trace.RenderRounds(os.Stdout, res.Trace, label); err != nil {
 			return err
@@ -237,6 +258,9 @@ func printRegistries(w io.Writer) error {
 		strings.Join(sim.Protocols(), ", "), strings.Join(sim.EngineNames(), ", ")); err != nil {
 		return err
 	}
+	if err := printAnalyses(w); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintln(w, "execution models (-model kind:family:key=value,...):"); err != nil {
 		return err
 	}
@@ -263,6 +287,62 @@ func printRegistries(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printAnalyses renders the analysis registry section of -list: every
+// family with its typed parameters and the metric columns it emits.
+func printAnalyses(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "analyses (-analyze family:key=value,...; metrics keyed family.metric):"); err != nil {
+		return err
+	}
+	for _, name := range analysis.Families() {
+		fam, _ := analysis.Lookup(name)
+		params := make([]string, len(fam.Params))
+		for i, p := range fam.Params {
+			params[i] = fmt.Sprintf("%s %s (default %s)", p.Name, p.Kind, p.Default)
+		}
+		line := "  " + name
+		if len(params) > 0 {
+			line += ": " + strings.Join(params, ", ")
+		}
+		if fam.Doc != "" {
+			line += " — " + fam.Doc
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitAnalyses splits the -analyze flag into analysis specs. Semicolons
+// separate specs unambiguously (the afbench -analyses convention — commas
+// belong to the spec grammar's parameter lists). For the common
+// parameterless case, commas also separate specs: a comma-delimited
+// segment starts a new spec when its head names a registered family, and
+// otherwise continues the previous spec's parameter list.
+func splitAnalyses(s string) []string {
+	var out []string
+	for _, group := range strings.Split(s, ";") {
+		start := len(out)
+		for _, part := range strings.Split(group, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			head := part
+			if i := strings.IndexAny(head, ":="); i >= 0 {
+				head = head[:i]
+			}
+			_, isFamily := analysis.Lookup(strings.TrimSpace(head))
+			if isFamily || len(out) == start {
+				out = append(out, part)
+				continue
+			}
+			out[len(out)-1] += "," + part
+		}
+	}
+	return out
 }
 
 // parseOrigins resolves -origins (comma-separated) or falls back to

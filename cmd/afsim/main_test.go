@@ -22,6 +22,8 @@ func TestListOutput(t *testing.T) {
 		"protocols", "amnesiac", "engines", "parallel",
 		"execution models", "adversary:collision", "adversary:hold: node int (default 0)",
 		"schedule:blink", "period int (default 2)", "schedule:alternating",
+		"analyses", "coverage", "termination", "bipartite", "spantree", "echo",
+		"quantiles: metric string (default rounds)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-list output missing %q:\n%s", want, out)
@@ -56,6 +58,10 @@ func TestRunHappyPaths(t *testing.T) {
 		{"-graph", "petersen", "-source", "3", "-render"},
 		{"-graph", "gnp:n=30,p=0.2,connect=true", "-seed", "7"},
 		{"-graph", "prefattach:n=40,m=2", "-protocol", "spantree", "-engine", "fast"},
+		{"-graph", "cycle:n=9", "-analyze", "coverage,termination,bipartite,spantree,echo"},
+		{"-graph", "grid:rows=3,cols=4", "-analyze", "quantiles:metric=messages,coverage", "-json"},
+		{"-graph", "grid:rows=3,cols=4", "-analyze", "quantiles:metric=messages;coverage"},
+		{"-topo", "cycle", "-n", "6", "-analyze", "termination", "-model", "schedule:static"},
 		{"-topo", "torus:rows=3,cols=5"}, // full spec via -topo
 		{"-list"},
 	}
@@ -70,29 +76,32 @@ func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},                  // no topology
 		{"-topo", "nosuch"}, // unknown topology
-		{"-topo", "path", "-n", "4", "-source", "9"},                // bad source
-		{"-topo", "path", "-n", "4", "-protocol", "x"},              // bad protocol
-		{"-topo", "path", "-n", "4", "-engine", "x"},                // bad engine
-		{"-topo", "path", "-n", "4", "-async", "x"},                 // bad adversary
-		{"-topo", "path", "-n", "4", "-model", "adversary:nosuch"},  // unknown model family
-		{"-topo", "path", "-n", "4", "-model", "warp"},              // unknown model kind
-		{"-topo", "path", "-n", "4", "-model", "adversary:hold:extra=x"}, // malformed model param
-		{"-topo", "path", "-n", "4", "-model", "adversary:sync", "-async", "sync"},      // both flags
+		{"-topo", "path", "-n", "4", "-source", "9"},                                     // bad source
+		{"-topo", "path", "-n", "4", "-protocol", "x"},                                   // bad protocol
+		{"-topo", "path", "-n", "4", "-engine", "x"},                                     // bad engine
+		{"-topo", "path", "-n", "4", "-async", "x"},                                      // bad adversary
+		{"-topo", "path", "-n", "4", "-model", "adversary:nosuch"},                       // unknown model family
+		{"-topo", "path", "-n", "4", "-model", "warp"},                                   // unknown model kind
+		{"-topo", "path", "-n", "4", "-model", "adversary:hold:extra=x"},                 // malformed model param
+		{"-topo", "path", "-n", "4", "-model", "adversary:sync", "-async", "sync"},       // both flags
 		{"-topo", "path", "-n", "4", "-model", "adversary:sync", "-protocol", "classic"}, // model needs amnesiac
 		{"-topo", "path", "-n", "4", "-model", "schedule:static", "-timeline"},           // timeline needs sync
 		{"-topo", "path", "-n", "4", "-model", "adversary:sync", "-predict"},             // predict needs sync
-		{"-topo", "path", "-n", "4", "-origins", "0,9"},             // origin out of range
-		{"-topo", "path", "-n", "4", "-origins", "a"},               // unparseable origin
-		{"-topo", "path", "-n", "4", "-origins", ","},               // empty origin list
-		{"-topo", "path", "-n", "4", "-origins", "0,1", "-predict"}, // predict needs one origin
+		{"-topo", "path", "-n", "4", "-origins", "0,9"},                                  // origin out of range
+		{"-topo", "path", "-n", "4", "-origins", "a"},                                    // unparseable origin
+		{"-topo", "path", "-n", "4", "-origins", ","},                                    // empty origin list
+		{"-topo", "path", "-n", "4", "-origins", "0,1", "-predict"},                      // predict needs one origin
 		{"-topo", "path", "-n", "4", "-protocol", "classic", "-predict"},
-		{"-graph", "nosuchfamily"},                     // unknown family
-		{"-graph", "grid:depth=4"},                     // undeclared parameter
-		{"-graph", "grid:rows=four"},                   // malformed value
-		{"-graph", "cycle:n=2"},                        // out-of-range value
-		{"-graph", "cycle:n=8", "-topo", "cycle"},      // -graph + -topo conflict
-		{"-graph", "cycle:n=8", "-file", "nosuch.txt"}, // -graph + -file conflict
-		{"-graph", "petersen", "-source", "10"},        // origin outside graph
+		{"-topo", "path", "-n", "4", "-analyze", "nosuch"},                      // unknown analysis
+		{"-topo", "path", "-n", "4", "-analyze", "quantiles:metric=bogus"},      // bad analysis param
+		{"-topo", "path", "-n", "4", "-origins", "0,3", "-analyze", "spantree"}, // single-origin analysis
+		{"-graph", "nosuchfamily"},                                              // unknown family
+		{"-graph", "grid:depth=4"},                                              // undeclared parameter
+		{"-graph", "grid:rows=four"},                                            // malformed value
+		{"-graph", "cycle:n=2"},                                                 // out-of-range value
+		{"-graph", "cycle:n=8", "-topo", "cycle"},                               // -graph + -topo conflict
+		{"-graph", "cycle:n=8", "-file", "nosuch.txt"},                          // -graph + -file conflict
+		{"-graph", "petersen", "-source", "10"},                                 // origin outside graph
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

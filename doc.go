@@ -60,11 +60,27 @@
 //	        Engines:   []string{"sequential", "parallel"}}.Expand()
 //	results, _ := (&scenario.Runner{Workers: 8}).Run(ctx, specs)
 //
+// Measurement is the fifth registry-driven axis (internal/analysis): every
+// metric the paper reasons about is a self-registered *streaming* analysis
+// under the same spec grammar — "coverage" (per-node receive counts),
+// "termination" (rounds vs. the e(v)/2D+1 window and per-family closed
+// forms), "bipartite" (odd-cycle witnesses, early-stopping), "spantree"
+// (BFS tree), "echo" (the Dijkstra–Scholten detection baseline), and
+// "quantiles" (metric promotion for suite-level stats). Analyses observe
+// runs round by round with session-owned reusable buffers — no trace is
+// retained or re-walked — and their merged metrics land in Result.Metrics
+// ("<family>.<metric>" keys), flow through every scenario sink as columns,
+// and are summarised per cell by scenario.Aggregate:
+//
+//	sess, _ := sim.New(g, sim.WithAnalysis("coverage", "termination", "bipartite"))
+//	res, _ := sess.Run(ctx) // res.Metrics["termination.closedFormOK"] == 1
+//
 // Packages:
 //
-//	internal/sim              façade: protocol registry, session API, observers, model axis
+//	internal/sim              façade: protocol registry, session API, observers, model + analysis axes
 //	internal/model            execution-model registry, packed async/dynamic engines, certificates
-//	internal/scenario         declarative suites: spec matrix, pooled runner, sinks
+//	internal/analysis         streaming-analysis registry: coverage, termination, bipartite, spantree, echo, quantiles
+//	internal/scenario         declarative suites: spec matrix, pooled runner, sinks, metric columns
 //	internal/graph            immutable simple graphs, builder, CSR view, encodings
 //	internal/graph/gen        graph families behind a spec-grammar registry
 //	internal/graph/algo       BFS, diameter, bipartiteness ground truth
@@ -88,9 +104,10 @@
 //	internal/experiments      one registered experiment per paper artifact
 //
 // Binaries: cmd/afsim (single runs, any registered protocol on any engine
-// on any graph spec under any -model; -list prints every registry),
-// cmd/afbench (paper experiment suite, or a scenario matrix with -suite
-// and the -models/-adversaries/-schedules axis), cmd/afviz (trace
+// on any graph spec under any -model, with -analyze attaching streaming
+// analyses; -list prints every registry), cmd/afbench (paper experiment
+// suite, or a scenario matrix with -suite and the
+// -models/-adversaries/-schedules/-analyses axes), cmd/afviz (trace
 // rendering; -graph/-list mirror afsim). Runnable examples live under
 // examples/.
 package amnesiacflood

@@ -1,0 +1,440 @@
+package analysis
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the analysis registry and its spec grammar: every streaming
+// analysis family self-registers under a name, and a one-line spec string
+// selects a family and binds its parameters:
+//
+//	family[:key=value[,key=value]...]
+//
+// Examples: "coverage", "termination", "quantiles:metric=messages". Family
+// and key names are case-insensitive; values must not contain ',' or '='.
+// Omitted parameters take the family's declared defaults.
+//
+// A parsed Spec round-trips: String emits the parameters in the family's
+// declared order, so Parse(spec.String()) == spec for every parseable spec,
+// and Parse(s).String() == s for every canonically ordered s — the same
+// contract the graph (internal/graph/gen) and execution-model
+// (internal/model) registries keep, making analysis the fifth spec-driven
+// axis of the sim façade.
+
+// ParamKind types a family parameter.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// IntParam values parse with strconv.Atoi.
+	IntParam ParamKind = iota + 1
+	// FloatParam values parse with strconv.ParseFloat.
+	FloatParam
+	// BoolParam values parse with strconv.ParseBool.
+	BoolParam
+	// StringParam values are free-form except for the spec metacharacters
+	// ':', ',' and '='.
+	StringParam
+)
+
+// String implements fmt.Stringer.
+func (k ParamKind) String() string {
+	switch k {
+	case IntParam:
+		return "int"
+	case FloatParam:
+		return "float"
+	case BoolParam:
+		return "bool"
+	case StringParam:
+		return "string"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", int(k))
+	}
+}
+
+// check validates that raw parses as a value of kind k.
+func (k ParamKind) check(raw string) error {
+	var err error
+	switch k {
+	case IntParam:
+		_, err = strconv.Atoi(raw)
+	case FloatParam:
+		_, err = strconv.ParseFloat(raw, 64)
+	case BoolParam:
+		_, err = strconv.ParseBool(raw)
+	case StringParam:
+		if strings.ContainsAny(raw, ":,=") {
+			err = fmt.Errorf("string value %q contains spec metacharacters", raw)
+		}
+	default:
+		err = fmt.Errorf("unknown parameter kind %d", int(k))
+	}
+	return err
+}
+
+// Param declares one parameter of a family: its name, type, default value
+// (a canonical literal of the declared kind), and a one-line doc string for
+// -list output.
+type Param struct {
+	Name    string
+	Kind    ParamKind
+	Default string
+	Doc     string
+}
+
+// Values holds the resolved, type-checked parameters handed to a family's
+// constructor. Accessors are keyed by declared parameter name; asking for
+// an undeclared parameter is a programmer error and panics.
+type Values struct {
+	ints   map[string]int
+	floats map[string]float64
+	bools  map[string]bool
+	strs   map[string]string
+}
+
+// Int returns the named int parameter.
+func (v Values) Int(name string) int {
+	n, ok := v.ints[name]
+	if !ok {
+		panic("analysis: constructor read undeclared int parameter " + name)
+	}
+	return n
+}
+
+// Float returns the named float parameter.
+func (v Values) Float(name string) float64 {
+	f, ok := v.floats[name]
+	if !ok {
+		panic("analysis: constructor read undeclared float parameter " + name)
+	}
+	return f
+}
+
+// Bool returns the named bool parameter.
+func (v Values) Bool(name string) bool {
+	b, ok := v.bools[name]
+	if !ok {
+		panic("analysis: constructor read undeclared bool parameter " + name)
+	}
+	return b
+}
+
+// String returns the named string parameter.
+func (v Values) String(name string) string {
+	s, ok := v.strs[name]
+	if !ok {
+		panic("analysis: constructor read undeclared string parameter " + name)
+	}
+	return s
+}
+
+// Family describes one registered analysis: its parameter declarations
+// (order defines the canonical spec order), the metric names it emits, and
+// the constructor.
+type Family struct {
+	// Params declares the accepted parameters in canonical order.
+	Params []Param
+	// Doc is a one-line description for listings (afsim -list).
+	Doc string
+	// Metrics lists the metric names the family can emit, unprefixed
+	// (Finish keys them as "<family>.<name>"). Used for CSV column
+	// planning and documentation; families whose metric set depends on
+	// their parameters override it with MetricsFor.
+	Metrics []string
+	// MetricsFor, when non-nil, resolves the metric names for one
+	// parameterised spec; nil means Metrics as declared.
+	MetricsFor func(v Values) []string
+	// New constructs the analyzer from the run context and resolved
+	// values. It must validate ranges and return an error (never panic)
+	// on unusable parameters.
+	New func(ctx Context, v Values) (Analyzer, error)
+}
+
+// param returns the declaration of the named parameter, or nil.
+func (f Family) param(name string) *Param {
+	for i := range f.Params {
+		if f.Params[i].Name == name {
+			return &f.Params[i]
+		}
+	}
+	return nil
+}
+
+var (
+	famMu    sync.RWMutex
+	famReg   = map[string]Family{}
+	famNames []string // sorted cache, rebuilt on Register
+)
+
+// Register adds a family under a name, normally from this package's init so
+// that importing analysis is all it takes to make every family
+// spec-addressable. It panics on empty or duplicate names, nil
+// constructors, and malformed parameter declarations — programmer errors.
+func Register(name string, fam Family) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		panic("analysis: Register with empty family name")
+	}
+	if strings.ContainsAny(name, ":,= \t.") {
+		panic("analysis: family name " + name + " contains spec metacharacters")
+	}
+	if fam.New == nil {
+		panic("analysis: Register " + name + " with nil New")
+	}
+	seen := map[string]bool{}
+	for _, p := range fam.Params {
+		if p.Name == "" || strings.ContainsAny(p.Name, ":,= \t") {
+			panic("analysis: family " + name + " declares invalid parameter name " + strconv.Quote(p.Name))
+		}
+		if seen[p.Name] {
+			panic("analysis: family " + name + " declares parameter " + p.Name + " twice")
+		}
+		seen[p.Name] = true
+		if err := p.Kind.check(p.Default); err != nil {
+			panic(fmt.Sprintf("analysis: family %s parameter %s has unparseable default %q: %v", name, p.Name, p.Default, err))
+		}
+	}
+	famMu.Lock()
+	defer famMu.Unlock()
+	if _, dup := famReg[name]; dup {
+		panic("analysis: Register called twice for family " + name)
+	}
+	famReg[name] = fam
+	famNames = append(famNames, name)
+	slices.Sort(famNames)
+}
+
+// Families enumerates the registered family names, sorted.
+func Families() []string {
+	famMu.RLock()
+	defer famMu.RUnlock()
+	return append([]string(nil), famNames...)
+}
+
+// Lookup returns the named family's declaration.
+func Lookup(name string) (Family, bool) {
+	famMu.RLock()
+	defer famMu.RUnlock()
+	fam, ok := famReg[strings.ToLower(strings.TrimSpace(name))]
+	return fam, ok
+}
+
+// Spec is a parsed analysis specification: a family name plus explicit
+// parameter assignments. The zero value is invalid; build Specs with Parse.
+type Spec struct {
+	// Family is the lower-case registered family name.
+	Family string
+	// Params maps explicitly assigned parameter names to their raw
+	// values; omitted parameters default at build time.
+	Params map[string]string
+}
+
+// String renders the canonical spec string: the family name, then any
+// explicit parameters in the family's declared order. For specs produced by
+// Parse, Parse(spec.String()) reproduces spec exactly.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Family
+	}
+	ordered := make([]string, 0, len(s.Params))
+	emitted := map[string]bool{}
+	if fam, ok := Lookup(s.Family); ok {
+		for _, p := range fam.Params {
+			if v, set := s.Params[p.Name]; set {
+				ordered = append(ordered, p.Name+"="+v)
+				emitted[p.Name] = true
+			}
+		}
+	}
+	// Parameters the family does not declare (possible only on hand-built
+	// specs, which Build rejects) trail in alphabetical order so String
+	// stays total and deterministic.
+	var extra []string
+	for k, v := range s.Params {
+		if !emitted[k] {
+			extra = append(extra, k+"="+v)
+		}
+	}
+	slices.Sort(extra)
+	return s.Family + ":" + strings.Join(append(ordered, extra...), ",")
+}
+
+// ErrUnknownAnalysis is wrapped into errors for family names outside the
+// registry, matchable with errors.Is.
+var ErrUnknownAnalysis = fmt.Errorf("unknown analysis")
+
+// Parse parses an analysis spec string (see the grammar at the top of this
+// file) against the registry: the family must be registered, every key
+// declared, and every value parseable as the declared kind. Parse never
+// panics and never builds an analyzer — use Build for that.
+func Parse(s string) (Spec, error) {
+	famName, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
+	famName = strings.ToLower(strings.TrimSpace(famName))
+	if famName == "" {
+		return Spec{}, fmt.Errorf("analysis: empty analysis spec")
+	}
+	fam, ok := Lookup(famName)
+	if !ok {
+		return Spec{}, fmt.Errorf("analysis: %w %q (registered: %s)", ErrUnknownAnalysis, famName, strings.Join(Families(), ", "))
+	}
+	spec := Spec{Family: famName}
+	if !hasParams {
+		return spec, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return Spec{}, fmt.Errorf("analysis: spec %q has an empty parameter list (drop the trailing ':')", s)
+	}
+	spec.Params = map[string]string{}
+	for _, kv := range strings.Split(rest, ",") {
+		key, value, ok := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if !ok || key == "" || value == "" {
+			return Spec{}, fmt.Errorf("analysis: spec %q: want key=value, got %q", s, kv)
+		}
+		decl := fam.param(key)
+		if decl == nil {
+			return Spec{}, fmt.Errorf("analysis: spec %q: family %s has no parameter %q (accepts %s)", s, famName, key, paramNames(fam))
+		}
+		if err := decl.Kind.check(value); err != nil {
+			return Spec{}, fmt.Errorf("analysis: spec %q: parameter %s wants %s, got %q", s, key, decl.Kind, value)
+		}
+		if _, dup := spec.Params[key]; dup {
+			return Spec{}, fmt.Errorf("analysis: spec %q assigns parameter %s twice", s, key)
+		}
+		spec.Params[key] = value
+	}
+	return spec, nil
+}
+
+// MustParse is Parse for specs known good at compile time; it panics on
+// error.
+func MustParse(s string) Spec {
+	spec, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// resolve type-checks a spec against its family and returns the resolved
+// values (explicit parameters over declared defaults).
+func resolve(spec Spec) (Family, Values, error) {
+	fam, ok := Lookup(spec.Family)
+	if !ok {
+		return Family{}, Values{}, fmt.Errorf("analysis: %w %q (registered: %s)", ErrUnknownAnalysis, spec.Family, strings.Join(Families(), ", "))
+	}
+	for k := range spec.Params {
+		if fam.param(k) == nil {
+			return Family{}, Values{}, fmt.Errorf("analysis: family %s has no parameter %q (accepts %s)", spec.Family, k, paramNames(fam))
+		}
+	}
+	values := Values{ints: map[string]int{}, floats: map[string]float64{}, bools: map[string]bool{}, strs: map[string]string{}}
+	for _, p := range fam.Params {
+		raw, set := spec.Params[p.Name]
+		if !set {
+			raw = p.Default
+		}
+		var err error
+		switch p.Kind {
+		case IntParam:
+			values.ints[p.Name], err = strconv.Atoi(raw)
+		case FloatParam:
+			values.floats[p.Name], err = strconv.ParseFloat(raw, 64)
+		case BoolParam:
+			values.bools[p.Name], err = strconv.ParseBool(raw)
+		case StringParam:
+			err = p.Kind.check(raw)
+			values.strs[p.Name] = raw
+		}
+		if err != nil {
+			return Family{}, Values{}, fmt.Errorf("analysis: %s: parameter %s wants %s, got %q", spec.Family, p.Name, p.Kind, raw)
+		}
+	}
+	return fam, values, nil
+}
+
+// New builds the analyzer a spec describes for one run context. Omitted
+// parameters take their declared defaults.
+func New(spec Spec, ctx Context) (Analyzer, error) {
+	fam, values, err := resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	a, err := fam.New(ctx, values)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", spec, err)
+	}
+	return a, nil
+}
+
+// Build parses and builds in one step — the convenience entry point for the
+// sim façade, CLIs, and suites holding spec strings.
+func Build(spec string, ctx Context) (Analyzer, error) {
+	parsed, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(parsed, ctx)
+}
+
+// MetricNames resolves the prefixed metric names one spec string emits
+// ("<family>.<metric>"), in declared order.
+func MetricNames(spec string) ([]string, error) {
+	parsed, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	fam, values, err := resolve(parsed)
+	if err != nil {
+		return nil, err
+	}
+	names := fam.Metrics
+	if fam.MetricsFor != nil {
+		names = fam.MetricsFor(values)
+	}
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = parsed.Family + "." + n
+	}
+	return out, nil
+}
+
+// MetricColumns resolves the union of the metric columns a list of specs
+// can emit, deduplicated, in spec order — the CSV column plan for a suite
+// running those analyses.
+func MetricColumns(specs []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		names, err := MetricNames(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// paramNames renders a family's parameter declarations for error messages,
+// e.g. "metric string".
+func paramNames(fam Family) string {
+	if len(fam.Params) == 0 {
+		return "no parameters"
+	}
+	parts := make([]string, len(fam.Params))
+	for i, p := range fam.Params {
+		parts[i] = p.Name + " " + p.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}

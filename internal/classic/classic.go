@@ -10,7 +10,7 @@ package classic
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/engine"
@@ -46,7 +46,7 @@ func NewFlood(g *graph.Graph, origins ...graph.NodeID) (*Flood, error) {
 			uniq = append(uniq, o)
 		}
 	}
-	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	slices.Sort(uniq)
 	return &Flood{g: g, origins: uniq}, nil
 }
 

@@ -157,11 +157,11 @@ func TestLoadGraphFromFile(t *testing.T) {
 
 func TestAsyncAlias(t *testing.T) {
 	cases := map[string]string{
-		"sync":      "adversary:sync",
-		"collision": "adversary:collision",
-		"uniform":   "adversary:uniform:extra=2",
-		"random":    "adversary:random:max=3",
-		"SYNC":      "adversary:sync",
+		"sync":                  "adversary:sync",
+		"collision":             "adversary:collision",
+		"uniform":               "adversary:uniform:extra=2",
+		"random":                "adversary:random:max=3",
+		"SYNC":                  "adversary:sync",
 		"adversary:hold:node=3": "adversary:hold:node=3",
 	}
 	for name, want := range cases {

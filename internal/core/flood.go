@@ -15,7 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
@@ -60,7 +60,7 @@ func NewFlood(g *graph.Graph, origins ...graph.NodeID) (*Flood, error) {
 			uniq = append(uniq, o)
 		}
 	}
-	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	slices.Sort(uniq)
 	return &Flood{g: g, origins: uniq}, nil
 }
 

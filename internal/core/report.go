@@ -3,14 +3,22 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
+	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 )
 
 // Report is the analysed outcome of an amnesiac-flooding run. It extends the
 // raw engine result with the quantities the paper reasons about.
+//
+// Report is the compatibility shape of the pre-registry analysis API: its
+// receive bookkeeping is derived by replaying the trace through the
+// streaming "coverage" analysis (internal/analysis), and its headline
+// verdicts (Covered, MaxReceives, Rounds, TotalMessages) correspond to the
+// coverage.* and termination.* metric columns of sim.WithAnalysis. New
+// code should attach analyses to the session instead of materialising a
+// trace and calling Analyze.
 type Report struct {
 	// Result is the raw engine outcome, with Trace populated.
 	Result engine.Result
@@ -96,26 +104,32 @@ func RunWithOptions(g *graph.Graph, opts engine.Options, origins ...graph.NodeID
 	return Analyze(g, flood.Origins(), res), nil
 }
 
-// Analyze derives the report quantities from a traced engine result.
+// Analyze derives the report quantities from a traced engine result. It is
+// the post-hoc adapter over the streaming coverage analysis: the trace is
+// replayed through one analysis.Coverage instance (the same code path
+// sim.WithAnalysis("coverage") streams live), plus the round-set
+// reconstruction the theory checks need.
 func Analyze(g *graph.Graph, origins []graph.NodeID, res engine.Result) *Report {
-	rep := &Report{
-		Result:        res,
-		Origins:       append([]graph.NodeID(nil), origins...),
-		ReceiveCounts: make([]int, g.N()),
-		FirstReceive:  make([]int, g.N()),
-		LastReceive:   make([]int, g.N()),
+	obs, err := analysis.Build("coverage", analysis.Context{Graph: g})
+	if err != nil {
+		panic("core: coverage analysis unavailable: " + err.Error()) // registered in this module; unreachable
 	}
-	sort.Slice(rep.Origins, func(i, j int) bool { return rep.Origins[i] < rep.Origins[j] })
+	cov := obs.(*analysis.Coverage)
+	if err := cov.Start(origins); err != nil {
+		panic("core: coverage start: " + err.Error()) // coverage accepts any origin set; unreachable
+	}
+	rep := &Report{Result: res}
 	for _, rec := range res.Trace {
-		receivers := rec.Receivers()
-		rep.RoundSets = append(rep.RoundSets, receivers)
-		for _, v := range receivers {
-			rep.ReceiveCounts[v]++
-			if rep.FirstReceive[v] == 0 {
-				rep.FirstReceive[v] = rec.Round
-			}
-			rep.LastReceive[v] = rec.Round
+		if _, err := cov.ObserveRound(rec); err != nil {
+			panic("core: coverage observe: " + err.Error()) // coverage never errors; unreachable
 		}
+		rep.RoundSets = append(rep.RoundSets, rec.Receivers())
 	}
+	// The analyzer is local to this call, so its buffers can be adopted
+	// without copying.
+	rep.Origins = cov.Origins()
+	rep.ReceiveCounts = cov.ReceiveCounts()
+	rep.FirstReceive = cov.FirstReceive()
+	rep.LastReceive = cov.LastReceive()
 	return rep
 }

@@ -32,7 +32,7 @@ package doublecover
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
@@ -197,14 +197,14 @@ func Predict(g *graph.Graph, source graph.NodeID) Prediction {
 	for r := range byRound {
 		rounds = append(rounds, r)
 	}
-	sort.Ints(rounds)
+	slices.Sort(rounds)
 	for _, r := range rounds {
 		sends := byRound[r]
-		sort.Slice(sends, func(i, j int) bool {
-			if sends[i].From != sends[j].From {
-				return sends[i].From < sends[j].From
+		slices.SortFunc(sends, func(a, b engine.Send) int {
+			if a.From != b.From {
+				return int(a.From) - int(b.From)
 			}
-			return sends[i].To < sends[j].To
+			return int(a.To) - int(b.To)
 		})
 		pred.Trace = append(pred.Trace, engine.RoundRecord{Round: r, Sends: sends})
 		pred.TotalMessages += len(sends)

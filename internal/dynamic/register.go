@@ -41,6 +41,11 @@ func init() {
 			if v.Int("period") < 1 {
 				return nil, fmt.Errorf("period must be >= 1, got %d", v.Int("period"))
 			}
+			// A negative phase can never equal round % period (>= 0), which
+			// would leave the edge permanently dead instead of blinking.
+			if p := v.Int("phase"); p < 0 || p >= v.Int("period") {
+				return nil, fmt.Errorf("phase must be in [0, period), got %d", p)
+			}
 			return Blinking{Edge: graph.Edge{U: graph.NodeID(v.Int("u")), V: graph.NodeID(v.Int("v"))}, K: v.Int("period"), Phase: v.Int("phase")}, nil
 		},
 	})

@@ -18,7 +18,7 @@ package chanengine
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"amnesiacflood/internal/engine"
@@ -131,11 +131,11 @@ func Run(ctx context.Context, g *graph.Graph, proto engine.Protocol, opts engine
 			sends = append(sends, r.performed...)
 			nextCount += r.nextCount
 		}
-		sort.Slice(sends, func(i, j int) bool {
-			if sends[i].From != sends[j].From {
-				return sends[i].From < sends[j].From
+		slices.SortFunc(sends, func(a, b engine.Send) int {
+			if a.From != b.From {
+				return int(a.From) - int(b.From)
 			}
-			return sends[i].To < sends[j].To
+			return int(a.To) - int(b.To)
 		})
 		res.Rounds = round
 		res.TotalMessages += len(sends)

@@ -19,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"slices"
-	"sort"
 	"time"
 
 	"amnesiacflood/internal/graph"
@@ -243,6 +242,11 @@ type Result struct {
 	// WallTime is the wall-clock duration of the run. The engines leave
 	// it zero; the sim façade populates it.
 	WallTime time.Duration `json:"wallTimeNs,omitempty"`
+	// Metrics holds the merged streaming-analysis metrics of the run,
+	// keyed "<family>.<metric>" (see internal/analysis). The engines leave
+	// it nil; the sim façade populates it when analyses are attached with
+	// sim.WithAnalysis.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Trace holds one record per round when tracing is enabled, nil
 	// otherwise.
 	Trace []RoundRecord `json:"trace,omitempty"`
@@ -352,11 +356,11 @@ func Run(ctx context.Context, g *graph.Graph, proto Protocol, opts Options) (Res
 		// contiguous, ascending run. This replaces the former map bucket
 		// plus two sort.Slice calls and is the reference engine's last
 		// avoidable per-round allocation hot spot.
-		sort.Slice(pending, func(i, j int) bool {
-			if pending[i].To != pending[j].To {
-				return pending[i].To < pending[j].To
+		slices.SortFunc(pending, func(a, b Send) int {
+			if a.To != b.To {
+				return int(a.To) - int(b.To)
 			}
-			return pending[i].From < pending[j].From
+			return int(a.From) - int(b.From)
 		})
 		var next []Send
 		for i := 0; i < len(pending); {
@@ -383,11 +387,11 @@ func normalizeSends(sends []Send) []Send {
 	if len(sends) == 0 {
 		return nil
 	}
-	sort.Slice(sends, func(i, j int) bool {
-		if sends[i].From != sends[j].From {
-			return sends[i].From < sends[j].From
+	slices.SortFunc(sends, func(a, b Send) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
 		}
-		return sends[i].To < sends[j].To
+		return int(a.To) - int(b.To)
 	})
 	out := sends[:1]
 	for _, s := range sends[1:] {

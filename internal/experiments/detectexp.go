@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"amnesiacflood/internal/detect"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/algo"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/sim"
 )
 
 // BipartitenessDetection is experiment E9, the application sketched in
@@ -15,6 +16,12 @@ import (
 // bipartiteness from the flood's behaviour alone (double receipts / late
 // termination). Ground truth is BFS two-colouring; the experiment demands
 // 100% agreement.
+//
+// The probe runs through the sim façade with the streaming "bipartite"
+// analysis attached — the registry form of the old detect.Bipartiteness
+// post-hoc walk: the verdict, witness count, and eccentricity all arrive as
+// metric columns of the run itself, and the analysis cross-checks the two
+// witness signals internally.
 func BipartitenessDetection(cfg Config) ([]*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 4))
 	t := &Table{
@@ -46,18 +53,30 @@ func BipartitenessDetection(cfg Config) ([]*Table, error) {
 	for _, inst := range instances {
 		truth := algo.IsBipartite(inst.g)
 		src := graph.NodeID(rng.Intn(inst.g.N()))
-		verdict, err := detect.Bipartiteness(inst.g, src)
+		sess, err := sim.New(inst.g,
+			sim.WithProtocol("amnesiac"),
+			sim.WithEngine(cfg.EngineKind()),
+			sim.WithOrigins(src),
+			sim.WithAnalysis("bipartite"),
+			sim.WithAnalysisStop(false), // full flood: collect every witness, not just the first
+		)
 		if err != nil {
 			return nil, fmt.Errorf("E9: %s: %w", inst.g, err)
 		}
-		if verdict.Bipartite != truth {
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("E9: %s: %w", inst.g, err)
+		}
+		verdict := res.Metrics["bipartite.bipartite"] == 1
+		if verdict != truth {
 			return nil, fmt.Errorf("E9: %s from %d: flood verdict %t disagrees with two-colouring %t",
-				inst.g, src, verdict.Bipartite, truth)
+				inst.g, src, verdict, truth)
 		}
 		agreements++
-		t.AddRow(inst.g.Name(), src, truth, verdict.Bipartite, verdict.Rounds,
-			verdict.Eccentricity, len(verdict.DoubleReceivers))
+		t.AddRow(inst.g.Name(), src, truth, verdict, res.Rounds,
+			int(res.Metrics["bipartite.eccentricity"]), int(res.Metrics["bipartite.witnesses"]))
 	}
 	t.AddNote("%d/%d instances: flood verdict agrees with ground-truth two-colouring (paper §1.1 application)", agreements, agreements)
+	t.AddNote("probe = sim façade + the streaming bipartite analysis (sim.WithAnalysis); the verdict, witnesses, and e(src) are the run's own metric columns")
 	return []*Table{t}, nil
 }

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/graph"
@@ -34,7 +34,7 @@ func runReport(cfg Config, g *graph.Graph, origins ...graph.NodeID) (*core.Repor
 // core.NewFlood's canonicalisation.
 func uniqueSorted(origins []graph.NodeID) []graph.NodeID {
 	out := append([]graph.NodeID(nil), origins...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	uniq := out[:0]
 	for i, o := range out {
 		if i == 0 || o != uniq[len(uniq)-1] {

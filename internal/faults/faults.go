@@ -18,7 +18,7 @@ package faults
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -193,11 +193,11 @@ func Run(g *graph.Graph, inj Injector, opts Options, origins ...graph.NodeID) (R
 		for v := range byTo {
 			receivers = append(receivers, v)
 		}
-		sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+		slices.Sort(receivers)
 		var next []engine.Send
 		for _, v := range receivers {
 			senders := byTo[v]
-			sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+			slices.Sort(senders)
 			i := 0
 			for _, nbr := range g.Neighbors(v) {
 				for i < len(senders) && senders[i] < nbr {
@@ -241,11 +241,11 @@ func dedupSends(sends []engine.Send) []engine.Send {
 	if len(sends) == 0 {
 		return nil
 	}
-	sort.Slice(sends, func(i, j int) bool {
-		if sends[i].From != sends[j].From {
-			return sends[i].From < sends[j].From
+	slices.SortFunc(sends, func(a, b engine.Send) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
 		}
-		return sends[i].To < sends[j].To
+		return int(a.To) - int(b.To)
 	})
 	out := sends[:1]
 	for _, s := range sends[1:] {

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Common builder errors, matchable with errors.Is.
@@ -80,11 +80,11 @@ func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].U != b.edges[j].U {
-			return b.edges[i].U < b.edges[j].U
+	slices.SortFunc(b.edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
 		}
-		return b.edges[i].V < b.edges[j].V
+		return int(a.V) - int(b.V)
 	})
 	adj := make([][]NodeID, b.n)
 	m := 0
@@ -99,7 +99,7 @@ func (b *Builder) Build() (*Graph, error) {
 		m++
 	}
 	for _, nbrs := range adj {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		slices.Sort(nbrs)
 	}
 	if uint64(m) > math.MaxInt32/2 {
 		return nil, fmt.Errorf("builder: %d edges: %w", m, ErrTooManyEdges)

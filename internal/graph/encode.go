@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -149,7 +149,7 @@ func WriteDOT(w io.Writer, g *Graph, highlight map[NodeID]bool) error {
 			hl = append(hl, v)
 		}
 	}
-	sort.Slice(hl, func(i, j int) bool { return hl[i] < hl[j] })
+	slices.Sort(hl)
 	for _, v := range hl {
 		if _, err := fmt.Fprintf(bw, "  %d [style=bold, peripheries=2];\n", v); err != nil {
 			return err

@@ -3,7 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/graph"
 )
@@ -46,7 +46,7 @@ func PreferentialAttachment(n, m int, rng *rand.Rand) *graph.Graph {
 		for target := range chosen {
 			targets = append(targets, target)
 		}
-		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		slices.Sort(targets)
 		for _, target := range targets {
 			b.AddEdge(graph.NodeID(v), target)
 			endpoints = append(endpoints, graph.NodeID(v), target)

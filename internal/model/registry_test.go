@@ -146,6 +146,12 @@ func TestBuildValidation(t *testing.T) {
 	if _, err := model.Build("schedule:blink:period=0", 1); err == nil {
 		t.Error("zero period accepted")
 	}
+	if _, err := model.Build("schedule:blink:period=2,phase=-1", 1); err == nil {
+		t.Error("negative phase accepted (edge would be permanently dead)")
+	}
+	if _, err := model.Build("schedule:blink:period=2,phase=2", 1); err == nil {
+		t.Error("phase >= period accepted (edge would be permanently dead)")
+	}
 	if _, err := model.New(model.Spec{Kind: model.KindSync, Family: "x"}, 1); err == nil {
 		t.Error("sync spec with family accepted")
 	}

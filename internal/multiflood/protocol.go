@@ -2,7 +2,7 @@ package multiflood
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
@@ -65,7 +65,7 @@ func NewProtocol(g *graph.Graph, origins ...graph.NodeID) (*Protocol, error) {
 			byFrom[s.From] = append(byFrom[s.From], s.To)
 		}
 		for from, dsts := range byFrom {
-			sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+			slices.Sort(dsts)
 			if round == 1 {
 				for _, to := range dsts {
 					p.bootstrap = append(p.bootstrap, engine.Send{From: from, To: to})
@@ -78,9 +78,11 @@ func NewProtocol(g *graph.Graph, origins ...graph.NodeID) (*Protocol, error) {
 			p.next[round][from] = dsts
 		}
 	}
-	sort.Slice(p.bootstrap, func(i, j int) bool {
-		a, b := p.bootstrap[i], p.bootstrap[j]
-		return a.From < b.From || (a.From == b.From && a.To < b.To)
+	slices.SortFunc(p.bootstrap, func(a, b engine.Send) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
+		}
+		return int(a.To) - int(b.To)
 	})
 	return p, nil
 }

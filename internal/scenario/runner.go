@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -37,6 +37,11 @@ type Result struct {
 	Outcome     string `json:"outcome,omitempty"`
 	CycleStart  int    `json:"cycleStart,omitempty"`
 	CycleLength int    `json:"cycleLength,omitempty"`
+	// Metrics holds the merged streaming-analysis metrics of the run
+	// ("<family>.<metric>" keys), present when the spec attaches analyses.
+	// Metric values are deterministic functions of the Spec, like every
+	// other outcome field.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// WallMicros is the wall-clock run time in microseconds. It is the
 	// one nondeterministic field; comparisons must ignore it.
 	WallMicros int64 `json:"wallMicros"`
@@ -83,7 +88,8 @@ type group struct {
 // and rep).
 func groupKey(s Spec) string {
 	return Spec{Graph: s.Graph, Protocol: s.Protocol, Engine: s.Engine,
-		Model: s.Model, Seed: s.Seed, Params: s.Params, MaxRounds: s.MaxRounds}.ID()
+		Model: s.Model, Analyses: s.Analyses, Seed: s.Seed, Params: s.Params,
+		MaxRounds: s.MaxRounds}.ID()
 }
 
 // Run executes every spec and returns the results sorted by Spec ID (the
@@ -164,25 +170,23 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 }
 
 // sortByID order-normalises results by Spec ID, computing each key once
-// instead of inside the comparator (Spec.ID allocates).
+// up front instead of inside the comparator (Spec.ID allocates): results
+// are sorted indirectly through a keyed index and permuted into place.
 func sortByID(results []Result) {
-	keys := make([]string, len(results))
-	for i := range results {
-		keys[i] = results[i].Spec.ID()
+	type keyed struct {
+		key   string
+		index int
 	}
-	sort.Sort(&keyedResults{keys: keys, results: results})
-}
-
-type keyedResults struct {
-	keys    []string
-	results []Result
-}
-
-func (k *keyedResults) Len() int           { return len(k.results) }
-func (k *keyedResults) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
-func (k *keyedResults) Swap(i, j int) {
-	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
-	k.results[i], k.results[j] = k.results[j], k.results[i]
+	keys := make([]keyed, len(results))
+	for i := range results {
+		keys[i] = keyed{key: results[i].Spec.ID(), index: i}
+	}
+	slices.SortFunc(keys, func(a, b keyed) int { return strings.Compare(a.key, b.key) })
+	sorted := make([]Result, len(results))
+	for i, k := range keys {
+		sorted[i] = results[k.index]
+	}
+	copy(results, sorted)
 }
 
 // graphCache builds each distinct (spec, seed) instance exactly once and
@@ -330,6 +334,7 @@ func (out *Result) fill(r engine.Result) {
 	if r.Certificate != nil {
 		out.CycleStart, out.CycleLength = r.Certificate.Start, r.Certificate.Length
 	}
+	out.Metrics = r.Metrics
 	out.WallMicros = r.WallTime.Microseconds()
 }
 
@@ -344,6 +349,9 @@ func sessionOptions(s Spec, kind sim.EngineKind) []sim.Option {
 	}
 	if s.Model != "" {
 		opts = append(opts, sim.WithModel(s.Model))
+	}
+	if len(s.Analyses) > 0 {
+		opts = append(opts, sim.WithAnalysis(s.Analyses...))
 	}
 	for k, v := range s.Params {
 		opts = append(opts, sim.WithParam(k, v))

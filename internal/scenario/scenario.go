@@ -1,8 +1,11 @@
 // Package scenario is the declarative suite layer over the sim façade: a
 // Spec names one run as data (graph spec × protocol × engine × model ×
-// origins × seed), a Matrix expands the cross-product of those axes, and a
-// Runner executes a suite over a bounded worker pool, streaming results to
-// pluggable sinks (JSONL, CSV, in-memory aggregation).
+// origins × seed, plus the attached analysis set), a Matrix expands the
+// cross-product of those axes, and a Runner executes a suite over a bounded
+// worker pool, streaming results to pluggable sinks (JSONL, CSV, in-memory
+// aggregation). Analyses (internal/analysis specs) stream per-round metrics
+// into every run; their merged "<family>.<metric>" columns flow through all
+// sinks and are summarised per cell by Aggregate.
 //
 // Where the sim package answers "run this protocol on this graph", scenario
 // answers "sweep every protocol over every family at every seed and tell me
@@ -25,10 +28,11 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
+	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/model"
@@ -55,6 +59,10 @@ type Spec struct {
 	Model string `json:"model,omitempty"`
 	// Origins is the origin node set; empty means node 0.
 	Origins []graph.NodeID `json:"origins,omitempty"`
+	// Analyses lists streaming-analysis specs (internal/analysis grammar:
+	// "coverage", "quantiles:metric=messages", ...) attached to the run;
+	// their merged metrics land in Result.Metrics.
+	Analyses []string `json:"analyses,omitempty"`
 	// Seed drives graph construction and protocol randomness.
 	Seed int64 `json:"seed"`
 	// Rep distinguishes repetitions of an otherwise identical spec.
@@ -78,13 +86,14 @@ func (s Spec) ID() string {
 		// make two distinct specs render the same ID.
 		params = append(params, k+"="+strconv.Quote(v))
 	}
-	sort.Strings(params)
+	slices.Sort(params)
 	mdl := s.Model
 	if mdl == "" {
 		mdl = string(model.KindSync)
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|o=%s|seed=%d|rep=%d|%s|max=%d",
-		s.Graph, s.Protocol, s.Engine, mdl, strings.Join(origins, ","), s.Seed, s.Rep,
+	return fmt.Sprintf("%s|%s|%s|%s|o=%s|a=%s|seed=%d|rep=%d|%s|max=%d",
+		s.Graph, s.Protocol, s.Engine, mdl, strings.Join(origins, ","),
+		strings.Join(s.Analyses, "+"), s.Seed, s.Rep,
 		strings.Join(params, ","), s.MaxRounds)
 }
 
@@ -99,6 +108,11 @@ func (s Spec) Validate() error {
 	}
 	if s.Model != "" {
 		if _, err := model.Parse(s.Model); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for _, a := range s.Analyses {
+		if _, err := analysis.Parse(a); err != nil {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
@@ -129,6 +143,13 @@ type Matrix struct {
 	Models []string
 	// OriginSets lists origin sets; each set is one run's origins.
 	OriginSets [][]graph.NodeID
+	// Analyses lists streaming-analysis specs attached to *every* cell of
+	// the matrix (it is a measurement set, not a cross-product axis): each
+	// run streams all of them and its Result carries their merged metric
+	// columns. Analyses with origin-arity requirements (bipartite,
+	// spantree, echo need a single origin) fail per-run with Result.Err on
+	// cells that violate them.
+	Analyses []string
 	// Seeds lists seeds; each seed rebuilds random graphs and reseeds
 	// randomised protocols.
 	Seeds []int64
@@ -199,6 +220,14 @@ func (m Matrix) Expand() ([]Spec, error) {
 	if len(models) == 0 {
 		models = []string{string(model.KindSync)}
 	}
+	analyses := make([]string, len(m.Analyses))
+	for i, spec := range m.Analyses {
+		parsed, err := analysis.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		analyses[i] = parsed.String()
+	}
 	originSets := m.OriginSets
 	if len(originSets) == 0 {
 		originSets = [][]graph.NodeID{{0}}
@@ -238,6 +267,7 @@ func (m Matrix) Expand() ([]Spec, error) {
 									Engine:    eng,
 									Model:     mdl,
 									Origins:   append([]graph.NodeID(nil), origins...),
+									Analyses:  slices.Clone(analyses),
 									Seed:      seed,
 									Rep:       rep,
 									Params:    params(),

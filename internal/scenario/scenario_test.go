@@ -147,13 +147,82 @@ func TestMatrixModelAxis(t *testing.T) {
 	}
 }
 
+// TestAnalysisMetricDeterminism is the acceptance criterion of the
+// analysis axis: a matrix carrying analyses produces, under an 8-worker
+// pool, metric columns byte-identical to sequential execution — analysis
+// buffers are per-session, so worker interleaving cannot perturb them.
+func TestAnalysisMetricDeterminism(t *testing.T) {
+	matrix := scenario.Matrix{
+		Graphs:   []string{"grid:rows=4,cols=5", "cycle:n=9", "prefattach:n=24,m=2"},
+		Engines:  []string{"sequential", "parallel"},
+		Models:   []string{"sync", "schedule:static"},
+		Analyses: []string{"coverage", "termination", "quantiles:metric=messages"},
+		Seeds:    []int64{1, 2},
+	}
+	specs, err := matrix.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if len(s.Analyses) != 3 {
+			t.Fatalf("spec %s lost its analyses", s.ID())
+		}
+	}
+	ctx := context.Background()
+	par, err := (&scenario.Runner{Workers: 8}).Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := (&scenario.Runner{Workers: 1}).Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, _ := json.Marshal(normalize(par))
+	seqJSON, _ := json.Marshal(normalize(seq))
+	if !bytes.Equal(parJSON, seqJSON) {
+		t.Fatalf("parallel and sequential metric columns disagree:\n%s\nvs\n%s", parJSON, seqJSON)
+	}
+	for _, res := range par {
+		if res.Err != "" {
+			t.Fatalf("run %s failed: %s", res.Spec.ID(), res.Err)
+		}
+		if res.Metrics["coverage.covered"] != 1 {
+			t.Fatalf("run %s not covered: %v", res.Spec.ID(), res.Metrics)
+		}
+		if int(res.Metrics["quantiles.messages"]) != res.TotalMessages {
+			t.Fatalf("run %s: quantiles.messages %v != messages %d",
+				res.Spec.ID(), res.Metrics["quantiles.messages"], res.TotalMessages)
+		}
+	}
+	// The aggregate folds the metric columns into per-cell summaries.
+	agg := scenario.NewAggregate()
+	if _, err := (&scenario.Runner{Workers: 4, Sink: agg}).Run(ctx, specs); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range agg.Cells() {
+		summary, ok := c.MetricSummary("quantiles.messages")
+		if !ok || summary.N == 0 {
+			t.Fatalf("cell %s/%s lacks a quantiles.messages summary", c.Graph, c.Model)
+		}
+		if q, ok := c.MetricQuantile("quantiles.messages", 0.5); !ok || q != summary.Median {
+			t.Fatalf("cell %s/%s: median quantile %g != summary median %g", c.Graph, c.Model, q, summary.Median)
+		}
+	}
+
+	if _, err := (scenario.Matrix{Graphs: []string{"path:n=4"}, Analyses: []string{"nosuch"}}).Expand(); err == nil {
+		t.Fatal("unknown analysis family accepted")
+	}
+}
+
 func TestMatrixErrors(t *testing.T) {
 	cases := []scenario.Matrix{
 		{},                               // no graphs
 		{Graphs: []string{"nosuch:n=4"}}, // unknown family
 		{Graphs: []string{"path:zz=1"}},  // bad graph parameter
-		{Graphs: []string{"path:n=4"}, Engines: []string{"warp"}},     // unknown engine
-		{Graphs: []string{"path:n=4"}, Protocols: []string{"nosuch"}}, // unknown protocol
+		{Graphs: []string{"path:n=4"}, Engines: []string{"warp"}},            // unknown engine
+		{Graphs: []string{"path:n=4"}, Protocols: []string{"nosuch"}},        // unknown protocol
+		{Graphs: []string{"path:n=4"}, Analyses: []string{"nosuch"}},         // unknown analysis
+		{Graphs: []string{"path:n=4"}, Analyses: []string{"quantiles:zz=1"}}, // bad analysis parameter
 	}
 	for i, m := range cases {
 		if _, err := m.Expand(); err == nil {
@@ -354,9 +423,10 @@ func TestSinks(t *testing.T) {
 
 func TestSpecIDStable(t *testing.T) {
 	s := scenario.Spec{Graph: "path:n=4", Protocol: "amnesiac", Engine: "fast",
-		Origins: []graph.NodeID{1, 2}, Seed: 3, Rep: 1,
+		Origins: []graph.NodeID{1, 2}, Analyses: []string{"coverage", "termination"},
+		Seed: 3, Rep: 1,
 		Params: map[string]string{"b": "2", "a": "1"}, MaxRounds: 9}
-	want := `path:n=4|amnesiac|fast|sync|o=1,2|seed=3|rep=1|a="1",b="2"|max=9`
+	want := `path:n=4|amnesiac|fast|sync|o=1,2|a=coverage+termination|seed=3|rep=1|a="1",b="2"|max=9`
 	if got := s.ID(); got != want {
 		t.Fatalf("ID = %q, want %q", got, want)
 	}

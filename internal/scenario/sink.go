@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
+
+	"amnesiacflood/internal/stats"
 )
 
 // Sink consumes results as the Runner completes them. The Runner serialises
@@ -53,12 +55,16 @@ func (s jsonlSink) Write(res Result) error {
 // suite is done.
 type CSVSink struct {
 	w           *csv.Writer
+	metricCols  []string
 	wroteHeader bool
 }
 
-// NewCSVSink returns a CSV sink over w.
-func NewCSVSink(w io.Writer) *CSVSink {
-	return &CSVSink{w: csv.NewWriter(w)}
+// NewCSVSink returns a CSV sink over w. metricCols, when given, appends one
+// flattened column per analysis metric name ("<family>.<metric>"; plan them
+// with analysis.MetricColumns over the suite's analysis specs) — a run that
+// did not emit a planned metric leaves the cell empty.
+func NewCSVSink(w io.Writer, metricCols ...string) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w), metricCols: metricCols}
 }
 
 // csvHeader is the column layout of CSVSink.
@@ -71,7 +77,7 @@ var csvHeader = []string{
 // Write implements Sink.
 func (s *CSVSink) Write(res Result) error {
 	if !s.wroteHeader {
-		if err := s.w.Write(csvHeader); err != nil {
+		if err := s.w.Write(append(append([]string(nil), csvHeader...), s.metricCols...)); err != nil {
 			return err
 		}
 		s.wroteHeader = true
@@ -80,7 +86,7 @@ func (s *CSVSink) Write(res Result) error {
 	for i, o := range res.Spec.Origins {
 		origins[i] = strconv.Itoa(int(o))
 	}
-	return s.w.Write([]string{
+	row := []string{
 		res.Spec.Graph, res.Spec.Protocol, res.Spec.Engine, modelOf(res.Spec), strings.Join(origins, " "),
 		strconv.FormatInt(res.Spec.Seed, 10), strconv.Itoa(res.Spec.Rep),
 		strconv.Itoa(res.N), strconv.Itoa(res.M),
@@ -88,7 +94,16 @@ func (s *CSVSink) Write(res Result) error {
 		strconv.FormatBool(res.Terminated), strconv.FormatBool(res.Stopped),
 		res.Outcome, strconv.Itoa(res.CycleStart), strconv.Itoa(res.CycleLength),
 		strconv.FormatInt(res.WallMicros, 10), res.Err,
-	})
+	}
+	for _, col := range s.metricCols {
+		v, ok := res.Metrics[col]
+		if !ok {
+			row = append(row, "")
+			continue
+		}
+		row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return s.w.Write(row)
 }
 
 // modelOf renders a spec's model axis with the empty spelling normalised.
@@ -134,6 +149,10 @@ type Cell struct {
 	SumMessages int
 	// SumWallMicros accumulates wall time over non-failed runs.
 	SumWallMicros int64
+	// metricSamples retains every analysis metric value of the cell's
+	// non-failed runs, keyed by "<family>.<metric>" — the input to
+	// MetricSummary.
+	metricSamples map[string][]float64
 }
 
 // MeanRounds returns the mean round count over successful runs.
@@ -142,6 +161,44 @@ func (c *Cell) MeanRounds() float64 {
 		return float64(c.SumRounds) / float64(n)
 	}
 	return 0
+}
+
+// MetricNames lists the analysis metric columns observed in this cell,
+// sorted.
+func (c *Cell) MetricNames() []string {
+	names := make([]string, 0, len(c.metricSamples))
+	for name := range c.metricSamples {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	return names
+}
+
+// MetricSummary folds the cell's sample of the named analysis metric into
+// a stats.Summary (n, mean, stddev, min, median, max) — the scenario-layer
+// aggregation the quantiles analysis family feeds. ok is false when no run
+// of the cell emitted the metric. The sample is sorted before summing:
+// samples accumulate in worker-completion order, and float addition is not
+// associative, so sorting keeps the summary bit-identical across worker
+// counts like every other aggregate quantity.
+func (c *Cell) MetricSummary(name string) (stats.Summary, bool) {
+	sample, ok := c.metricSamples[name]
+	if !ok {
+		return stats.Summary{}, false
+	}
+	sorted := append([]float64(nil), sample...)
+	slices.Sort(sorted)
+	return stats.Summarize(sorted), true
+}
+
+// MetricQuantile returns the q-quantile of the cell's sample of the named
+// metric (linear interpolation between order statistics).
+func (c *Cell) MetricQuantile(name string, q float64) (float64, bool) {
+	sample, ok := c.metricSamples[name]
+	if !ok {
+		return 0, false
+	}
+	return stats.Quantile(sample, q), true
 }
 
 // NewAggregate returns an empty in-memory sink.
@@ -177,6 +234,14 @@ func (a *Aggregate) Write(res Result) error {
 	cell.SumRounds += res.Rounds
 	cell.SumMessages += res.TotalMessages
 	cell.SumWallMicros += res.WallMicros
+	if len(res.Metrics) > 0 {
+		if cell.metricSamples == nil {
+			cell.metricSamples = map[string][]float64{}
+		}
+		for name, v := range res.Metrics {
+			cell.metricSamples[name] = append(cell.metricSamples[name], v)
+		}
+	}
 	return nil
 }
 
@@ -198,24 +263,32 @@ func (a *Aggregate) Cells() []*Cell {
 	out := make([]*Cell, 0, len(a.cells))
 	for _, c := range a.cells {
 		cp := *c
+		if len(c.metricSamples) > 0 {
+			cp.metricSamples = make(map[string][]float64, len(c.metricSamples))
+			for name, sample := range c.metricSamples {
+				cp.metricSamples[name] = append([]float64(nil), sample...)
+			}
+		}
 		out = append(out, &cp)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Graph != out[j].Graph {
-			return out[i].Graph < out[j].Graph
+	slices.SortFunc(out, func(a, b *Cell) int {
+		if c := strings.Compare(a.Graph, b.Graph); c != 0 {
+			return c
 		}
-		if out[i].Protocol != out[j].Protocol {
-			return out[i].Protocol < out[j].Protocol
+		if c := strings.Compare(a.Protocol, b.Protocol); c != 0 {
+			return c
 		}
-		if out[i].Engine != out[j].Engine {
-			return out[i].Engine < out[j].Engine
+		if c := strings.Compare(a.Engine, b.Engine); c != 0 {
+			return c
 		}
-		return out[i].Model < out[j].Model
+		return strings.Compare(a.Model, b.Model)
 	})
 	return out
 }
 
-// Fprint renders the aggregate as an aligned text table, one row per cell.
+// Fprint renders the aggregate as an aligned text table, one row per cell,
+// followed by one summary line per analysis metric column the cell
+// collected (mean, stddev, min, median, max over the cell's runs).
 func (a *Aggregate) Fprint(w io.Writer) error {
 	cells := a.Cells()
 	if _, err := fmt.Fprintf(w, "%-40s %-12s %-12s %-28s %5s %4s %5s %6s %6s %8s %10s %10s\n",
@@ -227,6 +300,12 @@ func (a *Aggregate) Fprint(w io.Writer) error {
 			c.Graph, c.Protocol, c.Engine, c.Model, c.Runs, c.Errors, c.Certified,
 			c.MinRounds, c.MaxRounds, c.MeanRounds(), c.SumMessages, c.SumWallMicros); err != nil {
 			return err
+		}
+		for _, name := range c.MetricNames() {
+			summary, _ := c.MetricSummary(name)
+			if _, err := fmt.Fprintf(w, "    %-36s %s\n", name, summary); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

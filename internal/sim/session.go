@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/engine/chanengine"
 	"amnesiacflood/internal/engine/fastengine"
@@ -20,23 +21,26 @@ import (
 // fast engines, amortises its arenas across runs. It is not safe for
 // concurrent use; run several Sessions for that.
 type Session struct {
-	g         *graph.Graph
-	kind      EngineKind
-	protoName string
-	proto     engine.Protocol // explicit instance, overrides protoName
-	modelSpec string          // raw WithModel spec; parsed in New
-	origins   []graph.NodeID
-	seed      int64
-	params    map[string]string
-	maxRounds int
-	trace     bool
-	observer  engine.RoundObserver
+	g             *graph.Graph
+	kind          EngineKind
+	protoName     string
+	proto         engine.Protocol // explicit instance, overrides protoName
+	modelSpec     string          // raw WithModel spec; parsed in New
+	origins       []graph.NodeID
+	seed          int64
+	params        map[string]string
+	maxRounds     int
+	trace         bool
+	observer      engine.RoundObserver
+	analysisSpecs []string
+	analysisStop  bool
 
-	built engine.Protocol
-	mdl   model.Model         // built execution model (sync: both nil)
-	fast  *fastengine.Engine  // lazily created, reused across runs
-	async *model.AsyncEngine  // lazily created, reused across runs
-	dyn   *model.DynamicEngine
+	built    engine.Protocol
+	mdl      model.Model        // built execution model (sync: both nil)
+	analyses *analysis.Set      // built analysis set (nil without WithAnalysis)
+	fast     *fastengine.Engine // lazily created, reused across runs
+	async    *model.AsyncEngine // lazily created, reused across runs
+	dyn      *model.DynamicEngine
 }
 
 // Option configures a Session under construction.
@@ -112,13 +116,36 @@ func WithObserver(obs engine.RoundObserver) Option {
 	return func(s *Session) { s.observer = obs }
 }
 
+// WithAnalysis attaches streaming analyses by spec (internal/analysis
+// grammar: "coverage", "termination", "bipartite", "spantree", "echo",
+// "quantiles:metric=messages", ...). Each analysis observes the run round
+// by round — no trace is retained or re-walked — and its metrics are merged
+// into Result.Metrics under "<family>.<metric>" keys; typed artifacts
+// (receive counts, spanning tree, witnesses) are reachable through the
+// Session accessors. Analyses marked stop-capable may end the run early
+// once every attached analysis has what it needs, unless WithTrace is set
+// (an early stop would truncate the trace) or WithAnalysisStop(false)
+// disabled stopping. Repeated options accumulate.
+func WithAnalysis(specs ...string) Option {
+	return func(s *Session) { s.analysisSpecs = append(s.analysisSpecs, specs...) }
+}
+
+// WithAnalysisStop gates analysis-driven early stopping (default true):
+// pass false to always run to the natural end, e.g. so the bipartite
+// analysis collects every witness instead of stopping at the first —
+// without paying for a trace it does not need. It does not affect
+// WithObserver observers.
+func WithAnalysisStop(enabled bool) Option {
+	return func(s *Session) { s.analysisStop = enabled }
+}
+
 // New validates the options, instantiates the protocol, and returns a
 // ready-to-run Session.
 func New(g *graph.Graph, opts ...Option) (*Session, error) {
 	if g == nil {
 		return nil, errors.New("sim: nil graph")
 	}
-	s := &Session{g: g, kind: Sequential, protoName: "amnesiac"}
+	s := &Session{g: g, kind: Sequential, protoName: "amnesiac", analysisStop: true}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -149,6 +176,17 @@ func New(g *graph.Graph, opts ...Option) (*Session, error) {
 			}
 			return nil, fmt.Errorf("sim: model %s runs only the amnesiac protocol (got %q)", s.mdl.Spec, name)
 		}
+	}
+	if len(s.analysisSpecs) > 0 {
+		set, err := analysis.NewSet(s.analysisSpecs, analysis.Context{Graph: s.g, GraphSpec: s.g.Name()})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		// Early stopping would truncate a requested trace; analyses stay
+		// attached but lose their stop capability. WithAnalysisStop(false)
+		// disables it explicitly.
+		set.AllowStop = s.analysisStop && !s.trace
+		s.analyses = set
 	}
 	if s.proto != nil {
 		s.built = s.proto
@@ -181,6 +219,56 @@ func (s *Session) Engine() EngineKind { return s.kind }
 // Model returns the session's parsed execution-model spec.
 func (s *Session) Model() model.Spec { return s.mdl.Spec }
 
+// Analysis returns the attached analyzer of the named family, if any —
+// the untyped artifact accessor. After a Run, the analyzer holds that run's
+// streamed state (overwritten by the next Run/RunBatch call).
+func (s *Session) Analysis(family string) (analysis.Analyzer, bool) {
+	if s.analyses == nil {
+		return nil, false
+	}
+	return s.analyses.Analyzer(family)
+}
+
+// Coverage returns the coverage analyzer — per-node receive counts and
+// first/last receive rounds — when the session runs the coverage analysis.
+func (s *Session) Coverage() (*analysis.Coverage, bool) {
+	a, ok := s.Analysis("coverage")
+	if !ok {
+		return nil, false
+	}
+	c, ok := a.(*analysis.Coverage)
+	return c, ok
+}
+
+// SpanTree returns a copy of the BFS spanning tree of the last run when the
+// session runs the spantree analysis.
+func (s *Session) SpanTree() (*analysis.Tree, bool) {
+	a, ok := s.Analysis("spantree")
+	if !ok {
+		return nil, false
+	}
+	t, ok := a.(*analysis.SpanTree)
+	if !ok {
+		return nil, false
+	}
+	return t.Tree(), true
+}
+
+// Witnesses returns the odd-cycle witnesses of the last run when the
+// session runs the bipartite analysis (the slice is reused by the next
+// run).
+func (s *Session) Witnesses() ([]graph.NodeID, bool) {
+	a, ok := s.Analysis("bipartite")
+	if !ok {
+		return nil, false
+	}
+	b, ok := a.(*analysis.Bipartite)
+	if !ok {
+		return nil, false
+	}
+	return b.Witnesses(), true
+}
+
 // Run executes the session's protocol once. The context is honoured by
 // every engine with a per-round cancellation check; the returned Result is
 // stamped with the substrate name, the model spec, the outcome, and the
@@ -197,6 +285,17 @@ func (s *Session) Run(ctx context.Context) (engine.Result, error) {
 // New has already validated s.kind, so the default arm is Sequential.
 func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins []graph.NodeID) (engine.Result, error) {
 	start := time.Now()
+	opts := s.options()
+	if s.analyses != nil {
+		if err := s.analyses.Start(origins); err != nil {
+			return engine.Result{}, fmt.Errorf("sim: %w", err)
+		}
+		if opts.Observer == nil {
+			opts.Observer = s.analyses
+		} else {
+			opts.Observer = MultiObserver{opts.Observer, s.analyses}
+		}
+	}
 	var (
 		res engine.Result
 		err error
@@ -206,13 +305,13 @@ func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins [
 		if s.async == nil {
 			s.async = model.NewAsync(s.g, s.mdl.Adversary)
 		}
-		res, err = s.async.Run(ctx, origins, s.options())
+		res, err = s.async.Run(ctx, origins, opts)
 		res.Engine = "async"
 	case model.KindSchedule:
 		if s.dyn == nil {
 			s.dyn = model.NewDynamic(s.g, s.mdl.Schedule)
 		}
-		res, err = s.dyn.Run(ctx, origins, s.options())
+		res, err = s.dyn.Run(ctx, origins, opts)
 		res.Engine = "dynamic"
 	default:
 		switch s.kind {
@@ -223,17 +322,24 @@ func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins [
 					s.fast.Parallel(0)
 				}
 			}
-			res, err = s.fast.Run(ctx, proto, s.options())
+			res, err = s.fast.Run(ctx, proto, opts)
 		case Channels:
-			res, err = chanengine.Run(ctx, s.g, proto, s.options())
+			res, err = chanengine.Run(ctx, s.g, proto, opts)
 		default:
-			res, err = engine.Run(ctx, s.g, proto, s.options())
+			res, err = engine.Run(ctx, s.g, proto, opts)
 		}
 		res.Engine = s.kind.String()
 	}
 	res.Model = s.mdl.Spec.String()
 	if res.Outcome == engine.OutcomeNone && res.Terminated {
 		res.Outcome = engine.OutcomeTerminated
+	}
+	if err == nil && s.analyses != nil {
+		metrics, ferr := s.analyses.Finish(res)
+		if ferr != nil {
+			return res, fmt.Errorf("sim: %w", ferr)
+		}
+		res.Metrics = metrics
 	}
 	res.WallTime = time.Since(start)
 	return res, err

@@ -25,6 +25,14 @@
 // session-owned model engines and can end in a certified-non-termination
 // verdict (Result.Outcome, Result.Certificate) as well as termination.
 //
+// Measurement is a fifth registry-driven axis (internal/analysis):
+// WithAnalysis("coverage", "termination", "bipartite", ...) attaches
+// streaming analyses that fold each round into their metrics as it happens
+// — no trace retained, no post-hoc re-walk — and merge them into
+// Result.Metrics under "<family>.<metric>" keys, with typed artifacts
+// (receive counts, spanning trees, odd-cycle witnesses) on the Session
+// accessors.
+//
 // All engines accept a context.Context (cancellation checked per round)
 // and a stop-capable engine.RoundObserver, so runs can be bounded,
 // cancelled, or ended early the moment an observer has seen enough — the

@@ -24,7 +24,7 @@ package termdetect
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/graph"
 )
@@ -127,7 +127,7 @@ func Run(g *graph.Graph, origin graph.NodeID) (Result, error) {
 			}
 			byTo[m.to] = append(byTo[m.to], m)
 		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		slices.Sort(order)
 
 		for _, m := range pending {
 			if m.kind == flood {
@@ -205,7 +205,7 @@ func sendersOf(msgs []message) []graph.NodeID {
 			out = append(out, m.from)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -223,13 +223,13 @@ func containsNode(sorted []graph.NodeID, v graph.NodeID) bool {
 }
 
 func sortMessages(msgs []message) {
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].from != msgs[j].from {
-			return msgs[i].from < msgs[j].from
+	slices.SortFunc(msgs, func(a, b message) int {
+		if a.from != b.from {
+			return int(a.from) - int(b.from)
 		}
-		if msgs[i].to != msgs[j].to {
-			return msgs[i].to < msgs[j].to
+		if a.to != b.to {
+			return int(a.to) - int(b.to)
 		}
-		return msgs[i].kind < msgs[j].kind
+		return int(a.kind) - int(b.kind)
 	})
 }

@@ -2,7 +2,7 @@ package theory
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/graph"
@@ -86,15 +86,14 @@ func AnalyzeSequences(rep *core.Report) SequenceAnalysis {
 			}
 		}
 	}
-	sort.Slice(analysis.Sequences, func(i, j int) bool {
-		a, b := analysis.Sequences[i], analysis.Sequences[j]
+	slices.SortFunc(analysis.Sequences, func(a, b Sequence) int {
 		if a.Start != b.Start {
-			return a.Start < b.Start
+			return a.Start - b.Start
 		}
 		if a.Duration != b.Duration {
-			return a.Duration < b.Duration
+			return a.Duration - b.Duration
 		}
-		return a.Node < b.Node
+		return int(a.Node) - int(b.Node)
 	})
 	return analysis
 }
