@@ -41,19 +41,29 @@ bench-smoke:
 # suite runs a tiny scenario matrix (3 graph families x 2 protocols x 2
 # engines, 2 seeds) through the JSONL sink over an 8-worker pool — the
 # end-to-end smoke test of the graph-spec registry, the scenario layer, and
-# the afbench suite mode — followed by an execution-model matrix (sync,
-# asynchronous adversaries, dynamic schedules over the same graphs; amnesiac
-# only, since non-sync models run only that protocol), and an analyses
-# matrix (streaming coverage+termination+bipartite metrics over 3 graph
-# families x 2 models, flattened into CSV columns). CI runs all three on
-# every push, and `go test ./internal/scenario` asserts that the metric
-# columns are identical under parallel and sequential execution.
-suite:
-	go run ./cmd/afbench -suite \
-	  -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
+# the afbench suite mode. The same matrix then reruns (race-enabled) under
+# deterministic chaos injection — 15% of runs hit an injected error, panic,
+# or stall and are retried with backoff — and scripts/suitediff.sh asserts
+# the two outputs are identical after order-normalisation: the differential
+# chaos gate. Two further matrices exercise the execution-model axis (sync,
+# asynchronous adversaries, dynamic schedules; amnesiac only, since
+# non-sync models run only that protocol) and the analyses axis (streaming
+# coverage+termination+bipartite metrics flattened into CSV columns). CI
+# runs all of it on every push, and `go test ./internal/scenario` asserts
+# that metric columns are identical under parallel and sequential execution.
+SUITE_MATRIX := -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
 	  -protocols amnesiac,classic \
 	  -engines sequential,parallel \
 	  -seeds 1,2 -workers 8 -format jsonl
+
+suite:
+	go run ./cmd/afbench -suite $(SUITE_MATRIX) -out /tmp/suite_clean.jsonl
+	go run -race ./cmd/afbench -suite $(SUITE_MATRIX) \
+	  -chaos "chaos:rate=0.15,kinds=err|panic|stall,seed=7,stall=100ms" \
+	  -retries 6 -backoff 5ms -timeout 60s \
+	  -out /tmp/suite_chaos.jsonl
+	./scripts/suitediff.sh /tmp/suite_clean.jsonl /tmp/suite_chaos.jsonl
+	@rm -f /tmp/suite_clean.jsonl /tmp/suite_chaos.jsonl
 	go run ./cmd/afbench -suite \
 	  -graphs "cycle:n=9;grid:rows=4,cols=5" \
 	  -models "sync;adversary:collision;adversary:uniform:extra=2;schedule:blink:period=2,phase=1;schedule:alternating" \

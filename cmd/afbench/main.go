@@ -16,6 +16,15 @@
 //	        -adversaries uniform -schedules static -maxrounds 4096
 //	afbench -suite -graphs "cycle:n=65;grid:rows=8,cols=8" \
 //	        -analyses "coverage;termination;bipartite" -format csv
+//	afbench -suite -graphs "grid:rows=8,cols=8" -retries 6 -timeout 30s \
+//	        -chaos "chaos:rate=0.15,kinds=err|panic|stall,seed=7,stall=100ms" \
+//	        -checkpoint sweep.jsonl [-resume]
+//
+// Suite mode is resilient: -timeout arms a per-run watchdog, -retries
+// re-runs transient failures with backoff, panics in protocol or engine
+// code degrade to error rows, -checkpoint journals completed rows so a
+// killed sweep resumes with -resume, and -chaos injects deterministic
+// faults to exercise all of the above (see internal/scenario's README).
 package main
 
 import (
@@ -26,8 +35,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"amnesiacflood/internal/analysis"
+	"amnesiacflood/internal/chaos"
 	"amnesiacflood/internal/experiments"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/scenario"
@@ -78,6 +89,12 @@ func run(args []string) error {
 	maxRounds := fs.Int("maxrounds", 0, "round limit per run (0 = engine default; suite mode)")
 	format := fs.String("format", "table", "suite output format: jsonl, csv, or table")
 	out := fs.String("out", "", "suite output file (default stdout)")
+	retries := fs.Int("retries", 0, "retries per run for transient failures — timeouts, injected faults, panics (suite mode)")
+	timeout := fs.Duration("timeout", 0, "per-run watchdog; a run exceeding it becomes an outcome=timeout row (0 = none; suite mode)")
+	backoff := fs.Duration("backoff", 0, "base retry backoff, doubled per attempt with seeded jitter (0 = 10ms; suite mode)")
+	chaosSpec := fs.String("chaos", "", "fault-injection spec, e.g. \"chaos:rate=0.15,kinds=err|panic|stall,seed=7,stall=100ms\" (suite mode)")
+	checkpoint := fs.String("checkpoint", "", "JSONL checkpoint journaling completed rows for resumption (suite mode)")
+	resume := fs.Bool("resume", false, "resume from -checkpoint, skipping its completed specs (suite mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,8 +115,26 @@ func run(args []string) error {
 		if len(bad) > 0 {
 			return fmt.Errorf("experiment-mode flags are not valid with -suite: %s", strings.Join(bad, ", "))
 		}
-		return runSuite(*graphs, *protocols, *engines, modelAxis(*models, *adversaries, *schedules),
-			*analyses, *origins, *seeds, *reps, *workers, *maxRounds, *format, *out)
+		return runSuite(suiteOpts{
+			graphs:     *graphs,
+			protocols:  *protocols,
+			engines:    *engines,
+			models:     modelAxis(*models, *adversaries, *schedules),
+			analyses:   *analyses,
+			origins:    *origins,
+			seeds:      *seeds,
+			reps:       *reps,
+			workers:    *workers,
+			maxRounds:  *maxRounds,
+			format:     *format,
+			out:        *out,
+			retries:    *retries,
+			timeout:    *timeout,
+			backoff:    *backoff,
+			chaos:      *chaosSpec,
+			checkpoint: *checkpoint,
+			resume:     *resume,
+		})
 	}
 
 	cfg.Seed = *seed
@@ -157,22 +192,44 @@ func modelAxis(models, adversaries, schedules string) []string {
 	return axis
 }
 
+// suiteOpts carries the suite-mode flag values into runSuite.
+type suiteOpts struct {
+	graphs     string
+	protocols  string
+	engines    string
+	models     []string
+	analyses   string
+	origins    string
+	seeds      string
+	reps       int
+	workers    int
+	maxRounds  int
+	format     string
+	out        string
+	retries    int
+	timeout    time.Duration
+	backoff    time.Duration
+	chaos      string
+	checkpoint string
+	resume     bool
+}
+
 // runSuite expands and executes the scenario matrix described by the suite
 // flags.
-func runSuite(graphs, protocols, engines string, models []string, analyses, origins, seeds string, reps, workers, maxRounds int, format, out string) error {
+func runSuite(o suiteOpts) error {
 	matrix := scenario.Matrix{
-		Graphs:    splitList(graphs, ";"),
-		Protocols: splitList(protocols, ","),
-		Engines:   splitList(engines, ","),
-		Models:    models,
-		Analyses:  splitList(analyses, ";"),
-		Reps:      reps,
-		MaxRounds: maxRounds,
+		Graphs:    splitList(o.graphs, ";"),
+		Protocols: splitList(o.protocols, ","),
+		Engines:   splitList(o.engines, ","),
+		Models:    o.models,
+		Analyses:  splitList(o.analyses, ";"),
+		Reps:      o.reps,
+		MaxRounds: o.maxRounds,
 	}
 	if len(matrix.Graphs) == 0 {
 		return fmt.Errorf("-suite needs -graphs (semicolon-separated specs; see afsim -list for families)")
 	}
-	for _, set := range splitList(origins, ";") {
+	for _, set := range splitList(o.origins, ";") {
 		var ids []graph.NodeID
 		for _, part := range splitList(set, ",") {
 			id, err := strconv.Atoi(part)
@@ -185,7 +242,7 @@ func runSuite(graphs, protocols, engines string, models []string, analyses, orig
 			matrix.OriginSets = append(matrix.OriginSets, ids)
 		}
 	}
-	for _, s := range splitList(seeds, ",") {
+	for _, s := range splitList(o.seeds, ",") {
 		v, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
 			return fmt.Errorf("parse -seeds entry %q: %w", s, err)
@@ -197,16 +254,27 @@ func runSuite(graphs, protocols, engines string, models []string, analyses, orig
 		return err
 	}
 
-	switch format {
+	var injector *chaos.Injector
+	if o.chaos != "" {
+		injector, err = chaos.Parse(o.chaos)
+		if err != nil {
+			return err
+		}
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint (the journal to resume from)")
+	}
+
+	switch o.format {
 	case "jsonl", "csv", "table":
 	default:
 		// Validate before os.Create so a flag typo cannot truncate an
 		// existing -out file.
-		return fmt.Errorf("unknown -format %q (want jsonl, csv, or table)", format)
+		return fmt.Errorf("unknown -format %q (want jsonl, csv, or table)", o.format)
 	}
 	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -216,7 +284,7 @@ func runSuite(graphs, protocols, engines string, models []string, analyses, orig
 	var sink scenario.Sink
 	var flush func() error
 	var agg *scenario.Aggregate
-	switch format {
+	switch o.format {
 	case "jsonl":
 		sink = scenario.NewJSONLSink(w)
 	case "csv":
@@ -236,17 +304,46 @@ func runSuite(graphs, protocols, engines string, models []string, analyses, orig
 		sink = agg
 	}
 
-	runner := &scenario.Runner{Workers: workers, Sink: sink}
-	results, err := runner.Run(context.Background(), specs)
-	if err != nil {
-		return err
+	runner := &scenario.Runner{
+		Workers:    o.workers,
+		Sink:       sink,
+		RunTimeout: o.timeout,
+		Retries:    o.retries,
+		Backoff:    o.backoff,
+		Chaos:      injector,
+	}
+	var results []scenario.Result
+	if o.checkpoint != "" {
+		// A fresh (non-resume) run must not inherit a stale journal: it
+		// would silently skip every spec the old sweep completed.
+		if !o.resume {
+			if err := os.Remove(o.checkpoint); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		m, err := scenario.OpenManifest(o.checkpoint)
+		if err != nil {
+			return err
+		}
+		results, err = runner.Resume(context.Background(), m, specs)
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		results, err = runner.Run(context.Background(), specs)
+		if err != nil {
+			return err
+		}
 	}
 	if flush != nil {
 		if err := flush(); err != nil {
 			return err
 		}
 	}
-	if format == "table" {
+	if o.format == "table" {
 		if err := agg.Fprint(w); err != nil {
 			return err
 		}
@@ -257,6 +354,7 @@ func runSuite(graphs, protocols, engines string, models []string, analyses, orig
 			failed++
 		}
 	}
+	workers := o.workers
 	if workers <= 0 {
 		workers = scenario.DefaultWorkers()
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -184,10 +185,109 @@ func TestRunSuiteErrors(t *testing.T) {
 		{"-suite", "-graphs", "path:n=6", "-engine", "parallel"}, // experiment-mode flag in suite mode
 		{"-suite", "-graphs", "path:n=6", "-seed", "3"},          // -seed typo for -seeds
 		{"-suite", "-graphs", "path:n=6", "-json"},               // -json typo for -format
+		{"-suite", "-graphs", "path:n=6", "-chaos", "chaos:rate=2"}, // rate outside [0,1]
+		{"-suite", "-graphs", "path:n=6", "-chaos", "burn:rate=1"},  // wrong spec family
+		{"-suite", "-graphs", "path:n=6", "-resume"},                // -resume without -checkpoint
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
+}
+
+// TestRunSuiteChaosRetries is the CLI face of the differential chaos gate:
+// the same matrix run clean and under heavy injection with retries produces
+// identical JSONL up to wall time and attempt counts.
+func TestRunSuiteChaosRetries(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.jsonl")
+	chaotic := filepath.Join(dir, "chaos.jsonl")
+	matrix := []string{"-suite",
+		"-graphs", "grid:rows=3,cols=4;cycle:n=9",
+		"-protocols", "amnesiac,classic",
+		"-engines", "sequential,parallel",
+		"-seeds", "1,2",
+		"-format", "jsonl",
+	}
+	if err := run(append(matrix, "-out", clean)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(matrix,
+		"-chaos", "chaos:rate=0.25,kinds=err|panic|stall,seed=11,stall=5ms",
+		"-retries", "8", "-backoff", "1ms", "-timeout", "30s",
+		"-out", chaotic)); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := normalizeJSONL(t, clean), normalizeJSONL(t, chaotic); a != b {
+		t.Fatalf("chaotic suite diverged from the clean one:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// TestRunSuiteCheckpointResume: a completed checkpointed run resumed over
+// the same matrix reruns nothing and reproduces the same output.
+func TestRunSuiteCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	first := filepath.Join(dir, "first.jsonl")
+	second := filepath.Join(dir, "second.jsonl")
+	matrix := []string{"-suite",
+		"-graphs", "path:n=6;cycle:n=7",
+		"-protocols", "amnesiac,classic",
+		"-seeds", "1,2",
+		"-format", "jsonl",
+		"-checkpoint", ckpt,
+	}
+	if err := run(append(matrix, "-out", first)); err != nil {
+		t.Fatal(err)
+	}
+	ckptBefore, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(matrix, "-resume", "-out", second)); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := normalizeJSONL(t, first), normalizeJSONL(t, second); a != b {
+		t.Fatalf("resumed suite diverged:\n%s\nvs\n%s", b, a)
+	}
+	// Every spec was journaled, so the resume appended nothing.
+	ckptAfter, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckptBefore) != string(ckptAfter) {
+		t.Fatal("no-op resume rewrote the checkpoint journal")
+	}
+}
+
+// normalizeJSONL reads a suite JSONL file and renders it order-normalised:
+// rows sorted by spec identity with wall time and attempts zeroed.
+func normalizeJSONL(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []string
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(scanner.Bytes(), &row); err != nil {
+			t.Fatalf("bad JSONL row %q: %v", scanner.Text(), err)
+		}
+		delete(row, "wallMicros")
+		delete(row, "attempts")
+		b, err := json.Marshal(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
 }

@@ -1,0 +1,275 @@
+// Package chaos is the deterministic fault-injection harness behind the
+// scenario layer's resilience gates: an Injector decides, from a seed and
+// nothing else, whether a given (site, id, attempt) triple suffers an
+// injected error, an injected panic, or an injected stall. Because the
+// schedule is a pure function of (seed, site, id, attempt), a faulted suite
+// is exactly reproducible, and a retrying runner converges on the fault-free
+// results — the property the differential chaos gate asserts.
+//
+// Injectors are addressed by the repository's shared spec grammar:
+//
+//	chaos:rate=0.15,kinds=err|panic|stall,seed=7,stall=100ms
+//
+// rate is the per-attempt injection probability in [0, 1], kinds the
+// fault mix drawn from (uniformly, by a second hash), seed the schedule
+// seed, and stall the bound on how long a stall-kind fault blocks when the
+// caller's context has no earlier deadline. Sites name the injection points
+// a harness wires up (SiteRun, SiteBuild, SiteSink).
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind is one fault flavour an Injector can produce.
+type Kind uint8
+
+// The fault kinds. None means "no fault this attempt".
+const (
+	None Kind = iota
+	// Err surfaces as an error wrapping ErrInjected from Inject.
+	Err
+	// Panic makes Inject panic with an InjectedPanic value, exercising the
+	// caller's recover path.
+	Panic
+	// Stall makes Inject block until the context is done or the injector's
+	// stall bound elapses, exercising the caller's watchdog path.
+	Stall
+)
+
+// String implements fmt.Stringer with the spec-grammar spellings.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Err:
+		return "err"
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injection sites the scenario runner wires up. Sites are free-form strings;
+// these constants just keep the runner and its tests in agreement.
+const (
+	// SiteRun is consulted once per run attempt, before the engine runs.
+	SiteRun = "run"
+	// SiteBuild is consulted once per graph-build attempt of a spec group.
+	SiteBuild = "build"
+	// SiteSink is consulted once per sink write (see scenario.NewChaosSink).
+	SiteSink = "sink"
+)
+
+// ErrInjected is wrapped into every error Inject returns for Err and
+// elapsed-Stall faults, matchable with errors.Is — the signal that a failure
+// is chaos-transient rather than a property of the spec.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// IsInjected reports whether err carries ErrInjected.
+func IsInjected(err error) bool {
+	return errors.Is(err, ErrInjected)
+}
+
+// InjectedPanic is the value Panic-kind faults are thrown with, so recover
+// sites can tell injected panics from real ones.
+type InjectedPanic struct {
+	// Site, ID, and Attempt address the injection that fired.
+	Site    string
+	ID      string
+	Attempt int
+}
+
+// String implements fmt.Stringer, so recovered values render legibly.
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("chaos: injected panic at %s %q (attempt %d)", p.Site, p.ID, p.Attempt)
+}
+
+// Injector is a seeded fault schedule. The zero value injects nothing; build
+// one with New or Parse. Injectors are immutable and safe for concurrent
+// use.
+type Injector struct {
+	rate  float64
+	kinds []Kind
+	seed  int64
+	stall time.Duration
+}
+
+// DefaultStall bounds Stall faults when the spec does not set stall=: a
+// stalled attempt under a caller with no deadline resumes (with an injected
+// error) after this long instead of hanging its worker forever.
+const DefaultStall = time.Second
+
+// New returns an injector firing each (site, id, attempt) with probability
+// rate, drawing uniformly from kinds. An empty kinds list means all three.
+func New(rate float64, kinds []Kind, seed int64) *Injector {
+	if len(kinds) == 0 {
+		kinds = []Kind{Err, Panic, Stall}
+	}
+	return &Injector{rate: rate, kinds: append([]Kind(nil), kinds...), seed: seed, stall: DefaultStall}
+}
+
+// Parse builds an injector from its spec string (see the package comment for
+// the grammar). Parameters default to rate=0.1, kinds=err|panic|stall,
+// seed=1, stall=1s.
+func Parse(spec string) (*Injector, error) {
+	name, params, hasParams := strings.Cut(spec, ":")
+	if strings.ToLower(strings.TrimSpace(name)) != "chaos" {
+		return nil, fmt.Errorf("chaos: spec %q does not start with \"chaos\"", spec)
+	}
+	inj := &Injector{rate: 0.1, kinds: []Kind{Err, Panic, Stall}, seed: 1, stall: DefaultStall}
+	if !hasParams {
+		return inj, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, value, ok := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if !ok || value == "" {
+			return nil, fmt.Errorf("chaos: parameter %q is not key=value", kv)
+		}
+		switch key {
+		case "rate":
+			r, err := strconv.ParseFloat(value, 64)
+			if err != nil || r < 0 || r > 1 {
+				return nil, fmt.Errorf("chaos: rate %q is not a probability in [0, 1]", value)
+			}
+			inj.rate = r
+		case "kinds":
+			kinds, err := parseKinds(value)
+			if err != nil {
+				return nil, err
+			}
+			inj.kinds = kinds
+		case "seed":
+			s, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: seed %q is not an integer", value)
+			}
+			inj.seed = s
+		case "stall":
+			d, err := time.ParseDuration(value)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("chaos: stall %q is not a positive duration", value)
+			}
+			inj.stall = d
+		default:
+			return nil, fmt.Errorf("chaos: unknown parameter %q (want rate, kinds, seed, stall)", key)
+		}
+	}
+	return inj, nil
+}
+
+// parseKinds resolves a '|'-separated kind list, preserving order and
+// rejecting duplicates and unknown names.
+func parseKinds(value string) ([]Kind, error) {
+	var kinds []Kind
+	seen := map[Kind]bool{}
+	for _, part := range strings.Split(value, "|") {
+		var k Kind
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "err":
+			k = Err
+		case "panic":
+			k = Panic
+		case "stall":
+			k = Stall
+		default:
+			return nil, fmt.Errorf("chaos: unknown kind %q (want err, panic, stall)", part)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("chaos: kind %q listed twice", part)
+		}
+		seen[k] = true
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, errors.New("chaos: empty kinds list")
+	}
+	return kinds, nil
+}
+
+// String renders the canonical spec form; Parse(inj.String()) round-trips.
+func (inj *Injector) String() string {
+	names := make([]string, len(inj.kinds))
+	for i, k := range inj.kinds {
+		names[i] = k.String()
+	}
+	return fmt.Sprintf("chaos:rate=%s,kinds=%s,seed=%d,stall=%s",
+		strconv.FormatFloat(inj.rate, 'g', -1, 64), strings.Join(names, "|"), inj.seed, inj.stall)
+}
+
+// Rate returns the per-attempt injection probability.
+func (inj *Injector) Rate() float64 { return inj.rate }
+
+// Decide returns the fault for (site, id, attempt), or None. The verdict is
+// a pure function of the injector's seed and the triple: re-deciding the
+// same triple always agrees, and distinct attempts of the same run are
+// decided independently — which is why a retrying caller converges.
+func (inj *Injector) Decide(site, id string, attempt int) Kind {
+	if inj == nil || inj.rate <= 0 || len(inj.kinds) == 0 {
+		return None
+	}
+	// Top 53 bits of the hash as a uniform float in [0, 1).
+	u := float64(inj.hash(0, site, id, attempt)>>11) / float64(uint64(1)<<53)
+	if u >= inj.rate {
+		return None
+	}
+	pick := inj.hash(0x9e3779b97f4a7c15, site, id, attempt)
+	return inj.kinds[pick%uint64(len(inj.kinds))]
+}
+
+// hash mixes the seed (xor'd with salt) and the triple through FNV-1a.
+func (inj *Injector) hash(salt uint64, site, id string, attempt int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	mixed := uint64(inj.seed) ^ salt
+	for i := range buf {
+		buf[i] = byte(mixed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(site))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	for i := range buf {
+		buf[i] = byte(uint64(attempt) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Inject executes the fault Decide picks for (site, id, attempt): Err-kind
+// faults return an error wrapping ErrInjected, Panic-kind faults panic with
+// an InjectedPanic, and Stall-kind faults block until the context is done
+// (returning the wrapped context error, so deadline classification at the
+// call site still works) or the stall bound elapses (returning an injected
+// error). A None verdict returns nil, so callers can wire Inject in
+// unconditionally.
+func (inj *Injector) Inject(ctx context.Context, site, id string, attempt int) error {
+	switch inj.Decide(site, id, attempt) {
+	case Err:
+		return fmt.Errorf("%w: err at %s %q (attempt %d)", ErrInjected, site, id, attempt)
+	case Panic:
+		panic(InjectedPanic{Site: site, ID: id, Attempt: attempt})
+	case Stall:
+		timer := time.NewTimer(inj.stall)
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("chaos: injected stall at %s %q (attempt %d) interrupted: %w", site, id, attempt, ctx.Err())
+		case <-timer.C:
+			return fmt.Errorf("%w: stall %s elapsed at %s %q (attempt %d)", ErrInjected, inj.stall, site, id, attempt)
+		}
+	}
+	return nil
+}

@@ -2,21 +2,27 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"strings"
 	"sync"
+	"time"
 
+	"amnesiacflood/internal/chaos"
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/sim"
 )
 
-// Result is the outcome of one spec's run. Every field except WallMicros is
-// a deterministic function of the Spec, so suites executed under any worker
-// count agree result-for-result once order-normalised by Spec ID.
+// Result is the outcome of one spec's run. Every field except WallMicros
+// (and, under retries, Attempts) is a deterministic function of the Spec, so
+// suites executed under any worker count agree result-for-result once
+// order-normalised by Spec ID.
 type Result struct {
 	// Spec identifies the run.
 	Spec Spec `json:"spec"`
@@ -32,8 +38,10 @@ type Result struct {
 	Terminated    bool `json:"terminated"`
 	Stopped       bool `json:"stopped,omitempty"`
 	// Outcome is the run's verdict ("terminated",
-	// "non-termination-certified", "round-limit"); CycleStart/CycleLength
-	// describe the certificate when the outcome is a certified cycle.
+	// "non-termination-certified", "round-limit", or the scenario-level
+	// "timeout" when the watchdog expired every attempt);
+	// CycleStart/CycleLength describe the certificate when the outcome is a
+	// certified cycle.
 	Outcome     string `json:"outcome,omitempty"`
 	CycleStart  int    `json:"cycleStart,omitempty"`
 	CycleLength int    `json:"cycleLength,omitempty"`
@@ -42,18 +50,26 @@ type Result struct {
 	// Metric values are deterministic functions of the Spec, like every
 	// other outcome field.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
-	// WallMicros is the wall-clock run time in microseconds. It is the
-	// one nondeterministic field; comparisons must ignore it.
+	// Attempts counts the run attempts this row consumed: 1 without faults,
+	// more when transient failures (timeouts, injected faults, panics, run
+	// errors) were retried. Rows that failed before any run attempt (bad
+	// origin, graph-build failure) report 0. Like WallMicros it is execution
+	// bookkeeping, not part of the deterministic outcome; order-normalised
+	// comparisons zero it.
+	Attempts int `json:"attempts,omitempty"`
+	// WallMicros is the wall-clock run time in microseconds. It is
+	// nondeterministic; comparisons must ignore it.
 	WallMicros int64 `json:"wallMicros"`
 	// Err carries the run error, if any; errored runs leave the outcome
 	// fields (Rounds, TotalMessages, ...) zero, and N/M too when the
 	// failure precedes graph construction. A failed run does not abort
-	// the suite.
+	// the suite — a recovered panic, a timeout, or an exhausted retry
+	// budget all degrade to an error row.
 	Err string `json:"err,omitempty"`
 }
 
 // Runner executes a suite of specs over a bounded worker pool. The zero
-// value is usable: DefaultWorkers workers and no sink.
+// value is usable: DefaultWorkers workers, no sink, no watchdog, no retries.
 type Runner struct {
 	// Workers bounds the pool; <= 0 means DefaultWorkers.
 	Workers int
@@ -62,6 +78,28 @@ type Runner struct {
 	// Write calls are serialised by the runner, so sinks need no locking
 	// of their own.
 	Sink Sink
+	// RunTimeout, when positive, bounds every run attempt with a derived
+	// deadline (Spec.Timeout overrides it per spec). Engines observe the
+	// deadline at round granularity, so a runaway round loop — a
+	// non-terminating model without MaxRounds, say — becomes a Result row
+	// with Outcome "timeout" instead of a hung worker. A protocol that
+	// blocks inside a single round callback still blocks its worker until
+	// the callback returns.
+	RunTimeout time.Duration
+	// Retries is how many times a transiently failed run attempt is retried
+	// (total attempts = Retries + 1). Transient failures are timeouts,
+	// chaos-injected faults, recovered panics, and run-stage errors;
+	// deterministic spec failures (unparseable graph, bad origin, session
+	// construction) are never retried.
+	Retries int
+	// Backoff is the base delay of the capped exponential backoff between
+	// attempts (attempt n waits base << (n-1), capped at 64x base, scaled
+	// by a jitter in [0.5, 1.5) seeded from the spec). <= 0 means 10ms.
+	Backoff time.Duration
+	// Chaos, when non-nil, injects deterministic faults at the run and
+	// graph-build points of every attempt — the fault-injection harness the
+	// differential chaos gate drives (see internal/chaos).
+	Chaos *chaos.Injector
 }
 
 // DefaultWorkers is the pool bound used when Runner.Workers is zero:
@@ -75,6 +113,17 @@ func DefaultWorkers() int {
 	return w
 }
 
+// defaultBackoff is the base retry delay when Runner.Backoff is unset.
+const defaultBackoff = 10 * time.Millisecond
+
+// runConfig is the per-suite slice of Runner the workers need.
+type runConfig struct {
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	chaos   *chaos.Injector
+}
+
 // group is the unit of work handed to a pool worker: all specs sharing a
 // graph, protocol, engine, seed, params, and round limit. One group = one
 // built graph and one sim.Session, so the fast engines amortise their
@@ -84,8 +133,9 @@ type group struct {
 	specs []Spec
 }
 
-// groupKey buckets specs that can share a Session (everything but origins
-// and rep).
+// groupKey buckets specs that can share a Session (everything but origins,
+// rep, and the per-spec timeout override — deadlines are per run, so they
+// do not split sessions).
 func groupKey(s Spec) string {
 	return Spec{Graph: s.Graph, Protocol: s.Protocol, Engine: s.Engine,
 		Model: s.Model, Analyses: s.Analyses, Seed: s.Seed, Params: s.Params,
@@ -93,14 +143,20 @@ func groupKey(s Spec) string {
 }
 
 // Run executes every spec and returns the results sorted by Spec ID (the
-// order-normalised form). Individual run failures are recorded in
+// order-normalised form). Individual run failures — including recovered
+// panics, expired watchdogs, and exhausted retry budgets — are recorded in
 // Result.Err and do not abort the suite; Run itself fails only on context
 // cancellation or a sink write error — either cancels the remaining work —
-// returning the results completed so far.
+// returning the results completed so far (still sorted). When both happen,
+// the returned error joins them.
 func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
+	}
+	cfg := runConfig{timeout: r.RunTimeout, retries: r.Retries, backoff: r.Backoff, chaos: r.Chaos}
+	if cfg.retries < 0 {
+		cfg.retries = 0
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -132,7 +188,7 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for grp := range jobs {
-				runGroup(runCtx, grp, cache, resultCh)
+				runGroup(runCtx, grp, cache, cfg, resultCh)
 			}
 		}()
 	}
@@ -163,10 +219,9 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 		}
 	}
 	sortByID(results)
-	if err := ctx.Err(); err != nil {
-		return results, err
-	}
-	return results, sinkErr
+	// Surface both failure modes: a cancelled suite whose sink also broke
+	// must not mask the sink error behind ctx.Err().
+	return results, errors.Join(ctx.Err(), sinkErr)
 }
 
 // sortByID order-normalises results by Spec ID, computing each key once
@@ -231,10 +286,184 @@ func (c *graphCache) build(spec string, seed int64) (*graph.Graph, error) {
 	return e.g, e.err
 }
 
+// panicError is a panic recovered at a runner isolation boundary, carrying
+// the panic value and a trimmed stack into the error row.
+type panicError struct {
+	value any
+	stack string
+}
+
+// newPanicError captures the recovered value and the current (trimmed)
+// stack.
+func newPanicError(v any) *panicError {
+	return &panicError{value: v, stack: trimStack(debug.Stack())}
+}
+
+// Error renders "panic: <value>" followed by the trimmed stack.
+func (e *panicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.value, e.stack)
+}
+
+// injected reports whether the panic was thrown by the chaos harness.
+func (e *panicError) injected() bool {
+	_, ok := e.value.(chaos.InjectedPanic)
+	return ok
+}
+
+// maxStackLines bounds the stack carried into an error row — enough to
+// locate the crash, small enough to keep JSONL rows readable.
+const maxStackLines = 16
+
+// trimStack keeps the head of a debug.Stack dump.
+func trimStack(stack []byte) string {
+	lines := strings.Split(strings.TrimRight(string(stack), "\n"), "\n")
+	if len(lines) <= maxStackLines {
+		return strings.Join(lines, "\n")
+	}
+	return strings.Join(lines[:maxStackLines], "\n") + "\n\t... (stack trimmed)"
+}
+
+// errRunTimeout marks a run attempt killed by the watchdog, matchable with
+// errors.Is; the emitting row gets Outcome "timeout".
+var errRunTimeout = errors.New("run timed out")
+
+// execute runs one spec's execution function under the watchdog deadline,
+// chaos injection, panic recovery, and the retry policy, returning the
+// result, the attempts consumed, and the final error (nil on success,
+// errRunTimeout-wrapped when every attempt timed out, the parent context
+// error when the suite was cancelled mid-attempt — callers must not emit a
+// row for that case).
+func (cfg runConfig) execute(ctx context.Context, s Spec, run func(context.Context) (engine.Result, error)) (engine.Result, int, error) {
+	id := s.ID()
+	timeout := cfg.timeout
+	if s.Timeout > 0 {
+		timeout = s.Timeout
+	}
+	for attempt := 1; ; attempt++ {
+		runCtx, cancelRun := ctx, context.CancelFunc(func() {})
+		if timeout > 0 {
+			runCtx, cancelRun = context.WithTimeout(ctx, timeout)
+		}
+		res, err := cfg.protectedRun(runCtx, id, attempt, run)
+		timedOut := ctx.Err() == nil &&
+			(errors.Is(runCtx.Err(), context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded))
+		cancelRun()
+		if ctx.Err() != nil {
+			return res, attempt, ctx.Err()
+		}
+		if err == nil {
+			return res, attempt, nil
+		}
+		if timedOut {
+			err = fmt.Errorf("scenario: %w after %v (attempt %d)", errRunTimeout, timeout, attempt)
+		}
+		// Every failure reaching this point is run-stage and therefore
+		// transient (timeout, injected fault, recovered panic, engine or
+		// analysis error); deterministic spec failures never enter execute.
+		if attempt > cfg.retries {
+			return res, attempt, err
+		}
+		if !cfg.sleep(ctx, id, s.Seed, attempt) {
+			return res, attempt, ctx.Err()
+		}
+	}
+}
+
+// protectedRun is the panic isolation boundary around one attempt: chaos
+// injection plus the protocol/engine/analysis code, with panics recovered
+// into panicError.
+func (cfg runConfig) protectedRun(ctx context.Context, id string, attempt int, run func(context.Context) (engine.Result, error)) (res engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(r)
+		}
+	}()
+	if cfg.chaos != nil {
+		if err := cfg.chaos.Inject(ctx, chaos.SiteRun, id, attempt); err != nil {
+			return res, err
+		}
+	}
+	return run(ctx)
+}
+
+// buildGraph resolves a group's shared graph through the cache, with chaos
+// injection at the build site and panic protection. Only injected faults
+// retry here: a real build failure is a deterministic property of the spec.
+func (cfg runConfig) buildGraph(ctx context.Context, key string, head Spec, cache *graphCache) (*graph.Graph, error) {
+	for attempt := 1; ; attempt++ {
+		g, err := func() (g *graph.Graph, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = newPanicError(r)
+				}
+			}()
+			if cfg.chaos != nil {
+				if err := cfg.chaos.Inject(ctx, chaos.SiteBuild, key, attempt); err != nil {
+					return nil, err
+				}
+			}
+			return cache.build(head.Graph, head.Seed)
+		}()
+		if err == nil {
+			return g, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt > cfg.retries || !injectedFault(err) {
+			return nil, err
+		}
+		if !cfg.sleep(ctx, key, head.Seed, attempt) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// injectedFault reports whether err is a chaos-injected error or panic.
+func injectedFault(err error) bool {
+	if chaos.IsInjected(err) {
+		return true
+	}
+	var pe *panicError
+	return errors.As(err, &pe) && pe.injected()
+}
+
+// sleep blocks for the capped exponential backoff of the given attempt,
+// scaled by a jitter in [0.5, 1.5) seeded from (id, seed, attempt) so the
+// delay schedule is deterministic per spec. Returns false when the context
+// was cancelled while waiting.
+func (cfg runConfig) sleep(ctx context.Context, id string, seed int64, attempt int) bool {
+	base := cfg.backoff
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	shift := attempt - 1
+	if shift > 6 { // cap at 64x base
+		shift = 6
+	}
+	d := base << shift
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", id, seed, attempt)
+	jitter := 0.5 + float64(h.Sum64()>>11)/float64(uint64(1)<<53)
+	d = time.Duration(float64(d) * jitter)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // runGroup executes one group's specs on a shared graph and Session,
-// emitting one Result per spec.
-func runGroup(ctx context.Context, grp *group, cache *graphCache, out chan<- Result) {
-	emit := func(res Result) bool {
+// emitting one Result per spec. Panics anywhere inside — protocol, engine,
+// analysis, or the group bookkeeping itself — degrade to error rows for the
+// specs still missing one, so a crashing group never takes down the suite.
+func runGroup(ctx context.Context, grp *group, cache *graphCache, cfg runConfig, out chan<- Result) {
+	done := make([]bool, len(grp.specs))
+	emit := func(i int, res Result) bool {
+		done[i] = true
 		select {
 		case out <- res:
 			return true
@@ -245,82 +474,125 @@ func runGroup(ctx context.Context, grp *group, cache *graphCache, out chan<- Res
 	// n/m are stamped onto every Result once the graph exists, so failure
 	// rows after construction still attribute to the instance size.
 	var n, m int
-	fail := func(specs []Spec, err error) {
-		for _, s := range specs {
-			if !emit(Result{Spec: s, N: n, M: m, Err: err.Error()}) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := newPanicError(r)
+			for i, s := range grp.specs {
+				if done[i] {
+					continue
+				}
+				if !emit(i, Result{Spec: s, N: n, M: m, Err: err.Error()}) {
+					return
+				}
+			}
+		}
+	}()
+	fail := func(idx []int, err error) {
+		for _, i := range idx {
+			if !emit(i, Result{Spec: grp.specs[i], N: n, M: m, Err: err.Error()}) {
 				return
 			}
 		}
 	}
+	all := make([]int, len(grp.specs))
+	for i := range all {
+		all[i] = i
+	}
 	head := grp.specs[0]
-	g, err := cache.build(head.Graph, head.Seed)
+	g, err := cfg.buildGraph(ctx, grp.key, head, cache)
 	if err != nil {
-		fail(grp.specs, err)
+		if ctx.Err() == nil {
+			fail(all, err)
+		}
 		return
 	}
 	n, m = g.N(), g.M()
 	kind, err := sim.ParseEngine(head.Engine)
 	if err != nil {
-		fail(grp.specs, err)
+		fail(all, err)
 		return
 	}
 
 	// Partition: single-origin specs share one Session through RunBatch
 	// (arena reuse); multi-origin specs each need their own protocol
 	// instance and run individually on the shared graph.
-	var batch []Spec
-	var solo []Spec
-	for _, s := range grp.specs {
+	var batch []int
+	var solo []int
+	for i, s := range grp.specs {
 		if err := badOrigin(g, s.Origins); err != nil {
-			if !emit(Result{Spec: s, N: n, M: m, Err: err.Error()}) {
+			if !emit(i, Result{Spec: s, N: n, M: m, Err: err.Error()}) {
 				return
 			}
 			continue
 		}
 		if len(s.Origins) <= 1 {
-			batch = append(batch, s)
+			batch = append(batch, i)
 		} else {
-			solo = append(solo, s)
+			solo = append(solo, i)
 		}
+	}
+
+	// emitRun builds and emits the row for one executed spec, translating
+	// exhausted-timeout errors into Outcome "timeout" rows. A false return
+	// means the suite is cancelled.
+	emitRun := func(i int, res engine.Result, attempts int, runErr error) bool {
+		s := grp.specs[i]
+		out1 := Result{Spec: s, N: n, M: m, Attempts: attempts}
+		if runErr != nil {
+			out1.Err = runErr.Error()
+			if errors.Is(runErr, errRunTimeout) {
+				out1.Outcome = "timeout"
+			}
+		} else {
+			out1.fill(res)
+		}
+		return emit(i, out1)
 	}
 
 	if len(batch) > 0 {
 		opts := sessionOptions(head, kind)
-		sess, err := sim.New(g, append(opts, sim.WithOrigins(originOf(batch[0])))...)
+		sess, err := sim.New(g, append(opts, sim.WithOrigins(originOf(grp.specs[batch[0]])))...)
 		if err != nil {
 			fail(append(batch, solo...), err)
 			return
 		}
-		for _, s := range batch {
+		for _, i := range batch {
+			s := grp.specs[i]
 			if ctx.Err() != nil {
 				return
 			}
-			res, runErr := sess.RunBatch(ctx, []graph.NodeID{originOf(s)})
-			out1 := Result{Spec: s, N: g.N(), M: g.M()}
-			if runErr != nil {
-				out1.Err = runErr.Error()
-			} else {
-				out1.fill(res[0])
+			res, attempts, runErr := cfg.execute(ctx, s, func(rc context.Context) (engine.Result, error) {
+				rs, err := sess.RunBatch(rc, []graph.NodeID{originOf(s)})
+				if err != nil {
+					return engine.Result{}, err
+				}
+				return rs[0], nil
+			})
+			if ctx.Err() != nil {
+				return
 			}
-			if !emit(out1) {
+			if !emitRun(i, res, attempts, runErr) {
 				return
 			}
 		}
 	}
-	for _, s := range solo {
+	for _, i := range solo {
+		s := grp.specs[i]
 		if ctx.Err() != nil {
 			return
 		}
-		out1 := Result{Spec: s, N: g.N(), M: g.M()}
 		sess, err := sim.New(g, append(sessionOptions(s, kind), sim.WithOrigins(s.Origins...))...)
 		if err != nil {
-			out1.Err = err.Error()
-		} else if res, runErr := sess.Run(ctx); runErr != nil {
-			out1.Err = runErr.Error()
-		} else {
-			out1.fill(res)
+			if !emit(i, Result{Spec: s, N: n, M: m, Err: err.Error()}) {
+				return
+			}
+			continue
 		}
-		if !emit(out1) {
+		res, attempts, runErr := cfg.execute(ctx, s, sess.Run)
+		if ctx.Err() != nil {
+			return
+		}
+		if !emitRun(i, res, attempts, runErr) {
 			return
 		}
 	}

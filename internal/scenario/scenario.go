@@ -31,6 +31,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"time"
 
 	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/graph"
@@ -71,6 +72,9 @@ type Spec struct {
 	Params map[string]string `json:"params,omitempty"`
 	// MaxRounds bounds the run; 0 means the engine default.
 	MaxRounds int `json:"maxRounds,omitempty"`
+	// Timeout, when positive, overrides the Runner's per-run watchdog for
+	// this spec (JSON: nanoseconds). 0 means the Runner's RunTimeout.
+	Timeout time.Duration `json:"timeout,omitempty"`
 }
 
 // ID renders a stable, human-readable identity for the spec — the sort key
@@ -91,10 +95,16 @@ func (s Spec) ID() string {
 	if mdl == "" {
 		mdl = string(model.KindSync)
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|o=%s|a=%s|seed=%d|rep=%d|%s|max=%d",
+	id := fmt.Sprintf("%s|%s|%s|%s|o=%s|a=%s|seed=%d|rep=%d|%s|max=%d",
 		s.Graph, s.Protocol, s.Engine, mdl, strings.Join(origins, ","),
 		strings.Join(s.Analyses, "+"), s.Seed, s.Rep,
 		strings.Join(params, ","), s.MaxRounds)
+	// The watchdog override is appended only when set, keeping the common
+	// untimed form (and every pre-existing checkpoint) stable.
+	if s.Timeout > 0 {
+		id += "|to=" + s.Timeout.String()
+	}
+	return id
 }
 
 // Validate checks the spec against the graph, protocol, engine, and model

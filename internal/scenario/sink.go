@@ -1,8 +1,10 @@
 package scenario
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"slices"
@@ -10,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"amnesiacflood/internal/chaos"
 	"amnesiacflood/internal/stats"
 )
 
@@ -21,18 +24,45 @@ type Sink interface {
 	Write(Result) error
 }
 
-// MultiSink fans every result out to several sinks in order, stopping at
-// the first error.
+// MultiSink fans every result out to several sinks in order. Every sink is
+// attempted even when an earlier one fails — one broken file sink must not
+// blind the aggregate riding beside it — and the failures are joined into
+// the returned error (matchable individually with errors.Is/errors.As).
 type MultiSink []Sink
 
 // Write implements Sink.
 func (m MultiSink) Write(res Result) error {
+	var errs []error
 	for _, s := range m {
+		if s == nil {
+			continue
+		}
 		if err := s.Write(res); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// NewChaosSink wraps sink with fault injection at the chaos sink site, keyed
+// by each row's Spec ID: injected errors surface as Write failures (and
+// injected panics as real panics) — the harness for exercising suite
+// sink-failure paths deterministically (see internal/chaos).
+func NewChaosSink(sink Sink, inj *chaos.Injector) Sink {
+	return chaosSink{sink: sink, inj: inj}
+}
+
+type chaosSink struct {
+	sink Sink
+	inj  *chaos.Injector
+}
+
+// Write implements Sink.
+func (c chaosSink) Write(res Result) error {
+	if err := c.inj.Inject(context.Background(), chaos.SiteSink, res.Spec.ID(), 1); err != nil {
+		return err
+	}
+	return c.sink.Write(res)
 }
 
 // jsonlSink streams one JSON object per line.
@@ -74,13 +104,22 @@ var csvHeader = []string{
 	"outcome", "cycle_start", "cycle_length", "wall_us", "err",
 }
 
+// writeHeader emits the header row once.
+func (s *CSVSink) writeHeader() error {
+	if s.wroteHeader {
+		return nil
+	}
+	if err := s.w.Write(append(append([]string(nil), csvHeader...), s.metricCols...)); err != nil {
+		return err
+	}
+	s.wroteHeader = true
+	return nil
+}
+
 // Write implements Sink.
 func (s *CSVSink) Write(res Result) error {
-	if !s.wroteHeader {
-		if err := s.w.Write(append(append([]string(nil), csvHeader...), s.metricCols...)); err != nil {
-			return err
-		}
-		s.wroteHeader = true
+	if err := s.writeHeader(); err != nil {
+		return err
 	}
 	origins := make([]string, len(res.Spec.Origins))
 	for i, o := range res.Spec.Origins {
@@ -115,8 +154,13 @@ func modelOf(s Spec) string {
 }
 
 // Flush drains the CSV writer's buffer and reports any deferred write
-// error.
+// error. An empty or all-skipped suite still gets its header: Flush emits it
+// when no row did, so the output is a valid (if rowless) CSV file rather
+// than empty bytes.
 func (s *CSVSink) Flush() error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
 	s.w.Flush()
 	return s.w.Error()
 }

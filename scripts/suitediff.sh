@@ -1,0 +1,29 @@
+#!/bin/sh
+# suitediff.sh A.jsonl B.jsonl — diff two suite JSONL outputs up to the
+# execution bookkeeping a fault-injected run legitimately changes.
+#
+# A suite's rows are a deterministic function of their specs, so two runs of
+# the same matrix must agree on everything except row order (worker
+# scheduling), wall time, and attempt counts (retries under chaos
+# injection). This script order-normalises both files — strip "attempts",
+# zero "wallMicros", sort — and diffs the remainder. Exit status is diff's:
+# 0 when the suites agree, 1 when they diverge. The chaos gate in `make
+# suite` runs the same matrix clean and under injection and requires 0.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 clean.jsonl chaotic.jsonl" >&2
+    exit 2
+fi
+
+normalize() {
+    sed -e 's/"attempts":[0-9][0-9]*,//g' \
+        -e 's/,"attempts":[0-9][0-9]*//g' \
+        -e 's/"wallMicros":[0-9][0-9]*/"wallMicros":0/g' "$1" | sort
+}
+
+a=$(mktemp) && b=$(mktemp)
+trap 'rm -f "$a" "$b"' EXIT
+normalize "$1" > "$a"
+normalize "$2" > "$b"
+diff -u "$a" "$b"
