@@ -1,0 +1,90 @@
+// Command afsimd is the amnesiac-flooding simulation daemon: the
+// internal/service HTTP server behind flags, with graceful drain on
+// SIGTERM/SIGINT.
+//
+//	afsimd -addr :8080 -workers 8 -queue 64
+//
+// Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/registry, GET /healthz.
+// See internal/service/README.md for the wire reference and a curl
+// quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"amnesiacflood/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent run slots (0 = min(GOMAXPROCS, 8))")
+		queue       = flag.Int("queue", 64, "run queue depth across all tenants (full queue answers 429)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-run timeout")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on request-chosen timeouts")
+		pool        = flag.Int("pool", 64, "idle pooled-session cap")
+		rate        = flag.Float64("tenant-rate", 64, "per-tenant sustained requests/second (0 disables)")
+		burst       = flag.Int("tenant-burst", 128, "per-tenant token-bucket burst")
+		inflight    = flag.Int("tenant-inflight", 16, "per-tenant in-flight run cap (0 = unlimited)")
+		sweepCells  = flag.Int("sweep-cells", 4096, "max expanded cells per sweep")
+		sweepWorker = flag.Int("sweep-workers", 4, "scenario workers inside one sweep")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "afsimd ", log.LstdFlags)
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		PoolSessions:   *pool,
+		Tenant:         service.TenantLimits{Rate: *rate, Burst: *burst, MaxInFlight: *inflight},
+		MaxSweepCells:  *sweepCells,
+		SweepWorkers:   *sweepWorker,
+		Logger:         logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain first (stop admitting, finish in-flight streams), then close
+	// the listener — so no stream is cut mid-run.
+	logger.Printf("signal received, draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v (forcing shutdown)", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "afsimd: drained cleanly")
+}

@@ -75,9 +75,29 @@
 //	sess, _ := sim.New(g, sim.WithAnalysis("coverage", "termination", "bipartite"))
 //	res, _ := sess.Run(ctx) // res.Metrics["termination.closedFormOK"] == 1
 //
+// All five axes share one typed-parameter spec grammar — the
+// internal/specgrammar kernel: declared parameters with kinds and defaults,
+// canonical declared-order rendering, and a Parse/String round-trip
+// guarantee, instantiated identically by the graph, model, and analysis
+// registries.
+//
+// The serving layer closes the loop from library to system: internal/service
+// (daemonised as cmd/afsimd) is a multi-tenant HTTP/JSON façade over the
+// same five axes — POST /v1/run executes one spec-addressed run over a pool
+// of reusable sessions and streams per-round analysis events as NDJSON/SSE,
+// POST /v1/sweep streams a scenario matrix row by row, GET /v1/registry
+// enumerates everything runnable — under production serving discipline:
+// per-request timeouts, panic isolation, per-tenant token-bucket admission
+// with in-flight caps, a bounded run queue with fair round-robin dispatch
+// (429 + Retry-After on saturation), and graceful drain on SIGTERM:
+//
+//	curl -N localhost:8080/v1/run -d '{"graph":"grid:rows=64,cols=64","analyses":["coverage"]}'
+//
 // Packages:
 //
 //	internal/sim              façade: protocol registry, session API, observers, model + analysis axes
+//	internal/service          multi-tenant HTTP serving layer: session pool, admission control, streaming
+//	internal/specgrammar      shared typed-parameter spec-grammar kernel of every registry
 //	internal/model            execution-model registry, packed async/dynamic engines, certificates
 //	internal/analysis         streaming-analysis registry: coverage, termination, bipartite, spantree, echo, quantiles
 //	internal/scenario         declarative suites: spec matrix, pooled runner, sinks, metric columns
@@ -108,6 +128,7 @@
 // analyses; -list prints every registry), cmd/afbench (paper experiment
 // suite, or a scenario matrix with -suite and the
 // -models/-adversaries/-schedules/-analyses axes), cmd/afviz (trace
-// rendering; -graph/-list mirror afsim). Runnable examples live under
+// rendering; -graph/-list mirror afsim), cmd/afsimd (the simulation
+// daemon; see internal/service/README.md). Runnable examples live under
 // examples/.
 package amnesiacflood

@@ -3,9 +3,10 @@ package analysis
 import (
 	"fmt"
 	"slices"
-	"strconv"
 	"strings"
 	"sync"
+
+	"amnesiacflood/internal/specgrammar"
 )
 
 // This file is the analysis registry and its spec grammar: every streaming
@@ -23,115 +24,34 @@ import (
 // and Parse(s).String() == s for every canonically ordered s — the same
 // contract the graph (internal/graph/gen) and execution-model
 // (internal/model) registries keep, making analysis the fifth spec-driven
-// axis of the sim façade.
+// axis of the sim façade. The typed-parameter machinery underneath is the
+// shared kernel in internal/specgrammar, instantiated by all three.
 
 // ParamKind types a family parameter.
-type ParamKind int
+type ParamKind = specgrammar.Kind
 
 // Parameter kinds.
 const (
 	// IntParam values parse with strconv.Atoi.
-	IntParam ParamKind = iota + 1
+	IntParam = specgrammar.IntParam
 	// FloatParam values parse with strconv.ParseFloat.
-	FloatParam
+	FloatParam = specgrammar.FloatParam
 	// BoolParam values parse with strconv.ParseBool.
-	BoolParam
+	BoolParam = specgrammar.BoolParam
 	// StringParam values are free-form except for the spec metacharacters
 	// ':', ',' and '='.
-	StringParam
+	StringParam = specgrammar.StringParam
 )
-
-// String implements fmt.Stringer.
-func (k ParamKind) String() string {
-	switch k {
-	case IntParam:
-		return "int"
-	case FloatParam:
-		return "float"
-	case BoolParam:
-		return "bool"
-	case StringParam:
-		return "string"
-	default:
-		return fmt.Sprintf("ParamKind(%d)", int(k))
-	}
-}
-
-// check validates that raw parses as a value of kind k.
-func (k ParamKind) check(raw string) error {
-	var err error
-	switch k {
-	case IntParam:
-		_, err = strconv.Atoi(raw)
-	case FloatParam:
-		_, err = strconv.ParseFloat(raw, 64)
-	case BoolParam:
-		_, err = strconv.ParseBool(raw)
-	case StringParam:
-		if strings.ContainsAny(raw, ":,=") {
-			err = fmt.Errorf("string value %q contains spec metacharacters", raw)
-		}
-	default:
-		err = fmt.Errorf("unknown parameter kind %d", int(k))
-	}
-	return err
-}
 
 // Param declares one parameter of a family: its name, type, default value
 // (a canonical literal of the declared kind), and a one-line doc string for
 // -list output.
-type Param struct {
-	Name    string
-	Kind    ParamKind
-	Default string
-	Doc     string
-}
+type Param = specgrammar.Param
 
 // Values holds the resolved, type-checked parameters handed to a family's
 // constructor. Accessors are keyed by declared parameter name; asking for
 // an undeclared parameter is a programmer error and panics.
-type Values struct {
-	ints   map[string]int
-	floats map[string]float64
-	bools  map[string]bool
-	strs   map[string]string
-}
-
-// Int returns the named int parameter.
-func (v Values) Int(name string) int {
-	n, ok := v.ints[name]
-	if !ok {
-		panic("analysis: constructor read undeclared int parameter " + name)
-	}
-	return n
-}
-
-// Float returns the named float parameter.
-func (v Values) Float(name string) float64 {
-	f, ok := v.floats[name]
-	if !ok {
-		panic("analysis: constructor read undeclared float parameter " + name)
-	}
-	return f
-}
-
-// Bool returns the named bool parameter.
-func (v Values) Bool(name string) bool {
-	b, ok := v.bools[name]
-	if !ok {
-		panic("analysis: constructor read undeclared bool parameter " + name)
-	}
-	return b
-}
-
-// String returns the named string parameter.
-func (v Values) String(name string) string {
-	s, ok := v.strs[name]
-	if !ok {
-		panic("analysis: constructor read undeclared string parameter " + name)
-	}
-	return s
-}
+type Values = specgrammar.Values
 
 // Family describes one registered analysis: its parameter declarations
 // (order defines the canonical spec order), the metric names it emits, and
@@ -155,15 +75,8 @@ type Family struct {
 	New func(ctx Context, v Values) (Analyzer, error)
 }
 
-// param returns the declaration of the named parameter, or nil.
-func (f Family) param(name string) *Param {
-	for i := range f.Params {
-		if f.Params[i].Name == name {
-			return &f.Params[i]
-		}
-	}
-	return nil
-}
+// params returns the family's declarations as the kernel's ordered list.
+func (f Family) params() specgrammar.Params { return specgrammar.Params(f.Params) }
 
 var (
 	famMu    sync.RWMutex
@@ -175,30 +88,14 @@ var (
 // that importing analysis is all it takes to make every family
 // spec-addressable. It panics on empty or duplicate names, nil
 // constructors, and malformed parameter declarations — programmer errors.
+// Family names additionally ban '.', which separates family and metric in
+// flattened "<family>.<metric>" column names.
 func Register(name string, fam Family) {
-	name = strings.ToLower(strings.TrimSpace(name))
-	if name == "" {
-		panic("analysis: Register with empty family name")
-	}
-	if strings.ContainsAny(name, ":,= \t.") {
-		panic("analysis: family name " + name + " contains spec metacharacters")
-	}
+	name = specgrammar.CheckName("analysis", name, ".")
 	if fam.New == nil {
 		panic("analysis: Register " + name + " with nil New")
 	}
-	seen := map[string]bool{}
-	for _, p := range fam.Params {
-		if p.Name == "" || strings.ContainsAny(p.Name, ":,= \t") {
-			panic("analysis: family " + name + " declares invalid parameter name " + strconv.Quote(p.Name))
-		}
-		if seen[p.Name] {
-			panic("analysis: family " + name + " declares parameter " + p.Name + " twice")
-		}
-		seen[p.Name] = true
-		if err := p.Kind.check(p.Default); err != nil {
-			panic(fmt.Sprintf("analysis: family %s parameter %s has unparseable default %q: %v", name, p.Name, p.Default, err))
-		}
-	}
+	fam.params().Validate("analysis", "family "+name)
 	famMu.Lock()
 	defer famMu.Unlock()
 	if _, dup := famReg[name]; dup {
@@ -241,27 +138,11 @@ func (s Spec) String() string {
 	if len(s.Params) == 0 {
 		return s.Family
 	}
-	ordered := make([]string, 0, len(s.Params))
-	emitted := map[string]bool{}
+	var decls specgrammar.Params
 	if fam, ok := Lookup(s.Family); ok {
-		for _, p := range fam.Params {
-			if v, set := s.Params[p.Name]; set {
-				ordered = append(ordered, p.Name+"="+v)
-				emitted[p.Name] = true
-			}
-		}
+		decls = fam.params()
 	}
-	// Parameters the family does not declare (possible only on hand-built
-	// specs, which Build rejects) trail in alphabetical order so String
-	// stays total and deterministic.
-	var extra []string
-	for k, v := range s.Params {
-		if !emitted[k] {
-			extra = append(extra, k+"="+v)
-		}
-	}
-	slices.Sort(extra)
-	return s.Family + ":" + strings.Join(append(ordered, extra...), ",")
+	return s.Family + ":" + decls.Canonical(s.Params)
 }
 
 // ErrUnknownAnalysis is wrapped into errors for family names outside the
@@ -286,29 +167,11 @@ func Parse(s string) (Spec, error) {
 	if !hasParams {
 		return spec, nil
 	}
-	if strings.TrimSpace(rest) == "" {
-		return Spec{}, fmt.Errorf("analysis: spec %q has an empty parameter list (drop the trailing ':')", s)
+	params, err := fam.params().ParseAssignments("analysis", s, "family "+famName, rest)
+	if err != nil {
+		return Spec{}, err
 	}
-	spec.Params = map[string]string{}
-	for _, kv := range strings.Split(rest, ",") {
-		key, value, ok := strings.Cut(kv, "=")
-		key = strings.ToLower(strings.TrimSpace(key))
-		value = strings.TrimSpace(value)
-		if !ok || key == "" || value == "" {
-			return Spec{}, fmt.Errorf("analysis: spec %q: want key=value, got %q", s, kv)
-		}
-		decl := fam.param(key)
-		if decl == nil {
-			return Spec{}, fmt.Errorf("analysis: spec %q: family %s has no parameter %q (accepts %s)", s, famName, key, paramNames(fam))
-		}
-		if err := decl.Kind.check(value); err != nil {
-			return Spec{}, fmt.Errorf("analysis: spec %q: parameter %s wants %s, got %q", s, key, decl.Kind, value)
-		}
-		if _, dup := spec.Params[key]; dup {
-			return Spec{}, fmt.Errorf("analysis: spec %q assigns parameter %s twice", s, key)
-		}
-		spec.Params[key] = value
-	}
+	spec.Params = params
 	return spec, nil
 }
 
@@ -329,32 +192,9 @@ func resolve(spec Spec) (Family, Values, error) {
 	if !ok {
 		return Family{}, Values{}, fmt.Errorf("analysis: %w %q (registered: %s)", ErrUnknownAnalysis, spec.Family, strings.Join(Families(), ", "))
 	}
-	for k := range spec.Params {
-		if fam.param(k) == nil {
-			return Family{}, Values{}, fmt.Errorf("analysis: family %s has no parameter %q (accepts %s)", spec.Family, k, paramNames(fam))
-		}
-	}
-	values := Values{ints: map[string]int{}, floats: map[string]float64{}, bools: map[string]bool{}, strs: map[string]string{}}
-	for _, p := range fam.Params {
-		raw, set := spec.Params[p.Name]
-		if !set {
-			raw = p.Default
-		}
-		var err error
-		switch p.Kind {
-		case IntParam:
-			values.ints[p.Name], err = strconv.Atoi(raw)
-		case FloatParam:
-			values.floats[p.Name], err = strconv.ParseFloat(raw, 64)
-		case BoolParam:
-			values.bools[p.Name], err = strconv.ParseBool(raw)
-		case StringParam:
-			err = p.Kind.check(raw)
-			values.strs[p.Name] = raw
-		}
-		if err != nil {
-			return Family{}, Values{}, fmt.Errorf("analysis: %s: parameter %s wants %s, got %q", spec.Family, p.Name, p.Kind, raw)
-		}
+	values, err := fam.params().Resolve("analysis", "family "+spec.Family, spec.Params)
+	if err != nil {
+		return Family{}, Values{}, err
 	}
 	return fam, values, nil
 }
@@ -424,17 +264,4 @@ func MetricColumns(specs []string) ([]string, error) {
 		}
 	}
 	return out, nil
-}
-
-// paramNames renders a family's parameter declarations for error messages,
-// e.g. "metric string".
-func paramNames(fam Family) string {
-	if len(fam.Params) == 0 {
-		return "no parameters"
-	}
-	parts := make([]string, len(fam.Params))
-	for i, p := range fam.Params {
-		parts[i] = p.Name + " " + p.Kind.String()
-	}
-	return strings.Join(parts, ", ")
 }

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/specgrammar"
 )
 
 // This file is the family registry and the spec grammar: every graph family
@@ -26,95 +26,36 @@ import (
 // A parsed Spec round-trips: String emits the parameters in the family's
 // declared order, so Parse(spec.String()) == spec for every parseable spec,
 // and Parse(s).String() == s for every canonically ordered s.
+//
+// The typed-parameter machinery (kinds, declarations, assignment parsing,
+// canonical rendering, default resolution) is the shared kernel in
+// internal/specgrammar, instantiated identically by the execution-model and
+// analysis registries — one grammar, five axes.
 
 // Kind types a family parameter.
-type Kind int
+type Kind = specgrammar.Kind
 
 // Parameter kinds.
 const (
 	// IntParam values parse with strconv.Atoi.
-	IntParam Kind = iota + 1
+	IntParam = specgrammar.IntParam
 	// FloatParam values parse with strconv.ParseFloat (probabilities).
-	FloatParam
+	FloatParam = specgrammar.FloatParam
 	// BoolParam values parse with strconv.ParseBool.
-	BoolParam
+	BoolParam = specgrammar.BoolParam
+	// StringParam values are free-form except for spec metacharacters.
+	StringParam = specgrammar.StringParam
 )
-
-// String implements fmt.Stringer.
-func (k Kind) String() string {
-	switch k {
-	case IntParam:
-		return "int"
-	case FloatParam:
-		return "float"
-	case BoolParam:
-		return "bool"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// check validates that raw parses as a value of kind k.
-func (k Kind) check(raw string) error {
-	var err error
-	switch k {
-	case IntParam:
-		_, err = strconv.Atoi(raw)
-	case FloatParam:
-		_, err = strconv.ParseFloat(raw, 64)
-	case BoolParam:
-		_, err = strconv.ParseBool(raw)
-	default:
-		err = fmt.Errorf("unknown kind %d", int(k))
-	}
-	return err
-}
 
 // Param declares one parameter of a family: its name, type, default value
 // (a canonical literal of the declared kind), and a one-line doc string for
 // -list output.
-type Param struct {
-	Name    string
-	Kind    Kind
-	Default string
-	Doc     string
-}
+type Param = specgrammar.Param
 
 // Values holds the resolved, type-checked parameters handed to a family's
 // Build function. Accessors are keyed by declared parameter name; asking
 // for an undeclared parameter is a programmer error and panics.
-type Values struct {
-	ints   map[string]int
-	floats map[string]float64
-	bools  map[string]bool
-}
-
-// Int returns the named int parameter.
-func (v Values) Int(name string) int {
-	n, ok := v.ints[name]
-	if !ok {
-		panic("gen: Build read undeclared int parameter " + name)
-	}
-	return n
-}
-
-// Float returns the named float parameter.
-func (v Values) Float(name string) float64 {
-	f, ok := v.floats[name]
-	if !ok {
-		panic("gen: Build read undeclared float parameter " + name)
-	}
-	return f
-}
-
-// Bool returns the named bool parameter.
-func (v Values) Bool(name string) bool {
-	b, ok := v.bools[name]
-	if !ok {
-		panic("gen: Build read undeclared bool parameter " + name)
-	}
-	return b
-}
+type Values = specgrammar.Values
 
 // Family describes one registered graph family: its parameter declarations
 // (order defines the canonical spec order), whether it consumes the seed,
@@ -133,15 +74,8 @@ type Family struct {
 	Build func(v Values, rng *rand.Rand) (*graph.Graph, error)
 }
 
-// param returns the declaration of the named parameter, or nil.
-func (f Family) param(name string) *Param {
-	for i := range f.Params {
-		if f.Params[i].Name == name {
-			return &f.Params[i]
-		}
-	}
-	return nil
-}
+// params returns the family's declarations as the kernel's ordered list.
+func (f Family) params() specgrammar.Params { return specgrammar.Params(f.Params) }
 
 var (
 	famMu    sync.RWMutex
@@ -154,29 +88,11 @@ var (
 // It panics on empty or duplicate names, nil constructors, and malformed
 // parameter declarations — all programmer errors.
 func Register(name string, fam Family) {
-	name = strings.ToLower(strings.TrimSpace(name))
-	if name == "" {
-		panic("gen: Register with empty family name")
-	}
-	if strings.ContainsAny(name, ":,= \t") {
-		panic("gen: family name " + name + " contains spec metacharacters")
-	}
+	name = specgrammar.CheckName("gen", name, "")
 	if fam.Build == nil {
 		panic("gen: Register " + name + " with nil Build")
 	}
-	seen := map[string]bool{}
-	for _, p := range fam.Params {
-		if p.Name == "" || strings.ContainsAny(p.Name, ":,= \t") {
-			panic("gen: family " + name + " declares invalid parameter name " + strconv.Quote(p.Name))
-		}
-		if seen[p.Name] {
-			panic("gen: family " + name + " declares parameter " + p.Name + " twice")
-		}
-		seen[p.Name] = true
-		if err := p.Kind.check(p.Default); err != nil {
-			panic(fmt.Sprintf("gen: family %s parameter %s has unparseable default %q: %v", name, p.Name, p.Default, err))
-		}
-	}
+	fam.params().Validate("gen", "family "+name)
 	famMu.Lock()
 	defer famMu.Unlock()
 	if _, dup := famReg[name]; dup {
@@ -220,27 +136,11 @@ func (s Spec) String() string {
 	if len(s.Params) == 0 {
 		return s.Family
 	}
-	ordered := make([]string, 0, len(s.Params))
-	emitted := map[string]bool{}
+	var decls specgrammar.Params
 	if fam, ok := Lookup(s.Family); ok {
-		for _, p := range fam.Params {
-			if v, set := s.Params[p.Name]; set {
-				ordered = append(ordered, p.Name+"="+v)
-				emitted[p.Name] = true
-			}
-		}
+		decls = fam.params()
 	}
-	// Parameters the family does not declare (possible only on hand-built
-	// specs, which New rejects) trail in alphabetical order so String
-	// stays total and deterministic.
-	var extra []string
-	for k, v := range s.Params {
-		if !emitted[k] {
-			extra = append(extra, k+"="+v)
-		}
-	}
-	sort.Strings(extra)
-	return s.Family + ":" + strings.Join(append(ordered, extra...), ",")
+	return s.Family + ":" + decls.Canonical(s.Params)
 }
 
 // ErrUnknownFamily is wrapped into errors for family names outside the
@@ -265,29 +165,11 @@ func Parse(s string) (Spec, error) {
 	if !hasParams {
 		return spec, nil
 	}
-	if strings.TrimSpace(rest) == "" {
-		return Spec{}, fmt.Errorf("gen: spec %q has an empty parameter list (drop the trailing ':')", s)
+	params, err := fam.params().ParseAssignments("gen", s, "family "+famName, rest)
+	if err != nil {
+		return Spec{}, err
 	}
-	spec.Params = map[string]string{}
-	for _, kv := range strings.Split(rest, ",") {
-		key, value, ok := strings.Cut(kv, "=")
-		key = strings.ToLower(strings.TrimSpace(key))
-		value = strings.TrimSpace(value)
-		if !ok || key == "" || value == "" {
-			return Spec{}, fmt.Errorf("gen: spec %q: want key=value, got %q", s, kv)
-		}
-		decl := fam.param(key)
-		if decl == nil {
-			return Spec{}, fmt.Errorf("gen: spec %q: family %s has no parameter %q (accepts %s)", s, famName, key, paramNames(fam))
-		}
-		if err := decl.Kind.check(value); err != nil {
-			return Spec{}, fmt.Errorf("gen: spec %q: parameter %s wants %s, got %q", s, key, decl.Kind, value)
-		}
-		if _, dup := spec.Params[key]; dup {
-			return Spec{}, fmt.Errorf("gen: spec %q assigns parameter %s twice", s, key)
-		}
-		spec.Params[key] = value
-	}
+	spec.Params = params
 	return spec, nil
 }
 
@@ -310,14 +192,7 @@ func Canonical(name string) (Spec, error) {
 	if !ok {
 		return Spec{}, fmt.Errorf("gen: %w %q", ErrUnknownFamily, name)
 	}
-	spec := Spec{Family: key}
-	if len(fam.Params) > 0 {
-		spec.Params = map[string]string{}
-		for _, p := range fam.Params {
-			spec.Params[p.Name] = p.Default
-		}
-	}
-	return spec, nil
+	return Spec{Family: key, Params: fam.params().Full(nil)}, nil
 }
 
 // New builds the graph a spec describes. Omitted parameters take their
@@ -330,35 +205,11 @@ func New(spec Spec, seed int64) (*graph.Graph, error) {
 	if !ok {
 		return nil, fmt.Errorf("gen: %w %q (registered: %s)", ErrUnknownFamily, spec.Family, strings.Join(Families(), ", "))
 	}
-	values := Values{ints: map[string]int{}, floats: map[string]float64{}, bools: map[string]bool{}}
-	full := Spec{Family: spec.Family}
-	if len(fam.Params) > 0 {
-		full.Params = map[string]string{}
+	values, err := fam.params().Resolve("gen", "family "+spec.Family, spec.Params)
+	if err != nil {
+		return nil, err
 	}
-	for k := range spec.Params {
-		if fam.param(k) == nil {
-			return nil, fmt.Errorf("gen: family %s has no parameter %q (accepts %s)", spec.Family, k, paramNames(fam))
-		}
-	}
-	for _, p := range fam.Params {
-		raw, set := spec.Params[p.Name]
-		if !set {
-			raw = p.Default
-		}
-		full.Params[p.Name] = raw
-		var err error
-		switch p.Kind {
-		case IntParam:
-			values.ints[p.Name], err = strconv.Atoi(raw)
-		case FloatParam:
-			values.floats[p.Name], err = strconv.ParseFloat(raw, 64)
-		case BoolParam:
-			values.bools[p.Name], err = strconv.ParseBool(raw)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("gen: %s: parameter %s wants %s, got %q", spec.Family, p.Name, p.Kind, raw)
-		}
-	}
+	full := Spec{Family: spec.Family, Params: fam.params().Full(spec.Params)}
 	var rng *rand.Rand
 	if fam.Random {
 		rng = rand.New(rand.NewSource(seed))
@@ -388,17 +239,4 @@ func MustBuild(spec string, seed int64) *graph.Graph {
 		panic(err)
 	}
 	return g
-}
-
-// paramNames renders a family's parameter declarations for error messages,
-// e.g. "rows int, cols int".
-func paramNames(fam Family) string {
-	if len(fam.Params) == 0 {
-		return "no parameters"
-	}
-	parts := make([]string, len(fam.Params))
-	for i, p := range fam.Params {
-		parts[i] = p.Name + " " + p.Kind.String()
-	}
-	return strings.Join(parts, ", ")
 }

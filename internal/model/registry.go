@@ -3,9 +3,10 @@ package model
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
+
+	"amnesiacflood/internal/specgrammar"
 )
 
 // This file is the model registry and the spec grammar: every adversary and
@@ -24,6 +25,10 @@ import (
 // A parsed Spec round-trips: String emits the parameters in the family's
 // declared order, so Parse(spec.String()) == spec for every parseable spec,
 // and Parse(s).String() == s for every canonically ordered s.
+//
+// The typed-parameter machinery is the shared kernel in
+// internal/specgrammar, instantiated identically by the graph and analysis
+// registries; only the kind:family prefix level is model-specific.
 
 // Kind partitions the model axis.
 type Kind string
@@ -40,93 +45,29 @@ const (
 )
 
 // ParamKind types a family parameter.
-type ParamKind int
+type ParamKind = specgrammar.Kind
 
 // Parameter kinds.
 const (
 	// IntParam values parse with strconv.Atoi.
-	IntParam ParamKind = iota + 1
+	IntParam = specgrammar.IntParam
 	// FloatParam values parse with strconv.ParseFloat.
-	FloatParam
+	FloatParam = specgrammar.FloatParam
 	// BoolParam values parse with strconv.ParseBool.
-	BoolParam
+	BoolParam = specgrammar.BoolParam
+	// StringParam values are free-form except for spec metacharacters.
+	StringParam = specgrammar.StringParam
 )
-
-// String implements fmt.Stringer.
-func (k ParamKind) String() string {
-	switch k {
-	case IntParam:
-		return "int"
-	case FloatParam:
-		return "float"
-	case BoolParam:
-		return "bool"
-	default:
-		return fmt.Sprintf("ParamKind(%d)", int(k))
-	}
-}
-
-// check validates that raw parses as a value of kind k.
-func (k ParamKind) check(raw string) error {
-	var err error
-	switch k {
-	case IntParam:
-		_, err = strconv.Atoi(raw)
-	case FloatParam:
-		_, err = strconv.ParseFloat(raw, 64)
-	case BoolParam:
-		_, err = strconv.ParseBool(raw)
-	default:
-		err = fmt.Errorf("unknown parameter kind %d", int(k))
-	}
-	return err
-}
 
 // Param declares one parameter of a family: its name, type, default value
 // (a canonical literal of the declared kind), and a one-line doc string for
 // -list output.
-type Param struct {
-	Name    string
-	Kind    ParamKind
-	Default string
-	Doc     string
-}
+type Param = specgrammar.Param
 
 // Values holds the resolved, type-checked parameters handed to a family's
 // constructor. Accessors are keyed by declared parameter name; asking for
 // an undeclared parameter is a programmer error and panics.
-type Values struct {
-	ints   map[string]int
-	floats map[string]float64
-	bools  map[string]bool
-}
-
-// Int returns the named int parameter.
-func (v Values) Int(name string) int {
-	n, ok := v.ints[name]
-	if !ok {
-		panic("model: constructor read undeclared int parameter " + name)
-	}
-	return n
-}
-
-// Float returns the named float parameter.
-func (v Values) Float(name string) float64 {
-	f, ok := v.floats[name]
-	if !ok {
-		panic("model: constructor read undeclared float parameter " + name)
-	}
-	return f
-}
-
-// Bool returns the named bool parameter.
-func (v Values) Bool(name string) bool {
-	b, ok := v.bools[name]
-	if !ok {
-		panic("model: constructor read undeclared bool parameter " + name)
-	}
-	return b
-}
+type Values = specgrammar.Values
 
 // AdversaryFamily declares one registered adversary: its parameters (order
 // defines the canonical spec order), whether it consumes the seed, and the
@@ -154,7 +95,7 @@ type ScheduleFamily struct {
 
 // family is the kind-agnostic registry entry.
 type family struct {
-	params []Param
+	params specgrammar.Params
 	random bool
 	doc    string
 	newAdv func(Values, int64) (Adversary, error)
@@ -166,15 +107,6 @@ type Info struct {
 	Params []Param
 	Random bool
 	Doc    string
-}
-
-func (f family) param(name string) *Param {
-	for i := range f.params {
-		if f.params[i].Name == name {
-			return &f.params[i]
-		}
-	}
-	return nil
 }
 
 var (
@@ -206,26 +138,8 @@ func RegisterSchedule(name string, fam ScheduleFamily) {
 }
 
 func register(kind Kind, name string, fam family) {
-	name = strings.ToLower(strings.TrimSpace(name))
-	if name == "" {
-		panic("model: Register with empty family name")
-	}
-	if strings.ContainsAny(name, ":,= \t") {
-		panic("model: family name " + name + " contains spec metacharacters")
-	}
-	seen := map[string]bool{}
-	for _, p := range fam.params {
-		if p.Name == "" || strings.ContainsAny(p.Name, ":,= \t") {
-			panic("model: family " + name + " declares invalid parameter name " + strconv.Quote(p.Name))
-		}
-		if seen[p.Name] {
-			panic("model: family " + name + " declares parameter " + p.Name + " twice")
-		}
-		seen[p.Name] = true
-		if err := p.Kind.check(p.Default); err != nil {
-			panic(fmt.Sprintf("model: family %s parameter %s has unparseable default %q: %v", name, p.Name, p.Default, err))
-		}
-	}
+	name = specgrammar.CheckName("model", name, "")
+	fam.params.Validate("model", "family "+name)
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := reg[kind][name]; dup {
@@ -296,27 +210,11 @@ func (s Spec) String() string {
 	if len(s.Params) == 0 {
 		return head
 	}
-	ordered := make([]string, 0, len(s.Params))
-	emitted := map[string]bool{}
+	var decls specgrammar.Params
 	if fam, ok := lookup(s.Kind, s.Family); ok {
-		for _, p := range fam.params {
-			if v, set := s.Params[p.Name]; set {
-				ordered = append(ordered, p.Name+"="+v)
-				emitted[p.Name] = true
-			}
-		}
+		decls = fam.params
 	}
-	// Parameters the family does not declare (possible only on hand-built
-	// specs, which New rejects) trail in alphabetical order so String
-	// stays total and deterministic.
-	var extra []string
-	for k, v := range s.Params {
-		if !emitted[k] {
-			extra = append(extra, k+"="+v)
-		}
-	}
-	sort.Strings(extra)
-	return head + ":" + strings.Join(append(ordered, extra...), ",")
+	return head + ":" + decls.Canonical(s.Params)
 }
 
 // ErrUnknownModel is wrapped into errors for kinds or families outside the
@@ -358,29 +256,11 @@ func Parse(s string) (Spec, error) {
 	if !hasParams {
 		return spec, nil
 	}
-	if strings.TrimSpace(paramStr) == "" {
-		return Spec{}, fmt.Errorf("model: spec %q has an empty parameter list (drop the trailing ':')", s)
+	params, err := fam.params.ParseAssignments("model", s, string(kind)+" "+famName, paramStr)
+	if err != nil {
+		return Spec{}, err
 	}
-	spec.Params = map[string]string{}
-	for _, kv := range strings.Split(paramStr, ",") {
-		key, value, ok := strings.Cut(kv, "=")
-		key = strings.ToLower(strings.TrimSpace(key))
-		value = strings.TrimSpace(value)
-		if !ok || key == "" || value == "" {
-			return Spec{}, fmt.Errorf("model: spec %q: want key=value, got %q", s, kv)
-		}
-		decl := fam.param(key)
-		if decl == nil {
-			return Spec{}, fmt.Errorf("model: spec %q: %s %s has no parameter %q (accepts %s)", s, kind, famName, key, paramNames(fam))
-		}
-		if err := decl.Kind.check(value); err != nil {
-			return Spec{}, fmt.Errorf("model: spec %q: parameter %s wants %s, got %q", s, key, decl.Kind, value)
-		}
-		if _, dup := spec.Params[key]; dup {
-			return Spec{}, fmt.Errorf("model: spec %q assigns parameter %s twice", s, key)
-		}
-		spec.Params[key] = value
-	}
+	spec.Params = params
 	return spec, nil
 }
 
@@ -415,32 +295,11 @@ func New(spec Spec, seed int64) (Model, error) {
 	if !ok {
 		return Model{}, fmt.Errorf("model: %w %s:%s (registered: %s)", ErrUnknownModel, spec.Kind, spec.Family, strings.Join(Families(spec.Kind), ", "))
 	}
-	for k := range spec.Params {
-		if fam.param(k) == nil {
-			return Model{}, fmt.Errorf("model: %s %s has no parameter %q (accepts %s)", spec.Kind, spec.Family, k, paramNames(fam))
-		}
-	}
-	values := Values{ints: map[string]int{}, floats: map[string]float64{}, bools: map[string]bool{}}
-	for _, p := range fam.params {
-		raw, set := spec.Params[p.Name]
-		if !set {
-			raw = p.Default
-		}
-		var err error
-		switch p.Kind {
-		case IntParam:
-			values.ints[p.Name], err = strconv.Atoi(raw)
-		case FloatParam:
-			values.floats[p.Name], err = strconv.ParseFloat(raw, 64)
-		case BoolParam:
-			values.bools[p.Name], err = strconv.ParseBool(raw)
-		}
-		if err != nil {
-			return Model{}, fmt.Errorf("model: %s:%s: parameter %s wants %s, got %q", spec.Kind, spec.Family, p.Name, p.Kind, raw)
-		}
+	values, err := fam.params.Resolve("model", fmt.Sprintf("%s %s", spec.Kind, spec.Family), spec.Params)
+	if err != nil {
+		return Model{}, err
 	}
 	m := Model{Spec: spec}
-	var err error
 	switch spec.Kind {
 	case KindAdversary:
 		m.Adversary, err = fam.newAdv(values, seed)
@@ -484,17 +343,4 @@ func Specs() []string {
 		out = append(out, string(KindSchedule)+":"+name)
 	}
 	return out
-}
-
-// paramNames renders a family's parameter declarations for error messages,
-// e.g. "node int, extra int".
-func paramNames(fam family) string {
-	if len(fam.params) == 0 {
-		return "no parameters"
-	}
-	parts := make([]string, len(fam.params))
-	for i, p := range fam.params {
-		parts[i] = p.Name + " " + p.Kind.String()
-	}
-	return strings.Join(parts, ", ")
 }

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// This file is the run dispatcher: a fixed pool of execution slots fed by a
+// bounded queue of waiting requests, granted fairly across tenants. Each
+// tenant gets its own FIFO; grants rotate round-robin over tenants with
+// waiters, so a queue-saturating burst from one tenant cannot starve
+// another — the per-peer fairness of a block-sync request pool, with
+// tenants in the peer seat. When the queue is full the caller gets
+// ErrQueueFull immediately (backpressure, surfaced as 429 + Retry-After)
+// instead of an unbounded wait.
+
+// Dispatcher errors, matchable with errors.Is.
+var (
+	// ErrQueueFull means the wait queue is at capacity.
+	ErrQueueFull = errors.New("service: run queue full")
+	// ErrDraining means the server is shutting down and admits no new runs.
+	ErrDraining = errors.New("service: server draining")
+)
+
+// ticket is one queued acquisition. ready is closed on grant or drain;
+// exactly one of granted/err is set at that point. cancelled marks tickets
+// whose waiter gave up (context cancelled) — the granter skips them.
+type ticket struct {
+	tenant    string
+	ready     chan struct{}
+	granted   bool
+	cancelled bool
+	err       error
+}
+
+// dispatcher owns the slot pool and the tenant queues.
+type dispatcher struct {
+	mu       sync.Mutex
+	free     int // available slots (running = slots - free)
+	slots    int
+	depth    int // queue capacity across all tenants
+	queued   int
+	queues   map[string][]*ticket
+	order    []string // round-robin rotation of tenants with waiters
+	next     int      // rotation cursor into order
+	draining bool
+	idle     chan struct{} // closed when draining && running == 0
+}
+
+func newDispatcher(slots, depth int) *dispatcher {
+	if slots < 1 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &dispatcher{
+		free:   slots,
+		slots:  slots,
+		depth:  depth,
+		queues: map[string][]*ticket{},
+		idle:   make(chan struct{}),
+	}
+}
+
+// acquire claims one execution slot for the tenant, queueing up to the
+// queue depth when all slots are busy. It returns a release function the
+// caller must call exactly once, or an error: ErrQueueFull (bounded-queue
+// backpressure), ErrDraining (shutdown), or the context's error if it was
+// cancelled while queued.
+func (d *dispatcher) acquire(ctx context.Context, tenant string) (release func(), err error) {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Fast path: a free slot and nobody queued ahead.
+	if d.free > 0 && d.queued == 0 {
+		d.free--
+		d.mu.Unlock()
+		return d.releaseFunc(), nil
+	}
+	if d.queued >= d.depth {
+		d.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	t := &ticket{tenant: tenant, ready: make(chan struct{})}
+	if len(d.queues[tenant]) == 0 {
+		d.order = append(d.order, tenant)
+	}
+	d.queues[tenant] = append(d.queues[tenant], t)
+	d.queued++
+	d.mu.Unlock()
+
+	select {
+	case <-t.ready:
+		if t.err != nil {
+			return nil, t.err
+		}
+		return d.releaseFunc(), nil
+	case <-ctx.Done():
+		d.mu.Lock()
+		if t.granted {
+			// The grant raced the cancellation: the slot is ours, hand it
+			// straight back so the granter's accounting stays correct.
+			d.mu.Unlock()
+			d.releaseFunc()()
+			return nil, ctx.Err()
+		}
+		t.cancelled = true
+		d.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent slot-release closure handed to
+// acquirers.
+func (d *dispatcher) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(d.release) }
+}
+
+// release returns one slot, granting it to the next queued ticket
+// (round-robin across tenants) or back to the free pool.
+func (d *dispatcher) release() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t := d.nextTicketLocked(); t != nil {
+		t.granted = true
+		close(t.ready)
+		return
+	}
+	d.free++
+	if d.draining && d.free == d.slots {
+		close(d.idle)
+	}
+}
+
+// nextTicketLocked pops the next live ticket in round-robin tenant order,
+// dropping cancelled tickets and empty tenant queues as it goes. It returns
+// nil when nothing is waiting. Callers hold d.mu.
+func (d *dispatcher) nextTicketLocked() *ticket {
+	for len(d.order) > 0 {
+		if d.next >= len(d.order) {
+			d.next = 0
+		}
+		tenant := d.order[d.next]
+		q := d.queues[tenant]
+		// Shed cancelled tickets at the head of this tenant's FIFO.
+		for len(q) > 0 && q[0].cancelled {
+			q = q[1:]
+			d.queued--
+		}
+		if len(q) == 0 {
+			delete(d.queues, tenant)
+			d.order = append(d.order[:d.next], d.order[d.next+1:]...)
+			continue
+		}
+		t := q[0]
+		d.queues[tenant] = q[1:]
+		d.queued--
+		if len(q) == 1 {
+			delete(d.queues, tenant)
+			d.order = append(d.order[:d.next], d.order[d.next+1:]...)
+		} else {
+			d.next++ // rotate past this tenant for the next grant
+		}
+		return t
+	}
+	d.next = 0
+	return nil
+}
+
+// drain stops admitting new work: every queued ticket fails with
+// ErrDraining, and the returned channel closes once the last running slot
+// is released (immediately if none are running). Safe to call once.
+func (d *dispatcher) drain() <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.draining {
+		d.draining = true
+		for _, q := range d.queues {
+			for _, t := range q {
+				if !t.cancelled {
+					t.err = ErrDraining
+					close(t.ready)
+				}
+			}
+		}
+		d.queues = map[string][]*ticket{}
+		d.order = nil
+		d.queued = 0
+		if d.free == d.slots {
+			close(d.idle)
+		}
+	}
+	return d.idle
+}
+
+// stats snapshots the dispatcher occupancy.
+func (d *dispatcher) stats() (running, queued, slots int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.slots - d.free, d.queued, d.slots
+}

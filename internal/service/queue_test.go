@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until the dispatcher reports n queued tickets.
+func waitQueued(t *testing.T, d *dispatcher, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, q, _ := d.stats(); q == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, q, _ := d.stats()
+			t.Fatalf("queued = %d, want %d", q, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// enqueue starts one acquirer that reports its tenant on grant, releases
+// immediately, and signals completion.
+func enqueue(t *testing.T, d *dispatcher, tenant string, grants chan<- string) {
+	t.Helper()
+	go func() {
+		rel, err := d.acquire(context.Background(), tenant)
+		if err != nil {
+			grants <- "err:" + err.Error()
+			return
+		}
+		grants <- tenant
+		rel()
+	}()
+}
+
+func TestDispatcherFastPath(t *testing.T) {
+	d := newDispatcher(2, 4)
+	rel1, err := d.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := d.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if running, queued, slots := d.stats(); running != 2 || queued != 0 || slots != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 2/0/2", running, queued, slots)
+	}
+	rel1()
+	rel2()
+	rel2() // idempotent
+	if running, _, _ := d.stats(); running != 0 {
+		t.Fatalf("running = %d after release, want 0", running)
+	}
+}
+
+func TestDispatcherRoundRobinFairness(t *testing.T) {
+	// One slot, held; tenant a queues three tickets before tenant b queues
+	// one. Fair dispatch must interleave b after a's first grant instead of
+	// draining a's FIFO first.
+	d := newDispatcher(1, 8)
+	hold, err := d.acquire(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := make(chan string, 4)
+	for i, tenant := range []string{"a", "a", "a", "b"} {
+		enqueue(t, d, tenant, grants)
+		waitQueued(t, d, i+1)
+	}
+	hold()
+	var got []string
+	for range 4 {
+		select {
+		case g := <-grants:
+			got = append(got, g)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("grants stalled after %v", got)
+		}
+	}
+	want := []string{"a", "b", "a", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDispatcherQueueFull(t *testing.T) {
+	d := newDispatcher(1, 1)
+	rel, err := d.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := make(chan string, 1)
+	enqueue(t, d, "a", grants)
+	waitQueued(t, d, 1)
+	if _, err := d.acquire(context.Background(), "b"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("acquire over depth: err = %v, want ErrQueueFull", err)
+	}
+	rel()
+	if g := <-grants; g != "a" {
+		t.Fatalf("queued ticket got %q", g)
+	}
+}
+
+func TestDispatcherCancelWhileQueued(t *testing.T) {
+	d := newDispatcher(1, 4)
+	rel, err := d.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := d.acquire(ctx, "b")
+		errc <- err
+	}()
+	waitQueued(t, d, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: err = %v, want context.Canceled", err)
+	}
+	// Releasing must shed the cancelled ticket and idle the slot.
+	rel()
+	if running, queued, _ := d.stats(); running != 0 || queued != 0 {
+		t.Fatalf("stats after cancel+release = %d running %d queued, want 0/0", running, queued)
+	}
+	// The slot is reusable.
+	rel2, err := d.acquire(context.Background(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestDispatcherDrain(t *testing.T) {
+	d := newDispatcher(1, 4)
+	rel, err := d.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := d.acquire(context.Background(), "b")
+		errc <- err
+	}()
+	waitQueued(t, d, 1)
+	idle := d.drain()
+	if err := <-errc; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued ticket on drain: err = %v, want ErrDraining", err)
+	}
+	if _, err := d.acquire(context.Background(), "c"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire while draining: err = %v, want ErrDraining", err)
+	}
+	select {
+	case <-idle:
+		t.Fatal("idle closed while a slot is still held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel()
+	select {
+	case <-idle:
+	case <-time.After(2 * time.Second):
+		t.Fatal("idle not closed after last release")
+	}
+}

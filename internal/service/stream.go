@@ -1,0 +1,89 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// This file is the streaming encoder: one RunEvent at a time to the
+// response, as NDJSON (default; Content-Type application/x-ndjson, one JSON
+// object per line) or Server-Sent Events (when the request Accepts
+// text/event-stream; each event a "data: <json>\n\n" frame). Every event is
+// flushed immediately so per-round metrics reach the client while the run
+// is still flooding.
+
+// streamFormat picks the event encoding from the request's Accept header.
+func streamFormat(r *http.Request) (sse bool) {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// eventWriter serialises RunEvents onto one HTTP response.
+type eventWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher // nil when the writer cannot flush
+	sse     bool
+	started bool
+}
+
+func newEventWriter(w http.ResponseWriter, sse bool) *eventWriter {
+	f, _ := w.(http.Flusher)
+	return &eventWriter{w: w, flusher: f, sse: sse}
+}
+
+// start writes the stream headers. Idempotent.
+func (e *eventWriter) start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	if e.sse {
+		e.w.Header().Set("Content-Type", "text/event-stream")
+		e.w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		e.w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	e.w.Header().Set("X-Content-Type-Options", "nosniff")
+	e.w.WriteHeader(http.StatusOK)
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+// write emits one event (a RunEvent or SweepEvent) and flushes it. A write
+// error means the client is gone; the caller aborts the run.
+func (e *eventWriter) write(ev any) error {
+	e.start()
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if e.sse {
+		if _, err := e.w.Write([]byte("data: ")); err != nil {
+			return err
+		}
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return err
+	}
+	tail := "\n"
+	if e.sse {
+		tail = "\n\n"
+	}
+	if _, err := e.w.Write([]byte(tail)); err != nil {
+		return err
+	}
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+	return nil
+}
+
+// writeJSON writes one JSON document with the given status — the unary
+// (non-streamed) response shape and every error response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is per-tenant admission control: a token-bucket rate limit plus
+// an in-flight cap per tenant. The shape follows the per-peer accounting of
+// block-sync request pools (every peer gets bounded credit; one hot peer
+// cannot monopolise the pool) translated to HTTP tenants: the limiter
+// answers "may this tenant start another run right now", and the dispatcher
+// in queue.go answers "is there capacity for anyone at all".
+
+// TenantLimits bounds one tenant's admission.
+type TenantLimits struct {
+	// Rate is the sustained request rate in requests/second; <= 0 disables
+	// rate limiting for the tenant.
+	Rate float64
+	// Burst is the token-bucket capacity — how many requests can arrive
+	// back-to-back before Rate applies. Min 1 when Rate > 0.
+	Burst int
+	// MaxInFlight caps the tenant's concurrently admitted runs (running or
+	// queued); <= 0 means unlimited.
+	MaxInFlight int
+}
+
+// Admission errors, matchable with errors.Is.
+var (
+	// ErrRateLimited means the tenant's token bucket is empty.
+	ErrRateLimited = errors.New("service: tenant rate limit exceeded")
+	// ErrTooManyInFlight means the tenant is at its in-flight cap.
+	ErrTooManyInFlight = errors.New("service: tenant in-flight limit reached")
+)
+
+// tenantState is one tenant's bucket: fractional tokens, last refill time,
+// and the in-flight count.
+type tenantState struct {
+	tokens   float64
+	last     time.Time
+	inFlight int
+}
+
+// limiter is the tenant admission ledger. All tenants share one set of
+// limits (per-tenant overrides ride in overrides); state is created lazily
+// on first sight of a tenant. The clock is injectable for tests.
+type limiter struct {
+	mu        sync.Mutex
+	defaults  TenantLimits
+	overrides map[string]TenantLimits
+	tenants   map[string]*tenantState
+	now       func() time.Time
+}
+
+func newLimiter(defaults TenantLimits, overrides map[string]TenantLimits) *limiter {
+	return &limiter{
+		defaults:  defaults,
+		overrides: overrides,
+		tenants:   map[string]*tenantState{},
+		now:       time.Now,
+	}
+}
+
+// limitsFor resolves the limits applying to one tenant.
+func (l *limiter) limitsFor(tenant string) TenantLimits {
+	if lim, ok := l.overrides[tenant]; ok {
+		return lim
+	}
+	return l.defaults
+}
+
+// admit takes one admission token for the tenant and counts it in-flight.
+// On success the caller must call release exactly once when the run leaves
+// the system. On ErrRateLimited the returned duration is how long until a
+// token accrues — the Retry-After the handler surfaces.
+func (l *limiter) admit(tenant string) (release func(), retryAfter time.Duration, err error) {
+	lim := l.limitsFor(tenant)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.tenants[tenant]
+	if !ok {
+		st = &tenantState{tokens: float64(max(lim.Burst, 1)), last: l.now()}
+		l.tenants[tenant] = st
+	}
+	if lim.Rate > 0 {
+		now := l.now()
+		burst := float64(max(lim.Burst, 1))
+		st.tokens = min(burst, st.tokens+now.Sub(st.last).Seconds()*lim.Rate)
+		st.last = now
+		if st.tokens < 1 {
+			// Time until the bucket refills to one whole token.
+			wait := time.Duration((1 - st.tokens) / lim.Rate * float64(time.Second))
+			return nil, wait, fmt.Errorf("%w (tenant %q)", ErrRateLimited, tenant)
+		}
+	}
+	if lim.MaxInFlight > 0 && st.inFlight >= lim.MaxInFlight {
+		return nil, 0, fmt.Errorf("%w (tenant %q, cap %d)", ErrTooManyInFlight, tenant, lim.MaxInFlight)
+	}
+	if lim.Rate > 0 {
+		st.tokens--
+	}
+	st.inFlight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			st.inFlight--
+			l.mu.Unlock()
+		})
+	}, 0, nil
+}
+
+// inFlight reports one tenant's current in-flight count (for tests and
+// stats).
+func (l *limiter) inFlight(tenant string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if st, ok := l.tenants[tenant]; ok {
+		return st.inFlight
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for deterministic refill tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestLimiterTokenBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := newLimiter(TenantLimits{Rate: 2, Burst: 2}, nil)
+	l.now = clk.now
+
+	// Burst admits two back-to-back; the third is rate limited with a
+	// positive Retry-After (half a second at 2 req/s).
+	for i := range 2 {
+		rel, _, err := l.admit("t")
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		rel()
+	}
+	_, retry, err := l.admit("t")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("bucket empty: err = %v, want ErrRateLimited", err)
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retry)
+	}
+
+	// One token accrues after 500ms at 2/s.
+	clk.advance(500 * time.Millisecond)
+	rel, _, err := l.admit("t")
+	if err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	rel()
+
+	// The bucket never exceeds Burst: a long idle period still admits only
+	// Burst back-to-back requests.
+	clk.advance(time.Hour)
+	for i := range 2 {
+		if rel, _, err := l.admit("t"); err != nil {
+			t.Fatalf("post-idle admit %d: %v", i, err)
+		} else {
+			rel()
+		}
+	}
+	if _, _, err := l.admit("t"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("post-idle burst exceeded: err = %v, want ErrRateLimited", err)
+	}
+}
+
+func TestLimiterInFlightCap(t *testing.T) {
+	l := newLimiter(TenantLimits{MaxInFlight: 2}, nil) // Rate 0: no rate limit
+	rel1, _, err := l.admit("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, _, err := l.admit("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.admit("t"); !errors.Is(err, ErrTooManyInFlight) {
+		t.Fatalf("over cap: err = %v, want ErrTooManyInFlight", err)
+	}
+	// Another tenant has its own ledger.
+	relOther, _, err := l.admit("other")
+	if err != nil {
+		t.Fatalf("other tenant blocked by t's cap: %v", err)
+	}
+	relOther()
+	rel1()
+	rel1() // idempotent: must not free a second count
+	if got := l.inFlight("t"); got != 1 {
+		t.Fatalf("inFlight after one release (double-called) = %d, want 1", got)
+	}
+	rel2()
+	if got := l.inFlight("t"); got != 0 {
+		t.Fatalf("inFlight = %d, want 0", got)
+	}
+}
+
+func TestLimiterOverrides(t *testing.T) {
+	l := newLimiter(TenantLimits{MaxInFlight: 1},
+		map[string]TenantLimits{"vip": {MaxInFlight: 2}})
+	relA, _, err := l.admit("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relA()
+	if _, _, err := l.admit("plain"); !errors.Is(err, ErrTooManyInFlight) {
+		t.Fatalf("plain over cap: err = %v", err)
+	}
+	rel1, _, err := l.admit("vip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel1()
+	rel2, _, err := l.admit("vip")
+	if err != nil {
+		t.Fatalf("vip second admit: %v", err)
+	}
+	defer rel2()
+}

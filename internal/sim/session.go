@@ -345,6 +345,27 @@ func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins [
 	return res, err
 }
 
+// RunFrom executes one run flooding from the given origin set, rebuilding
+// the session's registered protocol for those origins while reusing the
+// session's engines, arenas, and attached analyses — the hook a serving
+// layer's session pool uses to answer requests with per-request origins
+// from one long-lived pooled Session (see internal/service). An empty
+// origin set means node 0. Like RunBatch it needs a registry protocol; the
+// session's configured origins are untouched, so Run keeps its meaning.
+func (s *Session) RunFrom(ctx context.Context, origins []graph.NodeID) (engine.Result, error) {
+	if s.proto != nil {
+		return engine.Result{}, errors.New("sim: RunFrom needs a registry protocol (use WithProtocol, not WithProtocolInstance)")
+	}
+	if len(origins) == 0 {
+		origins = []graph.NodeID{0}
+	}
+	proto, err := NewProtocol(s.protoName, s.spec(origins))
+	if err != nil {
+		return engine.Result{}, err
+	}
+	return s.runProto(ctx, proto, origins)
+}
+
 // RunBatch executes one run per source, each a fresh instance of the
 // session's registered protocol flooding from that single origin. On the
 // Fast and Parallel engines all runs share the session's arenas, so

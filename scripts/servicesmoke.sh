@@ -1,0 +1,82 @@
+#!/bin/sh
+# End-to-end smoke test of the afsimd daemon: build it, boot it on a free
+# port, hit /healthz, /v1/registry, a streamed /v1/run, and a unary run,
+# then SIGTERM it and assert it drains cleanly (exit 0, "drained cleanly"
+# on stderr). Used by `make smoke-service` and the CI smoke job. Requires
+# only a POSIX shell and curl.
+set -eu
+
+PORT="${AFSIMD_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/afsimd"
+LOG="$(mktemp)"
+
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+    rm -rf "$(dirname "$BIN")"
+}
+
+go build -o "$BIN" ./cmd/afsimd
+
+"$BIN" -addr "127.0.0.1:$PORT" 2>"$LOG" &
+PID=$!
+trap cleanup EXIT
+
+# Wait for the daemon to come up.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "afsimd did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== healthz"
+curl -sf "$BASE/healthz" | grep -q '"status":"ok"'
+
+echo "== registry enumerates all five axes"
+REG=$(curl -sf "$BASE/v1/registry")
+for key in protocols engines graphs models analyses; do
+    echo "$REG" | grep -q "\"$key\"" || { echo "registry misses $key" >&2; exit 1; }
+done
+echo "$REG" | grep -q '"amnesiac"'
+
+echo "== streamed run emits round events and a result"
+STREAM=$(curl -sf -X POST "$BASE/v1/run" \
+    -H 'Content-Type: application/json' \
+    -d '{"graph":"grid:rows=8,cols=8","engine":"fast","analyses":["coverage","termination"]}')
+echo "$STREAM" | grep -q '"event":"round"'
+echo "$STREAM" | tail -n 1 | grep -q '"event":"result"'
+echo "$STREAM" | tail -n 1 | grep -q '"outcome":"terminated"'
+
+echo "== unary run answers one result document"
+curl -sf -X POST "$BASE/v1/run" \
+    -H 'Content-Type: application/json' \
+    -d '{"graph":"cycle:n=65","stream":false,"analyses":["termination"]}' \
+    | grep -q '"terminated":true'
+
+echo "== bad spec answers a structured 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/run" \
+    -H 'Content-Type: application/json' -d '{"graph":"doughnut:n=8"}')
+[ "$CODE" = "400" ] || { echo "bad spec answered $CODE, want 400" >&2; exit 1; }
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "afsimd did not exit after SIGTERM; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || EXIT=$?
+grep -q "drained cleanly" "$LOG" || { echo "no clean-drain marker; log:" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "service smoke: OK"
