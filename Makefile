@@ -14,7 +14,7 @@ BENCHFILE := BENCH_$(DATE).json
 BENCHTIME ?= 50ms
 BENCHCOUNT ?= 1
 
-.PHONY: all build test vet race fuzz bench bench-smoke suite serve smoke-service
+.PHONY: all build test vet race fuzz bench bench-smoke suite suite-shard serve smoke-service
 
 all: vet build test
 
@@ -28,7 +28,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/engine/... ./internal/core ./internal/service
+	go test -race ./internal/engine/... ./internal/core ./internal/service ./internal/shard
 
 fuzz:
 	go test -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine/fastengine
@@ -75,6 +75,15 @@ SUITE_MATRIX := -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
 	  -protocols amnesiac,classic \
 	  -engines sequential,parallel \
 	  -seeds 1,2 -workers 8 -format jsonl
+
+# suite-shard is the distributed face of the same gate: a coordinator
+# (cmd/afshard) partitions the matrix into lease groups, two external worker
+# processes execute them under chaos injection, one worker is SIGKILLed while
+# holding a lease (its group is stolen after the TTL), and
+# scripts/suitediff.sh asserts the merged gzip output is byte-identical to a
+# single-process afbench run of the same matrix.
+suite-shard:
+	./scripts/shardsmoke.sh
 
 suite:
 	go run ./cmd/afbench -suite $(SUITE_MATRIX) -out /tmp/suite_clean.jsonl

@@ -28,13 +28,20 @@
 package main
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"amnesiacflood/internal/analysis"
@@ -42,6 +49,7 @@ import (
 	"amnesiacflood/internal/experiments"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/scenario"
+	"amnesiacflood/internal/shard"
 	"amnesiacflood/internal/sim"
 
 	// Self-registering protocols and model families for the scenario
@@ -95,6 +103,8 @@ func run(args []string) error {
 	chaosSpec := fs.String("chaos", "", "fault-injection spec, e.g. \"chaos:rate=0.15,kinds=err|panic|stall,seed=7,stall=100ms\" (suite mode)")
 	checkpoint := fs.String("checkpoint", "", "JSONL checkpoint journaling completed rows for resumption (suite mode)")
 	resume := fs.Bool("resume", false, "resume from -checkpoint, skipping its completed specs (suite mode)")
+	shardWorkers := fs.Int("shard-workers", 0, "execute the suite through an in-process shard coordinator with this many shard workers (suite mode; see internal/shard)")
+	shardCoordinator := fs.String("shard-coordinator", "", "listen address for the shard coordinator, so external `afshard -mode worker` processes can join (suite mode; implies sharded execution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,24 +126,26 @@ func run(args []string) error {
 			return fmt.Errorf("experiment-mode flags are not valid with -suite: %s", strings.Join(bad, ", "))
 		}
 		return runSuite(suiteOpts{
-			graphs:     *graphs,
-			protocols:  *protocols,
-			engines:    *engines,
-			models:     modelAxis(*models, *adversaries, *schedules),
-			analyses:   *analyses,
-			origins:    *origins,
-			seeds:      *seeds,
-			reps:       *reps,
-			workers:    *workers,
-			maxRounds:  *maxRounds,
-			format:     *format,
-			out:        *out,
-			retries:    *retries,
-			timeout:    *timeout,
-			backoff:    *backoff,
-			chaos:      *chaosSpec,
-			checkpoint: *checkpoint,
-			resume:     *resume,
+			graphs:           *graphs,
+			protocols:        *protocols,
+			engines:          *engines,
+			models:           modelAxis(*models, *adversaries, *schedules),
+			analyses:         *analyses,
+			origins:          *origins,
+			seeds:            *seeds,
+			reps:             *reps,
+			workers:          *workers,
+			maxRounds:        *maxRounds,
+			format:           *format,
+			out:              *out,
+			retries:          *retries,
+			timeout:          *timeout,
+			backoff:          *backoff,
+			chaos:            *chaosSpec,
+			checkpoint:       *checkpoint,
+			resume:           *resume,
+			shardWorkers:     *shardWorkers,
+			shardCoordinator: *shardCoordinator,
 		})
 	}
 
@@ -212,7 +224,15 @@ type suiteOpts struct {
 	chaos      string
 	checkpoint string
 	resume     bool
+	// shardWorkers > 0 or a non-empty shardCoordinator address routes the
+	// suite through an internal/shard coordinator instead of the local
+	// runner (see runShardedSuite).
+	shardWorkers     int
+	shardCoordinator string
 }
+
+// sharded reports whether the suite should fan out through internal/shard.
+func (o suiteOpts) sharded() bool { return o.shardWorkers > 0 || o.shardCoordinator != "" }
 
 // runSuite expands and executes the scenario matrix described by the suite
 // flags.
@@ -272,7 +292,8 @@ func runSuite(o suiteOpts) error {
 		// existing -out file.
 		return fmt.Errorf("unknown -format %q (want jsonl, csv, or table)", o.format)
 	}
-	w := os.Stdout
+	var w io.Writer = os.Stdout
+	var gz *gzip.Writer
 	if o.out != "" {
 		f, err := os.Create(o.out)
 		if err != nil {
@@ -280,6 +301,15 @@ func runSuite(o suiteOpts) error {
 		}
 		defer f.Close()
 		w = f
+		// A .gz output path transparently compresses (stdlib gzip; the
+		// module stays zero-dependency). The explicit Close on the success
+		// path checks the flush error; the deferred one is the error-path
+		// safety net (a second Close is a no-op).
+		if strings.HasSuffix(o.out, ".gz") {
+			gz = gzip.NewWriter(f)
+			defer gz.Close()
+			w = gz
+		}
 	}
 	var sink scenario.Sink
 	var flush func() error
@@ -304,18 +334,17 @@ func runSuite(o suiteOpts) error {
 		sink = agg
 	}
 
-	runner := &scenario.Runner{
-		Workers:    o.workers,
-		Sink:       sink,
-		RunTimeout: o.timeout,
-		Retries:    o.retries,
-		Backoff:    o.backoff,
-		Chaos:      injector,
-	}
 	var results []scenario.Result
-	if o.checkpoint != "" {
+	switch {
+	case o.sharded():
+		results, err = runShardedSuite(context.Background(), o, specs, sink)
+		if err != nil {
+			return err
+		}
+	case o.checkpoint != "":
 		// A fresh (non-resume) run must not inherit a stale journal: it
 		// would silently skip every spec the old sweep completed.
+		runner := suiteRunner(o, sink, injector)
 		if !o.resume {
 			if err := os.Remove(o.checkpoint); err != nil && !os.IsNotExist(err) {
 				return err
@@ -332,8 +361,8 @@ func runSuite(o suiteOpts) error {
 		if err != nil {
 			return err
 		}
-	} else {
-		results, err = runner.Run(context.Background(), specs)
+	default:
+		results, err = suiteRunner(o, sink, injector).Run(context.Background(), specs)
 		if err != nil {
 			return err
 		}
@@ -348,21 +377,162 @@ func runSuite(o suiteOpts) error {
 			return err
 		}
 	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
 	failed := 0
 	for _, res := range results {
 		if res.Err != "" {
 			failed++
 		}
 	}
-	workers := o.workers
-	if workers <= 0 {
-		workers = scenario.DefaultWorkers()
+	if o.sharded() {
+		fmt.Fprintf(os.Stderr, "suite: %d specs, %d failed (%d shard workers)\n", len(results), failed, o.shardWorkers)
+	} else {
+		workers := o.workers
+		if workers <= 0 {
+			workers = scenario.DefaultWorkers()
+		}
+		fmt.Fprintf(os.Stderr, "suite: %d specs, %d failed (%d workers)\n", len(results), failed, workers)
 	}
-	fmt.Fprintf(os.Stderr, "suite: %d specs, %d failed (%d workers)\n", len(results), failed, workers)
 	if failed > 0 {
 		return fmt.Errorf("%d of %d suite runs failed", failed, len(results))
 	}
 	return nil
+}
+
+// suiteRunner builds the in-process runner the non-sharded paths share.
+func suiteRunner(o suiteOpts, sink scenario.Sink, injector *chaos.Injector) *scenario.Runner {
+	return &scenario.Runner{
+		Workers:    o.workers,
+		Sink:       sink,
+		RunTimeout: o.timeout,
+		Retries:    o.retries,
+		Backoff:    o.backoff,
+		Chaos:      injector,
+	}
+}
+
+// runShardedSuite executes the suite through an internal/shard coordinator:
+// the matrix is partitioned into lease groups, in-process shard workers (and,
+// when -shard-coordinator names a reachable address, external `afshard -mode
+// worker` processes) execute them through the ordinary resilient runner, and
+// the coordinator merges the uploads into the ordinary sink stack. The merged
+// output is order-normalised byte-identical to the single-process path.
+func runShardedSuite(ctx context.Context, o suiteOpts, specs []scenario.Spec, sink scenario.Sink) ([]scenario.Result, error) {
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	cfg := shard.CoordinatorConfig{
+		Run: shard.RunConfig{
+			TimeoutMs:     o.timeout.Milliseconds(),
+			Retries:       o.retries,
+			BackoffMs:     o.backoff.Milliseconds(),
+			Chaos:         o.chaos,
+			MaxRoundsHint: o.maxRounds,
+		},
+		Sink:   sink,
+		Logger: logger,
+	}
+	if o.checkpoint != "" {
+		if !o.resume {
+			if err := os.Remove(o.checkpoint); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+		m, err := scenario.OpenManifest(o.checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer m.Close()
+		cfg.Manifest = m
+	}
+	coord, err := shard.NewCoordinator(specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	addr := o.shardCoordinator
+	if addr == "" {
+		addr = "127.0.0.1:0" // loopback only: purely in-process fan-out
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	if o.shardCoordinator != "" {
+		fmt.Fprintf(os.Stderr, "suite: shard coordinator listening on %s\n", ln.Addr())
+	}
+
+	waitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var workerMu sync.Mutex
+	var workerErr error
+	base := coordinatorURL(ln.Addr())
+	for i := 0; i < o.shardWorkers; i++ {
+		w, err := shard.NewWorker(shard.WorkerConfig{
+			Coordinator: base,
+			Name:        fmt.Sprintf("local-%d", i),
+			Pool:        o.workers,
+			Logger:      logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(waitCtx); err != nil && !errors.Is(err, context.Canceled) {
+				workerMu.Lock()
+				if workerErr == nil {
+					workerErr = err
+				}
+				workerMu.Unlock()
+			}
+		}()
+	}
+	if o.shardWorkers > 0 && o.shardCoordinator == "" {
+		// Pure in-process fan-out: if every local worker dies the suite can
+		// never finish, so stop waiting instead of hanging forever.
+		go func() {
+			wg.Wait()
+			select {
+			case <-coord.Done():
+			default:
+				cancel()
+			}
+		}()
+	}
+	results, err := coord.Wait(waitCtx)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		workerMu.Lock()
+		defer workerMu.Unlock()
+		if workerErr != nil {
+			return results, fmt.Errorf("shard worker: %w", workerErr)
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// coordinatorURL builds the loopback base URL in-process shard workers dial:
+// a listener bound to an unspecified address (e.g. ":9090") is reachable at
+// 127.0.0.1 on the same port.
+func coordinatorURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // splitList splits on sep, trimming whitespace and dropping empties.

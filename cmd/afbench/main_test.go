@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -182,9 +184,9 @@ func TestRunSuiteErrors(t *testing.T) {
 		{"-suite", "-graphs", "path:n=6", "-schedules", "zzz"},   // unknown schedule family
 		// classic × adversary cells fail at run time (model needs amnesiac).
 		{"-suite", "-graphs", "path:n=6", "-protocols", "classic", "-adversaries", "sync"},
-		{"-suite", "-graphs", "path:n=6", "-engine", "parallel"}, // experiment-mode flag in suite mode
-		{"-suite", "-graphs", "path:n=6", "-seed", "3"},          // -seed typo for -seeds
-		{"-suite", "-graphs", "path:n=6", "-json"},               // -json typo for -format
+		{"-suite", "-graphs", "path:n=6", "-engine", "parallel"},    // experiment-mode flag in suite mode
+		{"-suite", "-graphs", "path:n=6", "-seed", "3"},             // -seed typo for -seeds
+		{"-suite", "-graphs", "path:n=6", "-json"},                  // -json typo for -format
 		{"-suite", "-graphs", "path:n=6", "-chaos", "chaos:rate=2"}, // rate outside [0,1]
 		{"-suite", "-graphs", "path:n=6", "-chaos", "burn:rate=1"},  // wrong spec family
 		{"-suite", "-graphs", "path:n=6", "-resume"},                // -resume without -checkpoint
@@ -261,8 +263,110 @@ func TestRunSuiteCheckpointResume(t *testing.T) {
 	}
 }
 
-// normalizeJSONL reads a suite JSONL file and renders it order-normalised:
-// rows sorted by spec identity with wall time and attempts zeroed.
+// TestRunSuiteSharded: the same matrix through -shard-workers 1 and 4 — and
+// through 4 shard workers under chaos injection with retries — merges
+// byte-identical (order-normalised) to the plain in-process run.
+func TestRunSuiteSharded(t *testing.T) {
+	dir := t.TempDir()
+	matrix := []string{"-suite",
+		"-graphs", "grid:rows=3,cols=4;cycle:n=9",
+		"-protocols", "amnesiac,classic",
+		"-seeds", "1,2",
+		"-format", "jsonl",
+	}
+	base := filepath.Join(dir, "base.jsonl")
+	if err := run(append(matrix, "-out", base)); err != nil {
+		t.Fatal(err)
+	}
+	want := normalizeJSONL(t, base)
+	for _, n := range []string{"1", "4"} {
+		out := filepath.Join(dir, "shard"+n+".jsonl")
+		if err := run(append(matrix, "-shard-workers", n, "-out", out)); err != nil {
+			t.Fatal(err)
+		}
+		if got := normalizeJSONL(t, out); got != want {
+			t.Errorf("-shard-workers %s diverged from the in-process run:\n%s\nvs\n%s", n, got, want)
+		}
+	}
+	chaotic := filepath.Join(dir, "chaos.jsonl")
+	if err := run(append(matrix, "-shard-workers", "4",
+		"-chaos", "chaos:rate=0.15,kinds=err|panic|stall,seed=7,stall=1ms",
+		"-retries", "8", "-backoff", "1ms", "-timeout", "30s",
+		"-out", chaotic)); err != nil {
+		t.Fatal(err)
+	}
+	if got := normalizeJSONL(t, chaotic); got != want {
+		t.Errorf("chaotic sharded suite diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestRunSuiteGzipOut: a .gz -out path transparently compresses, for both
+// the in-process and the sharded paths, and both decompress to the same
+// normalised rows.
+func TestRunSuiteGzipOut(t *testing.T) {
+	dir := t.TempDir()
+	matrix := []string{"-suite", "-graphs", "path:n=6;cycle:n=7", "-seeds", "1,2", "-format", "jsonl"}
+	plain := filepath.Join(dir, "suite.jsonl")
+	packed := filepath.Join(dir, "suite.jsonl.gz")
+	sharded := filepath.Join(dir, "sharded.jsonl.gz")
+	if err := run(append(matrix, "-out", plain)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(matrix, "-out", packed)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(matrix, "-shard-workers", "2", "-out", sharded)); err != nil {
+		t.Fatal(err)
+	}
+	want := normalizeJSONL(t, plain)
+	if got := normalizeJSONL(t, packed); got != want {
+		t.Fatalf("gzip suite output diverged:\n%s\nvs\n%s", got, want)
+	}
+	if got := normalizeJSONL(t, sharded); got != want {
+		t.Fatalf("sharded gzip suite output diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestRunSuiteShardedCheckpointResume: a completed sharded checkpointed run
+// resumed over the same matrix replays everything and appends nothing.
+func TestRunSuiteShardedCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	first := filepath.Join(dir, "first.jsonl")
+	second := filepath.Join(dir, "second.jsonl")
+	matrix := []string{"-suite",
+		"-graphs", "path:n=6;cycle:n=7",
+		"-protocols", "amnesiac,classic",
+		"-seeds", "1,2",
+		"-format", "jsonl",
+		"-checkpoint", ckpt,
+		"-shard-workers", "2",
+	}
+	if err := run(append(matrix, "-out", first)); err != nil {
+		t.Fatal(err)
+	}
+	ckptBefore, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(matrix, "-resume", "-out", second)); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := normalizeJSONL(t, first), normalizeJSONL(t, second); a != b {
+		t.Fatalf("resumed sharded suite diverged:\n%s\nvs\n%s", b, a)
+	}
+	ckptAfter, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckptBefore) != string(ckptAfter) {
+		t.Fatal("no-op sharded resume rewrote the checkpoint journal")
+	}
+}
+
+// normalizeJSONL reads a suite JSONL file (gunzipping .gz paths) and renders
+// it order-normalised: rows sorted by spec identity with wall time and
+// attempts zeroed.
 func normalizeJSONL(t *testing.T, path string) string {
 	t.Helper()
 	f, err := os.Open(path)
@@ -270,8 +374,17 @@ func normalizeJSONL(t *testing.T, path string) string {
 		t.Fatal(err)
 	}
 	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			t.Fatalf("%s is not gzip: %v", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
 	var lines []string
-	scanner := bufio.NewScanner(f)
+	scanner := bufio.NewScanner(r)
 	for scanner.Scan() {
 		var row map[string]any
 		if err := json.Unmarshal(scanner.Bytes(), &row); err != nil {

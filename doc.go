@@ -93,6 +93,22 @@
 //
 //	curl -N localhost:8080/v1/run -d '{"graph":"grid:rows=64,cols=64","analyses":["coverage"]}'
 //
+// Suites also distribute across machines: internal/shard (daemonised as
+// cmd/afshard) partitions a scenario matrix into session-sharing spec groups
+// and leases them over HTTP to shard workers, which execute each group
+// through the ordinary resilient scenario runner and upload the rows
+// gzip-compressed. Leases carry TTLs — a worker killed mid-suite silently
+// loses its lease and the next idle worker steals the group — completions
+// merge first-write-wins through an optional resumable manifest, and because
+// every row is a deterministic function of its spec, the merged suite is
+// order-normalised byte-identical to a single-process run under any worker
+// count, worker kills, or chaos injection (`make suite-shard` gates on it).
+// `afbench -suite -shard-workers 4` runs the same fan-out in-process;
+// `-shard-coordinator :9090` lets external workers join:
+//
+//	afshard -mode coordinator -addr :9090 -graphs "grid:rows=8,cols=8" -out suite.jsonl.gz
+//	afshard -mode worker -coordinator http://host:9090
+//
 // Packages:
 //
 //	internal/sim              façade: protocol registry, session API, observers, model + analysis axes
@@ -101,6 +117,7 @@
 //	internal/model            execution-model registry, packed async/dynamic engines, certificates
 //	internal/analysis         streaming-analysis registry: coverage, termination, bipartite, spantree, echo, quantiles
 //	internal/scenario         declarative suites: spec matrix, pooled runner, sinks, metric columns
+//	internal/shard            distributed suite sharding: lease protocol, work stealing, resumable merge
 //	internal/graph            immutable simple graphs, builder, CSR view, encodings
 //	internal/graph/gen        graph families behind a spec-grammar registry
 //	internal/graph/algo       BFS, diameter, bipartiteness ground truth
@@ -127,8 +144,10 @@
 // on any graph spec under any -model, with -analyze attaching streaming
 // analyses; -list prints every registry), cmd/afbench (paper experiment
 // suite, or a scenario matrix with -suite and the
-// -models/-adversaries/-schedules/-analyses axes), cmd/afviz (trace
-// rendering; -graph/-list mirror afsim), cmd/afsimd (the simulation
-// daemon; see internal/service/README.md). Runnable examples live under
+// -models/-adversaries/-schedules/-analyses axes, sharded across workers
+// with -shard-workers/-shard-coordinator), cmd/afviz (trace rendering;
+// -graph/-list mirror afsim), cmd/afsimd (the simulation daemon; see
+// internal/service/README.md), cmd/afshard (distributed suite coordinator
+// and workers; see internal/shard/README.md). Runnable examples live under
 // examples/.
 package amnesiacflood

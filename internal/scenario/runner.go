@@ -142,6 +142,13 @@ func groupKey(s Spec) string {
 		MaxRounds: s.MaxRounds}.ID()
 }
 
+// GroupKey exposes the runner's session-sharing partition: specs with equal
+// keys share one built graph and one sim.Session (and hence fast-engine
+// arenas) when executed together. It is the natural unit of distributed
+// work — internal/shard leases whole groups to shard workers so each lease
+// keeps the runner's arena-reuse locality.
+func GroupKey(s Spec) string { return groupKey(s) }
+
 // Run executes every spec and returns the results sorted by Spec ID (the
 // order-normalised form). Individual run failures — including recovered
 // panics, expired watchdogs, and exhausted retry budgets — are recorded in
@@ -223,6 +230,10 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	// must not mask the sink error behind ctx.Err().
 	return results, errors.Join(ctx.Err(), sinkErr)
 }
+
+// SortResults order-normalises results in place by Spec ID — the canonical
+// order every suite comparison (and the shard coordinator's merge) uses.
+func SortResults(results []Result) { sortByID(results) }
 
 // sortByID order-normalises results by Spec ID, computing each key once
 // up front instead of inside the comparator (Spec.ID allocates): results

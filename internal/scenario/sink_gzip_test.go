@@ -1,0 +1,79 @@
+package scenario_test
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amnesiacflood/internal/scenario"
+)
+
+// TestJSONLFileSinkGzipRoundTrip: the same rows written through a plain file
+// sink and a .gz one decompress to identical bytes — the compressed sink is a
+// transparent wrapper, not a different format.
+func TestJSONLFileSinkGzipRoundTrip(t *testing.T) {
+	specs, err := scenario.Matrix{
+		Graphs:    []string{"cycle:n=9", "path:n=6"},
+		Protocols: []string{"amnesiac"},
+		Seeds:     []int64{1, 2},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plainPath := filepath.Join(dir, "suite.jsonl")
+	gzPath := filepath.Join(dir, "suite.jsonl.gz")
+
+	// One execution, two sinks: WallMicros is execution-dependent, so the
+	// byte comparison needs identical rows, not identical specs.
+	results, err := (&scenario.Runner{}).Run(t.Context(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{plainPath, gzPath} {
+		sink, closer, err := scenario.NewJSONLFileSink(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range results {
+			if err := sink.Write(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := closer.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plain, err := os.ReadFile(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) == 0 {
+		t.Fatal("plain sink wrote nothing")
+	}
+	raw, err := os.ReadFile(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw, plain) {
+		t.Fatal(".gz sink wrote uncompressed bytes")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("gz sink output is not gzip: %v", err)
+	}
+	var inflated bytes.Buffer
+	if _, err := inflated.ReadFrom(bufio.NewReader(zr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inflated.Bytes(), plain) {
+		t.Fatalf("gzip round trip diverged:\n%s\nvs\n%s", inflated.Bytes(), plain)
+	}
+}

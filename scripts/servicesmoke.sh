@@ -59,6 +59,22 @@ curl -sf -X POST "$BASE/v1/run" \
     -d '{"graph":"cycle:n=65","stream":false,"analyses":["termination"]}' \
     | grep -q '"terminated":true'
 
+echo "== sweep streams one row per cell and a done summary"
+# 2 graphs x 2 protocols x 2 seeds = 8 cells.
+SWEEP=$(curl -sf -X POST "$BASE/v1/sweep" \
+    -H 'Content-Type: application/json' \
+    -d '{"graphs":["cycle:n=9","grid:rows=3,cols=4"],"protocols":["amnesiac","classic"],"seeds":[1,2]}')
+ROWS=$(echo "$SWEEP" | grep -c '"event":"row"')
+[ "$ROWS" = "8" ] || { echo "sweep streamed $ROWS rows, want 8" >&2; exit 1; }
+echo "$SWEEP" | tail -n 1 | grep -q '"event":"done"' \
+    || { echo "sweep did not end with a done event" >&2; exit 1; }
+echo "$SWEEP" | tail -n 1 | grep -q '"cells":8'
+# "failed" is omitted from the summary when zero; its presence means failures.
+if echo "$SWEEP" | tail -n 1 | grep -q '"failed"'; then
+    echo "sweep reported failed cells: $(echo "$SWEEP" | tail -n 1)" >&2
+    exit 1
+fi
+
 echo "== bad spec answers a structured 400"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/run" \
     -H 'Content-Type: application/json' -d '{"graph":"doughnut:n=8"}')
