@@ -58,8 +58,9 @@ serve:
 smoke-service:
 	./scripts/servicesmoke.sh
 
-# suite runs a tiny scenario matrix (3 graph families x 2 protocols x 2
-# engines, 2 seeds) through the JSONL sink over an 8-worker pool — the
+# suite runs a tiny scenario matrix (3 graph families x 2 protocols x 3
+# engines including bitset, 2 seeds) through the JSONL sink over an
+# 8-worker pool — the
 # end-to-end smoke test of the graph-spec registry, the scenario layer, and
 # the afbench suite mode. The same matrix then reruns (race-enabled) under
 # deterministic chaos injection — 15% of runs hit an injected error, panic,
@@ -73,7 +74,7 @@ smoke-service:
 # that metric columns are identical under parallel and sequential execution.
 SUITE_MATRIX := -graphs "grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2" \
 	  -protocols amnesiac,classic \
-	  -engines sequential,parallel \
+	  -engines sequential,parallel,bitset \
 	  -seeds 1,2 -workers 8 -format jsonl
 
 # suite-shard is the distributed face of the same gate: a coordinator

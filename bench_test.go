@@ -723,6 +723,70 @@ func BenchmarkFloodScaling(b *testing.B) {
 	}
 }
 
+// Engine scaling sweep: the arena-reusing engines (CSR fast, its sharded
+// mode, and the bitset frontier engine) across three shapes and three sizes
+// up to a million nodes. The shapes stress different regimes: the path is
+// pure per-round overhead (a two-node frontier for n-1 rounds), the grid a
+// steadily growing wavefront, and the sparse gnp instance a few rounds of
+// near-total frontier — the regime where the bitset engine's word-parallel
+// OR/AND-NOT sweep replaces per-message work with per-64-edge work.
+// Sessions are untraced, so ns/op is the round-kernel cost alone.
+func BenchmarkEngineScale(b *testing.B) {
+	scaleEngines := []sim.EngineKind{sim.Fast, sim.Parallel, sim.Bitset}
+	specs := func(n, side int) []string {
+		return []string{
+			fmt.Sprintf("path:n=%d", n),
+			fmt.Sprintf("grid:rows=%d,cols=%d", side, side),
+			// Expected degree 64 — a dense frontier: nearly every node sends
+			// on nearly every round, so message volume scales linearly with n
+			// and the round kernel dominates.
+			fmt.Sprintf("gnp:n=%d,p=%g", n, 64/float64(n)),
+		}
+	}
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		side := 1
+		for side*side < n {
+			side *= 2
+		}
+		for _, spec := range specs(n, side) {
+			for _, kind := range scaleEngines {
+				// Graphs are built inside the sub-benchmark so filtered runs
+				// (-bench '.../n=1048576') never pay for the instances they
+				// skip.
+				b.Run(fmt.Sprintf("%s/%s", spec, kind), func(b *testing.B) {
+					g := gen.MustBuild(spec, 1)
+					sess, err := sim.New(g,
+						sim.WithProtocol("amnesiac"),
+						sim.WithEngine(kind),
+						sim.WithOrigins(0),
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// One untimed run amortises engine setup (relabeling,
+					// arena growth), so ns/op is the steady-state round
+					// kernel every engine settles into under session reuse.
+					if _, err := sess.Run(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+					var res engine.Result
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err = sess.Run(context.Background())
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(res.Rounds), "rounds")
+					b.ReportMetric(float64(res.TotalMessages), "messages")
+				})
+			}
+		}
+	}
+}
+
 // Reference-engine round loop: the sequential engine's per-round grouping
 // (re-sort of the normalised send set, no map, no per-batch slices) on
 // workloads where grouping dominates. Dense rounds (clique) maximise sends

@@ -13,11 +13,14 @@
 // alive forever by a scheduling adversary.
 //
 // The repository reproduces every evaluation artifact of the paper (Figures
-// 1-5 and Theorems 3.1/3.3, see DESIGN.md and EXPERIMENTS.md) on four
+// 1-5 and Theorems 3.1/3.3, see DESIGN.md and EXPERIMENTS.md) on five
 // interchangeable synchronous substrates — a deterministic sequential
-// reference engine, a goroutine-per-node channel engine, and a
-// zero-allocation compressed-sparse-row engine with an optional parallel
-// sharded-delivery mode — plus asynchronous and dynamic-network model
+// reference engine, a goroutine-per-node channel engine, a zero-allocation
+// compressed-sparse-row engine with an optional parallel sharded-delivery
+// mode, and a word-parallel bitset frontier engine that executes set-rule
+// protocols (amnesiac, classic) as OR/AND-NOT sweeps over packed directed
+// edge slots, with push/pull kernels chosen per round by frontier density
+// and an optional word-sharded mode — plus asynchronous and dynamic-network model
 // engines with pluggable adversaries/schedules and configuration-cycle
 // non-termination certificates. The engines are trace-equivalent:
 // byte-identical traces on every protocol (and, for the model engines,
@@ -48,7 +51,11 @@
 // Graphs are equally registry-driven: every family in internal/graph/gen
 // self-registers under a canonical spec grammar ("grid:rows=64,cols=64",
 // "gnp:n=200,p=0.05,connect=true"; afsim -list enumerates it), with
-// seeded-deterministic random families. internal/scenario closes the
+// seeded-deterministic random families. Large random instances build
+// streamed (graph.FromStream: two emit passes fill the CSR directly, with
+// geometric skip sampling for gnp), so million-node graphs — including the
+// rmat recursive-matrix family and edgefile:path=... edge-list loading —
+// construct without an O(n²) scan or intermediate adjacency. internal/scenario closes the
 // protocol × engine × graph cross-product: a Matrix of axis values expands
 // into declarative run Specs, and a bounded-worker Runner executes the
 // suite with per-worker arena reuse, streaming results to JSONL/CSV/
@@ -124,6 +131,7 @@
 //	internal/engine           synchronous round engine + Protocol/RoundObserver
 //	internal/engine/chanengine concurrent channel-based engine
 //	internal/engine/fastengine zero-allocation CSR engine, parallel mode
+//	internal/engine/bitengine  word-parallel bitset frontier engine, push/pull kernels
 //	internal/core             Amnesiac Flooding protocol and run reports
 //	internal/classic          flag-based flooding baseline
 //	internal/async            delay adversaries of the asynchronous model

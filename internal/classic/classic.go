@@ -25,8 +25,9 @@ type Flood struct {
 }
 
 var (
-	_ engine.Protocol      = (*Flood)(nil)
-	_ engine.DenseProtocol = (*Flood)(nil)
+	_ engine.Protocol       = (*Flood)(nil)
+	_ engine.DenseProtocol  = (*Flood)(nil)
+	_ engine.BitsetProtocol = (*Flood)(nil)
 )
 
 // NewFlood returns classic flooding on g from the given origins. Origin
@@ -141,6 +142,14 @@ func (r *classicRun) AppendSends(_ int, v graph.NodeID, senders []graph.NodeID, 
 	}
 	r.seen[v] = true
 	return engine.AppendComplement(out, v, r.csr.Row(v), senders)
+}
+
+// BitsetRule implements engine.BitsetProtocol: classic flooding is the
+// complement rule gated by the per-node seen bit — forward once, then stay
+// silent — which the bitset engine executes as RuleComplementOnce with the
+// origins pre-marked seen (Origins feeds that pre-marking).
+func (f *Flood) BitsetRule() engine.BitsetRule {
+	return engine.RuleComplementOnce
 }
 
 // PersistentBitsPerNode returns the persistent state classic flooding needs

@@ -31,8 +31,9 @@ type Flood struct {
 }
 
 var (
-	_ engine.Protocol      = (*Flood)(nil)
-	_ engine.DenseProtocol = (*Flood)(nil)
+	_ engine.Protocol       = (*Flood)(nil)
+	_ engine.DenseProtocol  = (*Flood)(nil)
+	_ engine.BitsetProtocol = (*Flood)(nil)
 )
 
 // Errors reported by NewFlood, matchable with errors.Is.
@@ -124,6 +125,13 @@ type floodRun struct {
 
 func (r floodRun) AppendSends(_ int, v graph.NodeID, senders []graph.NodeID, out []engine.Send) []engine.Send {
 	return engine.AppendComplement(out, v, r.csr.Row(v), senders)
+}
+
+// BitsetRule implements engine.BitsetProtocol: amnesiac flooding's whole
+// round is "forward to the complement of the sender set", every round, which
+// is exactly the bitset engine's RuleComplement sweep.
+func (f *Flood) BitsetRule() engine.BitsetRule {
+	return engine.RuleComplement
 }
 
 // complementSorted returns nbrs \ senders. Both inputs are sorted; the

@@ -90,6 +90,37 @@ type DenseProtocol interface {
 	NewRun() RoundAppender
 }
 
+// BitsetRule identifies the per-round forwarding rule of a protocol whose
+// whole round is a set operation over received-from directions, which is
+// what lets the bitengine subpackage run it as a word-parallel bitset sweep
+// instead of materialising per-message Send records.
+type BitsetRule int
+
+// The forwarding rules the bitset engine can execute.
+const (
+	// RuleComplement: every receiver forwards to the complement of its
+	// sender set, every round — amnesiac flooding (and its observation-only
+	// derivatives such as detect/spantree probes, whose extra state lives in
+	// analyses, not in the dynamics).
+	RuleComplement BitsetRule = iota + 1
+	// RuleComplementOnce: a receiver forwards the complement of its sender
+	// set on its *first* receipt and stays silent afterwards — classic
+	// flooding with a per-node seen bit (origins count as already seen).
+	RuleComplementOnce
+)
+
+// BitsetProtocol is an optional extension of DenseProtocol for protocols
+// whose dynamics are fully captured by a BitsetRule. The bitset engine
+// refuses protocols without it (see bitengine.ErrUnsupportedProtocol):
+// unlike the other engines it never calls NewNode or AppendSends, so a
+// protocol with bespoke per-node behaviour (faulty nodes, multi-message
+// payloads) cannot be expressed there.
+type BitsetProtocol interface {
+	DenseProtocol
+	// BitsetRule declares the forwarding rule the engine should execute.
+	BitsetRule() BitsetRule
+}
+
 // Outcome classifies how a run ended across every execution model. The
 // synchronous engines prove termination by reaching an empty round; the
 // asynchronous and dynamic model engines (internal/model) can additionally
@@ -289,6 +320,15 @@ type Options struct {
 	// round's record (regardless of Trace) and may stop or abort the run;
 	// see RoundObserver.
 	Observer RoundObserver
+	// ParallelThreshold tunes when parallel-capable engines (fastengine's
+	// sharded delivery, bitengine's word-sharded sweep) split a round across
+	// goroutines: rounds smaller than the threshold run sequentially so
+	// small-graph suites don't pay goroutine overhead. 0 means the engine's
+	// default; 1 forces sharding on every round (used by the differential
+	// tests); engines that never parallelise ignore it. The unit is the
+	// engine's natural round-size measure (receivers for fastengine,
+	// frontier words for bitengine).
+	ParallelThreshold int
 }
 
 // Observe runs the round hook shared by every engine: a no-op without an

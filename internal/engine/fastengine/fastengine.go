@@ -42,11 +42,13 @@ import (
 	"amnesiacflood/internal/graph"
 )
 
-// parallelMinReceivers is the round size below which the parallel mode runs
-// the sequential path: sharding a near-empty round costs more in goroutine
-// wakeups than the delivery work itself. It is a variable only so tests can
-// lower it and drive the sharded path on small graphs.
-var parallelMinReceivers = 128
+// DefaultParallelThreshold is the receiver count below which the parallel
+// mode runs a round sequentially when engine.Options.ParallelThreshold is 0:
+// sharding a near-empty round costs more in goroutine wakeups than the
+// delivery work itself. Callers (tests, the fuzzer, small-graph suites) set
+// Options.ParallelThreshold to move the cutover — 1 forces sharding on every
+// round.
+const DefaultParallelThreshold = 128
 
 // Engine executes protocols on one graph. It owns reusable round state, so a
 // single Engine amortises its setup across many runs; it is not safe for
@@ -110,6 +112,10 @@ func (e *Engine) Run(ctx context.Context, proto engine.Protocol, opts engine.Opt
 	if maxRounds == 0 {
 		maxRounds = engine.DefaultMaxRounds
 	}
+	minReceivers := opts.ParallelThreshold
+	if minReceivers == 0 {
+		minReceivers = DefaultParallelThreshold
+	}
 	res := engine.Result{Protocol: proto.Name()}
 
 	var appender engine.RoundAppender
@@ -143,7 +149,7 @@ func (e *Engine) Run(ctx context.Context, proto engine.Protocol, opts engine.Opt
 		}
 
 		e.group()
-		if e.workers > 1 && len(e.receivers) >= parallelMinReceivers {
+		if e.workers > 1 && len(e.receivers) >= minReceivers {
 			e.deliverParallel(round, appender)
 		} else {
 			e.deliverSequential(round, appender)

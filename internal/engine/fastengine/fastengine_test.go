@@ -71,18 +71,18 @@ func allRunners() []runner {
 		{"fastFallback", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
 			return fastengine.Run(ctx, g, opaque{p}, o)
 		}},
-		// Sharded delivery on every round (threshold 1), both protocol
-		// paths: the test graphs are far smaller than the production
+		// Sharded delivery on every round (ParallelThreshold 1), both
+		// protocol paths: the test graphs are far smaller than the default
 		// sharding threshold, so without this the parallel code path —
 		// including concurrent lazy automaton creation in the fallback —
 		// would never run under the differential corpus or the race
 		// detector.
 		{"fastSharded", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
-			defer fastengine.SetShardingThresholdForTest(1)()
+			o.ParallelThreshold = 1
 			return fastengine.RunParallel(ctx, g, p, o)
 		}},
 		{"fastShardedFallback", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
-			defer fastengine.SetShardingThresholdForTest(1)()
+			o.ParallelThreshold = 1
 			return fastengine.RunParallel(ctx, g, opaque{p}, o)
 		}},
 	}

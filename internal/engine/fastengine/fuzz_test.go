@@ -7,6 +7,7 @@ import (
 
 	"amnesiacflood/internal/core"
 	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/bitengine"
 	"amnesiacflood/internal/engine/chanengine"
 	"amnesiacflood/internal/engine/fastengine"
 	"amnesiacflood/internal/graph"
@@ -43,12 +44,19 @@ func FuzzEngineEquivalence(f *testing.F) {
 			{"chan", chanengine.Run},
 			{"fast", fastengine.Run},
 			{"fastParallel", fastengine.RunParallel},
-			// The fuzz graphs are below the production sharding
-			// threshold; lowering it to 1 makes every round take the
-			// sharded path.
+			// The fuzz graphs are below the default sharding threshold;
+			// ParallelThreshold 1 makes every round take the sharded path.
 			{"fastSharded", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
-				defer fastengine.SetShardingThresholdForTest(1)()
+				o.ParallelThreshold = 1
 				return fastengine.RunParallel(ctx, g, p, o)
+			}},
+			{"bitset", bitengine.Run},
+			{"bitsetNoRelabel", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+				return bitengine.New(g).Relabel(false).Run(ctx, p, o)
+			}},
+			{"bitsetSharded", func(ctx context.Context, g *graph.Graph, p engine.Protocol, o engine.Options) (engine.Result, error) {
+				o.ParallelThreshold = 1
+				return bitengine.New(g).Parallel(2).Run(ctx, p, o)
 			}},
 		}
 		for _, e := range engines {

@@ -96,6 +96,75 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return b.Build()
 }
 
+// ReadEdgeListStream parses the same text edge-list format as ReadEdgeList
+// but builds the graph through FromStream: endpoints are collected into one
+// packed pair array (16 bytes per edge) and replayed into the CSR arena, so
+// peak memory is pairs + CSR rather than the Builder's edge list plus
+// per-node append slices. Use it for million-edge files; the two readers
+// accept the identical format and produce identical graphs.
+func ReadEdgeListStream(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		pairs  []NodeID
+		name   string
+		n      int
+		haveN  bool
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if name == "" {
+				name = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+			continue
+		case strings.HasPrefix(line, "n "):
+			if haveN {
+				return nil, fmt.Errorf("edge list line %d: duplicate node-count line", lineNo)
+			}
+			count, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "n ")))
+			if err != nil {
+				return nil, fmt.Errorf("edge list line %d: parse node count: %w", lineNo, err)
+			}
+			n, haveN = count, true
+		default:
+			if !haveN {
+				return nil, fmt.Errorf("edge list line %d: edge before node-count line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("edge list line %d: want %q, got %q", lineNo, "u v", line)
+			}
+			u, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("edge list line %d: parse endpoint: %w", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("edge list line %d: parse endpoint: %w", lineNo, err)
+			}
+			pairs = append(pairs, NodeID(u), NodeID(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edge list: scan: %w", err)
+	}
+	if !haveN {
+		return nil, fmt.Errorf("edge list: missing node-count line")
+	}
+	return FromStream(name, n, func(add func(u, v NodeID)) error {
+		for i := 0; i < len(pairs); i += 2 {
+			add(pairs[i], pairs[i+1])
+		}
+		return nil
+	})
+}
+
 // graphJSON is the stable JSON wire form of a Graph.
 type graphJSON struct {
 	Name  string   `json:"name,omitempty"`

@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"amnesiacflood/internal/graph"
 )
@@ -212,7 +213,7 @@ func init() {
 		},
 	})
 	Register("gnp", Family{
-		Doc:    "Erdős–Rényi G(n,p) (seeded; connect=true joins components)",
+		Doc:    "Erdős–Rényi G(n,p) (seeded; connect=true joins components; streamed above 2^13 nodes)",
 		Random: true,
 		Params: []Param{
 			{Name: "n", Kind: IntParam, Default: "16", Doc: "number of nodes"},
@@ -221,15 +222,31 @@ func init() {
 		},
 		Build: func(v Values, rng *rand.Rand) (*graph.Graph, error) {
 			n, p := v.Int("n"), v.Float("p")
-			if err := intRange("n", n, 1, maxDenseNodes); err != nil {
+			if err := intRange("n", n, 1, maxSparseNodes); err != nil {
 				return nil, err
 			}
 			if err := probability("p", p); err != nil {
 				return nil, err
 			}
-			g := RandomGNP(n, p, rng)
+			// The quadratic Builder path is kept for small n so historical
+			// (spec, seed) outputs stay byte-identical; larger instances
+			// stream through geometric skip sampling.
+			if n <= maxDenseNodes {
+				g := RandomGNP(n, p, rng)
+				if v.Bool("connect") {
+					g = Connectify(g, rng)
+				}
+				return g, nil
+			}
+			if err := expectedEdges("gnp", float64(n)*float64(n-1)/2*p); err != nil {
+				return nil, err
+			}
+			g, err := RandomGNPStream(n, p, rng)
+			if err != nil {
+				return nil, err
+			}
 			if v.Bool("connect") {
-				g = Connectify(g, rng)
+				return ConnectifyStream(g, rng)
 			}
 			return g, nil
 		},
@@ -315,7 +332,48 @@ func init() {
 			if n > maxSparseNodes/m {
 				return nil, fmt.Errorf("prefattach of n=%d,m=%d exceeds %d edges", n, m, maxSparseNodes)
 			}
-			return PreferentialAttachment(n, m, rng), nil
+			// Same historical-output boundary as gnp: Builder below, FromStream
+			// above (identical sampling, different rng consumption).
+			if n <= maxDenseNodes {
+				return PreferentialAttachment(n, m, rng), nil
+			}
+			return PreferentialAttachmentStream(n, m, rng)
+		},
+	})
+	Register("rmat", Family{
+		Doc:    "R-MAT recursive-matrix graph: e skewed edge attempts over a power-of-two node count (seeded, streamed)",
+		Random: true,
+		Params: []Param{
+			{Name: "n", Kind: IntParam, Default: "16", Doc: "number of nodes (power of two)"},
+			{Name: "e", Kind: IntParam, Default: "32", Doc: "edge attempts (self-loops and duplicates collapse)"},
+			{Name: "a", Kind: FloatParam, Default: "0.45", Doc: "top-left quadrant probability"},
+			{Name: "b", Kind: FloatParam, Default: "0.22", Doc: "top-right quadrant probability"},
+			{Name: "c", Kind: FloatParam, Default: "0.22", Doc: "bottom-left quadrant probability"},
+		},
+		Build: func(v Values, rng *rand.Rand) (*graph.Graph, error) {
+			n, e := v.Int("n"), v.Int("e")
+			a, b, c := v.Float("a"), v.Float("b"), v.Float("c")
+			if err := intRange("n", n, 2, maxSparseNodes); err != nil {
+				return nil, err
+			}
+			if err := intRange("e", e, 1, maxStreamEdges); err != nil {
+				return nil, err
+			}
+			return RMAT(n, e, a, b, c, rng)
+		},
+	})
+	Register("edgefile", Family{
+		Doc: "graph loaded from a text edge-list file (WriteEdgeList format), streamed into CSR",
+		Params: []Param{
+			{Name: "path", Kind: StringParam, Default: "graph.edges", Doc: "path to the edge-list file"},
+		},
+		Build: func(v Values, _ *rand.Rand) (*graph.Graph, error) {
+			f, err := os.Open(v.String("path"))
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return graph.ReadEdgeListStream(f)
 		},
 	})
 }

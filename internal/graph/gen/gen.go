@@ -11,6 +11,17 @@
 // amnesiac flooding terminates within the diameter, and non-bipartite graphs
 // (odd cycles, cliques n>=3, wheels, Petersen, ...) where it needs up to
 // 2D+1 rounds.
+//
+// Above the dense-sampler cutoff the registry's random families switch to
+// streamed construction (graph.FromStream): gnp draws edges by geometric
+// skip sampling and prefattach replays its sampler per pass, so million-node
+// instances build without an O(n²) scan or an intermediate adjacency.
+// Historical outputs are frozen — at or below the cutoff the legacy
+// builders run, so a (spec, seed) pair keeps producing the same graph it
+// always did. Two families exist only streamed: rmat
+// ("rmat:n=N,e=E,a=..,b=..,c=..", recursive-matrix quadrant descent over a
+// power-of-two node count) and edgefile ("edgefile:path=FILE", the
+// WriteEdgeList format read back through the two-pass CSR loader).
 package gen
 
 import (

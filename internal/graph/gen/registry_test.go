@@ -24,7 +24,7 @@ func TestFamiliesSortedAndComplete(t *testing.T) {
 		"path", "cycle", "complete", "star", "wheel", "bipartite", "grid",
 		"torus", "hypercube", "petersen", "barbell", "lollipop", "bintree",
 		"tree", "gnp", "randbipartite", "randconnected", "randnonbipartite",
-		"prefattach",
+		"prefattach", "rmat", "edgefile",
 	} {
 		if _, ok := gen.Lookup(want); !ok {
 			t.Errorf("family %q not registered", want)
@@ -101,6 +101,9 @@ func TestParseErrors(t *testing.T) {
 // checks the graph is non-empty and named by its fully explicit spec.
 func TestEveryFamilyBuilds(t *testing.T) {
 	for _, name := range gen.Families() {
+		if name == "edgefile" {
+			continue // needs a file on disk; exercised by TestEdgeFileFamily
+		}
 		g, err := gen.Build(name, 1)
 		if err != nil {
 			t.Errorf("Build(%q): %v", name, err)
@@ -126,6 +129,11 @@ func TestNewErrors(t *testing.T) {
 		"randnonbipartite:n=2",               // needs a triangle
 		"prefattach:n=2,m=3",                 // n < m+1
 		"grid:rows=100000000,cols=100000000", // node-count cap
+		"rmat:n=63,e=10",                     // not a power of two
+		"rmat:n=64,e=10,a=0.9,b=0.2",         // a+b+c > 1
+		"rmat:n=64,e=10,a=-0.1",              // negative quadrant probability
+		"gnp:n=1000000,p=0.5",                // expected edges above stream cap
+		"edgefile:path=/nonexistent.edges",   // unreadable file
 	}
 	for _, s := range badValues {
 		if _, err := gen.Build(s, 1); err == nil {
@@ -147,6 +155,9 @@ var randomSpecs = []string{
 	"tree:n=64",
 	"gnp:n=48,p=0.15",
 	"gnp:n=48,p=0.1,connect=true",
+	"gnp:n=16384,p=0.001",   // streamed skip-sampling path
+	"prefattach:n=9000,m=2", // streamed replayed-sampler path
+	"rmat:n=256,e=400",
 	"randbipartite:a=24,b=24,p=0.1",
 	"randconnected:n=48,p=0.05",
 	"randnonbipartite:n=48,p=0.05",
@@ -196,7 +207,9 @@ func TestDeclaredStructureHolds(t *testing.T) {
 		}
 	}
 	connected := []string{"randconnected:n=40,p=0.02", "gnp:n=40,p=0.02,connect=true",
-		"randbipartite:a=20,b=20,p=0.03", "tree:n=50", "prefattach:n=40,m=1"}
+		"randbipartite:a=20,b=20,p=0.03", "tree:n=50", "prefattach:n=40,m=1",
+		"gnp:n=10000,p=0.0002,connect=true", // streamed sampler + ConnectifyStream
+		"prefattach:n=9000,m=1"}             // streamed preferential attachment
 	for _, s := range connected {
 		if g := gen.MustBuild(s, 5); !algo.Connected(g) {
 			t.Errorf("%s is not connected", s)

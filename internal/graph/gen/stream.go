@@ -1,0 +1,191 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+)
+
+// stream.go holds the streamed generators: families whose edge sets are too
+// large for the Builder pipeline (which materialises a 2m-element edge list
+// and per-node append slices before sorting) emit their edges twice through
+// graph.FromStream instead, so peak memory is the final CSR arena.
+//
+// Replay determinism is the load-bearing invariant: FromStream calls the
+// emit closure twice and both passes must produce the identical sequence.
+// Every streamed generator therefore draws one sub-seed from the caller's
+// rng up front and opens a fresh rand.Rand from it inside each pass, making
+// the pass a pure function of (parameters, sub-seed).
+//
+// The registry keeps the legacy Builder-based generators for sizes up to
+// maxDenseNodes so historical (spec, seed) outputs stay byte-identical, and
+// switches to the streamed variants above it; the two samplers draw the rng
+// differently, so their outputs are deliberately not comparable across the
+// boundary.
+
+// maxStreamEdges caps the undirected edge count a streamed spec may request
+// (directly for rmat, in expectation for gnp). The CSR hard limit is 2^31-1
+// directed edges; this lower cap keeps a hostile spec from allocating tens
+// of gigabytes before that limit trips.
+const maxStreamEdges = 1 << 26
+
+// RandomGNPStream returns an Erdős–Rényi graph G(n, p) built by geometric
+// skip sampling: instead of flipping a coin per candidate pair, each row
+// jumps straight to its next present edge with a geometrically distributed
+// skip, so work is O(n + m) rather than Θ(n²). The edge distribution is
+// exactly G(n, p), but the draw sequence differs from RandomGNP, so the two
+// generators produce different graphs for the same seed.
+func RandomGNPStream(n int, p float64, rng *rand.Rand) (*graph.Graph, error) {
+	name := fmt.Sprintf("gnp(%d,%.3f)", n, p)
+	if p <= 0 {
+		return graph.FromStream(name, n, func(func(u, v graph.NodeID)) error { return nil })
+	}
+	subSeed := rng.Int63()
+	logq := math.Log1p(-p) // log(1-p), the geometric tail rate; -Inf for p=1
+	return graph.FromStream(name, n, func(add func(u, v graph.NodeID)) error {
+		r := rand.New(rand.NewSource(subSeed))
+		for u := 0; u < n-1; u++ {
+			for v := u + 1; v < n; v++ {
+				// Skip the geometrically distributed run of absent edges.
+				skip := math.Log1p(-r.Float64()) / logq
+				if skip >= float64(n-v) {
+					break
+				}
+				v += int(skip)
+				add(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+		return nil
+	})
+}
+
+// ConnectifyStream is Connectify for CSR-built graphs: it joins a random
+// node of each later component to a random node of the first, rebuilding
+// through FromStream (replaying g's own adjacency plus the bridge edges)
+// instead of the Builder. Returns g itself when already connected.
+func ConnectifyStream(g *graph.Graph, rng *rand.Rand) (*graph.Graph, error) {
+	comps := algo.Components(g)
+	if len(comps) <= 1 {
+		return g, nil
+	}
+	bridges := make([][2]graph.NodeID, 0, len(comps)-1)
+	base := comps[0]
+	for _, comp := range comps[1:] {
+		bridges = append(bridges, [2]graph.NodeID{base[rng.Intn(len(base))], comp[rng.Intn(len(comp))]})
+	}
+	return graph.FromStream(g.Name()+"+connected", g.N(), func(add func(u, v graph.NodeID)) error {
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				if graph.NodeID(u) < v {
+					add(graph.NodeID(u), v)
+				}
+			}
+		}
+		for _, b := range bridges {
+			add(b[0], b[1])
+		}
+		return nil
+	})
+}
+
+// PreferentialAttachmentStream is PreferentialAttachment built through
+// FromStream: the full degree-proportional sampling (endpoint list and all)
+// is replayed identically on both passes from a sub-seeded rng, so no edge
+// list is ever materialised outside the sampler's own endpoint pool.
+func PreferentialAttachmentStream(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("preferential attachment needs n >= m+1 >= 2, got n=%d m=%d", n, m)
+	}
+	subSeed := rng.Int63()
+	name := fmt.Sprintf("prefAttach(%d,%d)", n, m)
+	return graph.FromStream(name, n, func(add func(u, v graph.NodeID)) error {
+		r := rand.New(rand.NewSource(subSeed))
+		for i := 0; i <= m; i++ {
+			for j := i + 1; j <= m; j++ {
+				add(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+		endpoints := make([]graph.NodeID, 0, 2*m*(n-m)+m*(m+1))
+		for i := 0; i <= m; i++ {
+			for j := 0; j <= m; j++ {
+				if i != j {
+					endpoints = append(endpoints, graph.NodeID(i))
+				}
+			}
+		}
+		chosen := make(map[graph.NodeID]bool, m)
+		targets := make([]graph.NodeID, 0, m)
+		for v := m + 1; v < n; v++ {
+			clear(chosen)
+			for len(chosen) < m {
+				chosen[endpoints[r.Intn(len(endpoints))]] = true
+			}
+			targets = targets[:0]
+			for target := range chosen {
+				targets = append(targets, target)
+			}
+			slices.Sort(targets)
+			for _, target := range targets {
+				add(graph.NodeID(v), target)
+				endpoints = append(endpoints, graph.NodeID(v), target)
+			}
+		}
+		return nil
+	})
+}
+
+// RMAT returns a recursive-matrix (R-MAT, Chakrabarti–Zhan–Faloutsos) graph:
+// e edge attempts each descend log2(n) levels of the adjacency matrix,
+// picking the (a, b, c, 1-a-b-c) quadrant at every level. Self-loop attempts
+// are dropped and duplicates collapse, so the final edge count is at most e.
+// The skew parameters make RMAT the standard generator for power-law graphs
+// with community structure. Requires n a power of two.
+func RMAT(n, e int, a, b, c float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("rmat needs a power-of-two node count >= 2, got %d", n)
+	}
+	if a < 0 || b < 0 || c < 0 || a+b+c > 1 {
+		return nil, fmt.Errorf("rmat quadrant probabilities need a, b, c >= 0 and a+b+c <= 1, got %.3f %.3f %.3f", a, b, c)
+	}
+	if e < 0 {
+		return nil, fmt.Errorf("rmat edge attempts must be non-negative, got %d", e)
+	}
+	subSeed := rng.Int63()
+	name := fmt.Sprintf("rmat(%d,%d,%.2f,%.2f,%.2f)", n, e, a, b, c)
+	return graph.FromStream(name, n, func(add func(u, v graph.NodeID)) error {
+		r := rand.New(rand.NewSource(subSeed))
+		for i := 0; i < e; i++ {
+			var u, v int
+			for half := n >> 1; half >= 1; half >>= 1 {
+				switch x := r.Float64(); {
+				case x < a: // top-left: neither bit set
+				case x < a+b:
+					v += half
+				case x < a+b+c:
+					u += half
+				default:
+					u += half
+					v += half
+				}
+			}
+			if u != v {
+				add(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+		return nil
+	})
+}
+
+// expectedEdges rejects specs whose expected undirected edge count exceeds
+// the streaming cap. The check is on the expectation, not the realisation;
+// FromStream's own 2^31-1 directed-edge limit backstops pathological draws.
+func expectedEdges(family string, expected float64) error {
+	if expected > maxStreamEdges {
+		return fmt.Errorf("%s spec expects ~%.0f edges, above the %d cap", family, expected, maxStreamEdges)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package gen_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/graph/algo"
+	"amnesiacflood/internal/graph/gen"
+)
+
+// TestStreamedGNPDistribution sanity-checks the skip sampler: determinism
+// per seed, edge count near n(n-1)/2·p, and no out-of-range endpoints
+// (FromStream would have errored on those).
+func TestStreamedGNPDistribution(t *testing.T) {
+	const n, p = 4000, 0.002
+	g, err := gen.RandomGNPStream(n, p, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := gen.RandomGNPStream(n, p, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), again.Edges()) {
+		t.Fatal("same seed built different graphs")
+	}
+	expected := float64(n) * float64(n-1) / 2 * p
+	if m := float64(g.M()); m < expected/2 || m > expected*2 {
+		t.Fatalf("edge count %v wildly off expectation %v", m, expected)
+	}
+}
+
+// TestStreamedGNPExtremes pins the degenerate probabilities: p=0 builds the
+// empty graph and p=1 the complete graph, through the same skip-sampling
+// round-trip.
+func TestStreamedGNPExtremes(t *testing.T) {
+	empty, err := gen.RandomGNPStream(50, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.M() != 0 {
+		t.Fatalf("p=0 built %d edges", empty.M())
+	}
+	full, err := gen.RandomGNPStream(50, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.M() != 50*49/2 {
+		t.Fatalf("p=1 built %d edges, want %d", full.M(), 50*49/2)
+	}
+}
+
+// TestConnectifyStream joins every component exactly like Connectify: the
+// result is connected, supersets the input's edges, and adds exactly one
+// bridge per extra component.
+func TestConnectifyStream(t *testing.T) {
+	g, err := gen.RandomGNPStream(300, 0.002, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := len(algo.Components(g))
+	if comps < 2 {
+		t.Skipf("instance happened to be connected (%d comps); pick a sparser p", comps)
+	}
+	cg, err := gen.ConnectifyStream(g, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !algo.Connected(cg) {
+		t.Fatal("ConnectifyStream result not connected")
+	}
+	if cg.M() != g.M()+comps-1 {
+		t.Fatalf("added %d edges for %d components", cg.M()-g.M(), comps)
+	}
+	for _, e := range g.Edges() {
+		if !cg.HasEdge(e.U, e.V) {
+			t.Fatalf("edge (%d,%d) lost", e.U, e.V)
+		}
+	}
+	connected := gen.Cycle(12)
+	same, err := gen.ConnectifyStream(connected, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != connected {
+		t.Fatal("already-connected graph must be returned unchanged")
+	}
+}
+
+// TestStreamedPrefAttach checks the streamed sampler keeps the family's
+// structural promises: connected, every arriving node has degree >= m, and
+// the edge count matches the attachment process exactly.
+func TestStreamedPrefAttach(t *testing.T) {
+	const n, m = 500, 3
+	g, err := gen.PreferentialAttachmentStream(n, m, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !algo.Connected(g) {
+		t.Fatal("preferential attachment must be connected")
+	}
+	if want := m*(m+1)/2 + (n-m-1)*m; g.M() != want {
+		t.Fatalf("edge count %d, want %d", g.M(), want)
+	}
+	if g.MinDegree() < m {
+		t.Fatalf("min degree %d below m=%d", g.MinDegree(), m)
+	}
+	if _, err := gen.PreferentialAttachmentStream(2, 3, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("n < m+1 must error")
+	}
+}
+
+// TestRMAT checks seed determinism, the power-of-two gate, and that skew
+// parameters actually skew: with a=1 every attempt lands in the top-left
+// quadrant, which collapses to node pair (0,0) — a self-loop — so the graph
+// is empty.
+func TestRMAT(t *testing.T) {
+	a, err := gen.RMAT(128, 300, 0.45, 0.22, 0.22, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.RMAT(128, 300, 0.45, 0.22, 0.22, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("same seed built different rmat graphs")
+	}
+	if a.M() == 0 || a.M() > 300 {
+		t.Fatalf("rmat built %d edges from 300 attempts", a.M())
+	}
+	if _, err := gen.RMAT(100, 10, 0.45, 0.22, 0.22, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("non-power-of-two n must error")
+	}
+	if _, err := gen.RMAT(64, 10, 0.5, 0.4, 0.3, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("a+b+c > 1 must error")
+	}
+	diag, err := gen.RMAT(64, 50, 1, 0, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.M() != 0 {
+		t.Fatalf("a=1 rmat must collapse to self-loops only, got %d edges", diag.M())
+	}
+}
+
+// TestEdgeFileFamily is the registry-level counterpart of
+// TestEveryFamilyBuilds for the one family that needs a file on disk: a
+// graph written with WriteEdgeList and rebuilt through the edgefile spec is
+// edge-identical, and the result carries the explicit spec as its name.
+func TestEdgeFileFamily(t *testing.T) {
+	orig := gen.MustBuild("prefattach:n=40,m=2", 9)
+	path := filepath.Join(t.TempDir(), "g.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spec := "edgefile:path=" + path
+	g, err := gen.Build(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Edges(), g.Edges()) {
+		t.Fatal("edgefile round-trip changed the edge set")
+	}
+	if g.N() != orig.N() {
+		t.Fatalf("node count %d, want %d", g.N(), orig.N())
+	}
+	if g.Name() != spec {
+		t.Fatalf("graph named %q, want %q", g.Name(), spec)
+	}
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"slices"
+	"sort"
+)
+
+// DegreeSorted returns a copy of g with nodes relabeled in descending degree
+// order (ties broken by original identifier, so the relabeling is
+// deterministic and is the identity on regular graphs). perm maps original
+// identifiers to new ones; inv is its inverse (inv[new] = old).
+//
+// High-degree rows land at the front of the CSR arena, which improves cache
+// locality for frontier engines that sweep adjacency words: the hottest rows
+// share cache lines instead of being scattered across the arena. Flooding
+// dynamics are label-independent, so a run on the relabeled graph maps back
+// to the original through inv.
+func DegreeSorted(g *Graph) (relabeled *Graph, perm, inv []NodeID) {
+	n := g.N()
+	inv = make([]NodeID, n)
+	for v := range inv {
+		inv[v] = NodeID(v)
+	}
+	sort.SliceStable(inv, func(i, j int) bool {
+		di, dj := g.Degree(inv[i]), g.Degree(inv[j])
+		if di != dj {
+			return di > dj
+		}
+		return inv[i] < inv[j]
+	})
+	perm = make([]NodeID, n)
+	identity := true
+	for nw, old := range inv {
+		perm[old] = NodeID(nw)
+		identity = identity && old == NodeID(nw)
+	}
+	if identity {
+		return g, perm, inv
+	}
+
+	// Build the relabeled CSR directly: row perm[v] is v's neighbour list
+	// mapped through perm and re-sorted.
+	src := g.CSR()
+	offsets := make([]int32, n+1)
+	for nw := 0; nw < n; nw++ {
+		offsets[nw+1] = offsets[nw] + int32(g.Degree(inv[nw]))
+	}
+	targets := make([]NodeID, len(src.Targets))
+	adj := make([][]NodeID, n)
+	for nw := 0; nw < n; nw++ {
+		row := targets[offsets[nw]:offsets[nw+1]:offsets[nw+1]]
+		for i, t := range src.Row(inv[nw]) {
+			row[i] = perm[t]
+		}
+		slices.Sort(row)
+		adj[nw] = row
+	}
+	relabeled = &Graph{
+		name: g.name,
+		adj:  adj,
+		csr:  CSR{Offsets: offsets, Targets: targets},
+		m:    g.m,
+	}
+	return relabeled, perm, inv
+}

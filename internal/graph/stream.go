@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+)
+
+// ErrStreamMismatch is returned by FromStream when the two replays of the
+// edge stream emit different numbers of edges. Streamed generators must be
+// deterministic: both passes have to produce the same sequence.
+var ErrStreamMismatch = errors.New("edge stream emitted a different edge count on replay")
+
+// FromStream builds a named graph over n nodes from a replayable edge
+// stream, without ever materialising an []Edge list. The emit callback is
+// invoked exactly twice with an add(u, v) sink and must produce the same
+// deterministic edge sequence both times: the first pass sizes the CSR rows,
+// the second fills them in place. Duplicate edges are collapsed; self-loops
+// and out-of-range endpoints are sticky errors, as with Builder.
+//
+// This is the construction path for graph families too large for the
+// quadratic Builder pipeline (sort + per-node append of a 2m-element edge
+// list): peak memory is the final CSR arena plus per-node offsets, so
+// million-node graphs build in a few hundred MB instead of several GB.
+func FromStream(name string, n int, emit func(add func(u, v NodeID)) error) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("stream: %w: %d", ErrNoNodes, n)
+	}
+
+	// Pass 1: count each node's (pre-dedup) degree.
+	var sticky error
+	degree := make([]int32, n+1) // shifted by one so it doubles as offsets
+	var directed uint64
+	count := func(u, v NodeID) {
+		if sticky != nil {
+			return
+		}
+		if u == v {
+			sticky = fmt.Errorf("stream: edge (%d,%d): %w", u, v, ErrSelfLoop)
+			return
+		}
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			sticky = fmt.Errorf("stream: edge (%d,%d) with n=%d: %w", u, v, n, ErrNodeOutOfRange)
+			return
+		}
+		degree[u+1]++
+		degree[v+1]++
+		directed += 2
+	}
+	if err := emit(count); err != nil {
+		return nil, err
+	}
+	if sticky != nil {
+		return nil, sticky
+	}
+	if directed > math.MaxInt32 {
+		return nil, fmt.Errorf("stream: %d edges: %w", directed/2, ErrTooManyEdges)
+	}
+
+	// Prefix-sum the shifted degrees into row offsets.
+	offsets := degree
+	for v := 1; v <= n; v++ {
+		offsets[v] += offsets[v-1]
+	}
+
+	// Pass 2: replay the stream, scattering endpoints into the arena.
+	targets := make([]NodeID, directed)
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	var replayed uint64
+	fill := func(u, v NodeID) {
+		if replayed+2 > directed {
+			replayed += 2 // overflow detected after the loop
+			return
+		}
+		targets[cursor[u]] = v
+		targets[cursor[v]] = u
+		cursor[u]++
+		cursor[v]++
+		replayed += 2
+	}
+	if err := emit(fill); err != nil {
+		return nil, err
+	}
+	if replayed != directed {
+		return nil, fmt.Errorf("stream: pass 1 saw %d directed edges, pass 2 saw %d: %w",
+			directed, replayed, ErrStreamMismatch)
+	}
+
+	// Sort each row and compact duplicates in place. The write cursor never
+	// overtakes the read cursor, so the dedup reuses the same arena.
+	write := int32(0)
+	for v := 0; v < n; v++ {
+		row := targets[offsets[v]:offsets[v+1]]
+		slices.Sort(row)
+		start := write
+		for i, t := range row {
+			if i > 0 && t == row[i-1] {
+				continue
+			}
+			targets[write] = t
+			write++
+		}
+		offsets[v] = start // reuse as the *new* start of row v
+	}
+	// offsets[v] now holds the deduped start of row v for every v < n (row 0
+	// starts at 0), so closing the final slot restores canonical CSR form.
+	offsets[n] = write
+	targets = targets[:write:write]
+
+	// Adjacency rows alias the CSR arena — same invariant buildCSR
+	// establishes, just in the opposite direction.
+	adj := make([][]NodeID, n)
+	for v := 0; v < n; v++ {
+		adj[v] = targets[offsets[v]:offsets[v+1]:offsets[v+1]]
+	}
+	return &Graph{
+		name: name,
+		adj:  adj,
+		csr:  CSR{Offsets: offsets, Targets: targets},
+		m:    int(write) / 2,
+	}, nil
+}

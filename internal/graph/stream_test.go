@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// replay adapts a fixed edge list (with duplicates welcome) into a
+// FromStream emit closure.
+func replay(edges [][2]NodeID) func(add func(u, v NodeID)) error {
+	return func(add func(u, v NodeID)) error {
+		for _, e := range edges {
+			add(e[0], e[1])
+		}
+		return nil
+	}
+}
+
+// TestFromStreamMatchesBuilder: a random multigraph stream builds the exact
+// graph the Builder produces from the same edges — same CSR, same adjacency,
+// same counts — including duplicate collapse.
+func TestFromStreamMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 60
+	var edges [][2]NodeID
+	b := NewBuilder(n).Name("streamed")
+	for i := 0; i < 400; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]NodeID{u, v})
+		b.AddEdge(u, v)
+		if rng.Intn(4) == 0 { // duplicate some edges, both orientations
+			edges = append(edges, [2]NodeID{v, u})
+			b.AddEdge(v, u)
+		}
+	}
+	want := mustBuild(t, b)
+	got, err := FromStream("streamed", n, replay(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.M() != want.M() || got.Name() != want.Name() {
+		t.Fatalf("got n=%d m=%d %q, want n=%d m=%d %q", got.N(), got.M(), got.Name(), want.N(), want.M(), want.Name())
+	}
+	if !reflect.DeepEqual(got.CSR(), want.CSR()) {
+		t.Fatal("CSR differs from Builder's")
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		if !reflect.DeepEqual(got.Neighbors(v), want.Neighbors(v)) {
+			t.Fatalf("neighbors of %d differ: %v vs %v", v, got.Neighbors(v), want.Neighbors(v))
+		}
+	}
+	if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+		t.Fatal("edge lists differ")
+	}
+}
+
+func TestFromStreamErrors(t *testing.T) {
+	if _, err := FromStream("", -1, replay(nil)); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("negative n: %v, want ErrNoNodes", err)
+	}
+	if _, err := FromStream("", 4, replay([][2]NodeID{{1, 1}})); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self-loop: %v, want ErrSelfLoop", err)
+	}
+	if _, err := FromStream("", 4, replay([][2]NodeID{{0, 4}})); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Errorf("out of range: %v, want ErrNodeOutOfRange", err)
+	}
+	boom := errors.New("boom")
+	if _, err := FromStream("", 4, func(func(u, v NodeID)) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("emit error: %v, want it propagated", err)
+	}
+	// A non-deterministic stream — different edge counts per pass — must be
+	// rejected, in either direction.
+	pass := 0
+	grow := func(add func(u, v NodeID)) error {
+		pass++
+		add(0, 1)
+		if pass > 1 {
+			add(1, 2)
+		}
+		return nil
+	}
+	if _, err := FromStream("", 4, grow); !errors.Is(err, ErrStreamMismatch) {
+		t.Errorf("growing stream: %v, want ErrStreamMismatch", err)
+	}
+	pass = 0
+	shrink := func(add func(u, v NodeID)) error {
+		pass++
+		if pass == 1 {
+			add(0, 1)
+		}
+		add(1, 2)
+		if pass == 1 {
+			add(2, 3)
+		}
+		return nil
+	}
+	if _, err := FromStream("", 4, shrink); !errors.Is(err, ErrStreamMismatch) {
+		t.Errorf("shrinking stream: %v, want ErrStreamMismatch", err)
+	}
+}
+
+func TestFromStreamEmpty(t *testing.T) {
+	g, err := FromStream("empty", 3, replay(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d, want 3 0", g.N(), g.M())
+	}
+	zero, err := FromStream("", 0, replay(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.N() != 0 {
+		t.Fatalf("n=%d, want 0", zero.N())
+	}
+}
+
+// TestReadEdgeListStream: both readers accept the WriteEdgeList format and
+// agree with each other, and the streamed reader rejects the same malformed
+// inputs the Builder-backed one does.
+func TestReadEdgeListStream(t *testing.T) {
+	b := NewBuilder(7).Name("roundtrip")
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {0, 6}} {
+		b.AddEdge(e[0], e[1])
+	}
+	want := mustBuild(t, b)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	got, err := ReadEdgeListStream(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := ReadEdgeList(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.CSR(), legacy.CSR()) || got.Name() != legacy.Name() || got.N() != legacy.N() {
+		t.Fatal("streamed and Builder-backed readers disagree")
+	}
+	if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+		t.Fatal("round trip changed the edge set")
+	}
+	for _, bad := range []string{
+		"",             // no node-count line
+		"0 1\nn 4\n",   // edge before node count
+		"n 4\nn 4\n",   // duplicate node count
+		"n x\n",        // unparseable count
+		"n 4\n0\n",     // malformed edge line
+		"n 4\n0 one\n", // unparseable endpoint
+		"n 4\n0 0\n",   // self-loop
+		"n 2\n0 5\n",   // endpoint out of range
+	} {
+		if _, err := ReadEdgeListStream(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadEdgeListStream(%q) succeeded, want error", bad)
+		}
+	}
+}

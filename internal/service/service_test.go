@@ -674,7 +674,7 @@ func TestRegistryEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
 		t.Fatal(err)
 	}
-	if len(reg.Protocols) == 0 || len(reg.Engines) != 4 || len(reg.Graphs) == 0 ||
+	if len(reg.Protocols) == 0 || len(reg.Engines) != 5 || len(reg.Graphs) == 0 ||
 		len(reg.Models) == 0 || len(reg.Analyses) == 0 {
 		t.Fatalf("registry incomplete: %d protocols, %d engines, %d graphs, %d models, %d analyses",
 			len(reg.Protocols), len(reg.Engines), len(reg.Graphs), len(reg.Models), len(reg.Analyses))

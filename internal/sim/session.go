@@ -9,6 +9,7 @@ import (
 
 	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/bitengine"
 	"amnesiacflood/internal/engine/chanengine"
 	"amnesiacflood/internal/engine/fastengine"
 	"amnesiacflood/internal/graph"
@@ -32,6 +33,7 @@ type Session struct {
 	maxRounds     int
 	trace         bool
 	observer      engine.RoundObserver
+	parThreshold  int
 	analysisSpecs []string
 	analysisStop  bool
 
@@ -39,6 +41,7 @@ type Session struct {
 	mdl      model.Model        // built execution model (sync: both nil)
 	analyses *analysis.Set      // built analysis set (nil without WithAnalysis)
 	fast     *fastengine.Engine // lazily created, reused across runs
+	bit      *bitengine.Engine  // lazily created, reused across runs
 	async    *model.AsyncEngine // lazily created, reused across runs
 	dyn      *model.DynamicEngine
 }
@@ -103,6 +106,13 @@ func WithParam(key, value string) Option {
 // WithMaxRounds bounds each run; 0 means engine.DefaultMaxRounds.
 func WithMaxRounds(n int) Option {
 	return func(s *Session) { s.maxRounds = n }
+}
+
+// WithParallelThreshold tunes when the parallel-capable engines (Parallel,
+// Bitset) shard a round across goroutines; 0 means the engine default, 1
+// forces sharding on every round. See engine.Options.ParallelThreshold.
+func WithParallelThreshold(n int) Option {
+	return func(s *Session) { s.parThreshold = n }
 }
 
 // WithTrace enables per-round trace recording into Result.Trace.
@@ -190,13 +200,20 @@ func New(g *graph.Graph, opts ...Option) (*Session, error) {
 	}
 	if s.proto != nil {
 		s.built = s.proto
-		return s, nil
+	} else {
+		built, err := NewProtocol(s.protoName, s.spec(s.origins))
+		if err != nil {
+			return nil, err
+		}
+		s.built = built
 	}
-	built, err := NewProtocol(s.protoName, s.spec(s.origins))
-	if err != nil {
-		return nil, err
+	// The bitset engine executes declared set-operation rules only; reject
+	// protocols without one here rather than at the first Run, mirroring the
+	// model/protocol compatibility check above.
+	if s.kind == Bitset && s.mdl.Spec.IsSync() && !bitengine.Supports(s.built) {
+		return nil, fmt.Errorf("sim: engine bitset runs only bitset-rule protocols (amnesiac, classic, and probes built on them; got %q): %w",
+			s.built.Name(), bitengine.ErrUnsupportedProtocol)
 	}
-	s.built = built
 	return s, nil
 }
 
@@ -207,7 +224,7 @@ func (s *Session) spec(origins []graph.NodeID) Spec {
 
 // options assembles the engine options for one run.
 func (s *Session) options() engine.Options {
-	return engine.Options{Trace: s.trace, MaxRounds: s.maxRounds, Observer: s.observer}
+	return engine.Options{Trace: s.trace, MaxRounds: s.maxRounds, Observer: s.observer, ParallelThreshold: s.parThreshold}
 }
 
 // Protocol returns the protocol instance the session runs.
@@ -323,6 +340,11 @@ func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins [
 				}
 			}
 			res, err = s.fast.Run(ctx, proto, opts)
+		case Bitset:
+			if s.bit == nil {
+				s.bit = bitengine.New(s.g).Parallel(0)
+			}
+			res, err = s.bit.Run(ctx, proto, opts)
 		case Channels:
 			res, err = chanengine.Run(ctx, s.g, proto, opts)
 		default:

@@ -49,9 +49,12 @@ import (
 // EngineKind selects which synchronous engine executes a run.
 type EngineKind int
 
-// Available engines. All four produce byte-identical traces on every
-// protocol in this repository (asserted by experiment E10 and the
-// fastengine differential tests).
+// Available engines. All five produce byte-identical traces on every
+// protocol they support (asserted by experiment E10, the fastengine
+// differential tests, and the bitengine differential tests); the first four
+// run every protocol, Bitset only protocols declaring an
+// engine.BitsetProtocol rule (amnesiac, classic, and the probes built on
+// them — validated at Session construction).
 const (
 	// Sequential is the deterministic single-goroutine reference engine.
 	Sequential EngineKind = iota + 1
@@ -61,6 +64,10 @@ const (
 	Fast
 	// Parallel is the fast engine with GOMAXPROCS sharded delivery workers.
 	Parallel
+	// Bitset is the word-parallel frontier engine (bitengine package):
+	// rounds are OR/AND-NOT sweeps over edge-slot bitsets with degree-sorted
+	// relabeling, for million-node graphs.
+	Bitset
 )
 
 // ErrUnknownEngine is wrapped into errors for engine kinds or names outside
@@ -78,20 +85,22 @@ func (k EngineKind) String() string {
 		return "fast"
 	case Parallel:
 		return "parallel"
+	case Bitset:
+		return "bitset"
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(k))
 	}
 }
 
-// valid reports whether k is one of the four defined engines.
+// valid reports whether k is one of the five defined engines.
 func (k EngineKind) valid() bool {
-	return k >= Sequential && k <= Parallel
+	return k >= Sequential && k <= Bitset
 }
 
 // EngineNames lists the accepted ParseEngine spellings, for flag usage
 // strings.
 func EngineNames() []string {
-	return []string{"sequential", "channels", "fast", "parallel"}
+	return []string{"sequential", "channels", "fast", "parallel", "bitset"}
 }
 
 // ParseEngine resolves an engine name (as accepted by the -engine CLI
@@ -106,6 +115,8 @@ func ParseEngine(name string) (EngineKind, error) {
 		return Fast, nil
 	case "parallel", "fastparallel":
 		return Parallel, nil
+	case "bitset", "bit":
+		return Bitset, nil
 	default:
 		return 0, fmt.Errorf("sim: %w %q (want one of %s)", ErrUnknownEngine, name, strings.Join(EngineNames(), ", "))
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/engine/bitengine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/sim"
@@ -44,6 +45,7 @@ func TestParseEngine(t *testing.T) {
 		"sequential": sim.Sequential, "seq": sim.Sequential,
 		"channels": sim.Channels, "chan": sim.Channels,
 		"fast": sim.Fast, "parallel": sim.Parallel,
+		"bitset": sim.Bitset, "bit": sim.Bitset,
 		" Fast ": sim.Fast,
 	} {
 		got, err := sim.ParseEngine(name)
@@ -120,6 +122,54 @@ func TestEveryProtocolOnEveryEngine(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestBitsetEngineSupport covers the fifth engine's narrower contract: the
+// bitset-rule protocols (amnesiac, classic, and the probes renamed from
+// amnesiac floods) run with traces byte-identical to the sequential engine;
+// protocols with bespoke per-node behaviour are rejected at New, with the
+// typed bitengine error.
+func TestBitsetEngineSupport(t *testing.T) {
+	g := gen.Petersen()
+	for _, name := range []string{"amnesiac", "classic", "detect", "spantree"} {
+		want := runOn(t, g, name, sim.Sequential)
+		got := runOn(t, g, name, sim.Bitset)
+		if got.Engine != "bitset" {
+			t.Errorf("%s: Engine = %q, want bitset", name, got.Engine)
+		}
+		if !engine.EqualTraces(want.Trace, got.Trace) {
+			t.Errorf("%s: bitset trace differs from sequential", name)
+		}
+		if got.Rounds != want.Rounds || got.TotalMessages != want.TotalMessages || !got.Terminated {
+			t.Errorf("%s: bitset summary (%d rounds, %d msgs, terminated=%t) differs from (%d, %d, true)",
+				name, got.Rounds, got.TotalMessages, got.Terminated, want.Rounds, want.TotalMessages)
+		}
+	}
+	for _, name := range []string{"faulty", "multiflood"} {
+		if _, err := sim.New(g, sim.WithProtocol(name), sim.WithEngine(sim.Bitset), sim.WithSeed(7)); !errors.Is(err, bitengine.ErrUnsupportedProtocol) {
+			t.Errorf("New(%s, bitset) err = %v, want ErrUnsupportedProtocol", name, err)
+		}
+	}
+}
+
+// runOn is the shared single-run helper of the bitset support test.
+func runOn(t *testing.T, g *graph.Graph, proto string, kind sim.EngineKind) engine.Result {
+	t.Helper()
+	sess, err := sim.New(g,
+		sim.WithProtocol(proto),
+		sim.WithEngine(kind),
+		sim.WithOrigins(0),
+		sim.WithSeed(7),
+		sim.WithTrace(true),
+	)
+	if err != nil {
+		t.Fatalf("New(%s, %s): %v", proto, kind, err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%s on %s: %v", proto, kind, err)
+	}
+	return res
 }
 
 func TestSessionReuseIsDeterministic(t *testing.T) {

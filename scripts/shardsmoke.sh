@@ -26,14 +26,17 @@ go build -o "$DIR/afbench" ./cmd/afbench
 go build -o "$DIR/afshard" ./cmd/afshard
 
 GRAPHS="grid:rows=4,cols=5;cycle:n=9;prefattach:n=24,m=2"
+ENGINES="sequential,bitset"
 
 echo "== single-process baseline"
 "$DIR/afbench" -suite -graphs "$GRAPHS" -protocols amnesiac,classic \
+    -engines "$ENGINES" \
     -seeds 1,2 -format jsonl -out "$DIR/baseline.jsonl" 2>/dev/null
 
 echo "== coordinator with chaos injection and a 500ms lease TTL"
 "$DIR/afshard" -mode coordinator -addr "127.0.0.1:$PORT" \
     -graphs "$GRAPHS" -protocols amnesiac,classic -seeds 1,2 \
+    -engines "$ENGINES" \
     -chaos "chaos:rate=0.4,kinds=err|panic|stall,seed=7,stall=100ms" \
     -retries 8 -backoff 5ms -timeout 60s -lease 500ms \
     -checkpoint "$DIR/ckpt.jsonl" \
