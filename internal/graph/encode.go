@@ -96,12 +96,21 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return b.Build()
 }
 
+// maxEdgeListEdges caps how many edge lines ReadEdgeListStream accepts
+// before failing with ErrTooManyEdges. The pair array costs 16 bytes per
+// edge, so without a scan-time cap a hostile or runaway file would allocate
+// without bound before FromStream's 2^31 directed-edge check ever ran. The
+// value matches the streamed generators' cap (gen's maxStreamEdges). A var,
+// not a const, so tests can lower it without 2^26-line fixtures.
+var maxEdgeListEdges = 1 << 26
+
 // ReadEdgeListStream parses the same text edge-list format as ReadEdgeList
 // but builds the graph through FromStream: endpoints are collected into one
 // packed pair array (16 bytes per edge) and replayed into the CSR arena, so
 // peak memory is pairs + CSR rather than the Builder's edge list plus
 // per-node append slices. Use it for million-edge files; the two readers
-// accept the identical format and produce identical graphs.
+// accept the identical format and produce identical graphs. Files with more
+// than maxEdgeListEdges edge lines fail fast with ErrTooManyEdges.
 func ReadEdgeListStream(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -147,6 +156,9 @@ func ReadEdgeListStream(r io.Reader) (*Graph, error) {
 			v, err := strconv.Atoi(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("edge list line %d: parse endpoint: %w", lineNo, err)
+			}
+			if len(pairs) >= 2*maxEdgeListEdges {
+				return nil, fmt.Errorf("edge list line %d: more than %d edges: %w", lineNo, maxEdgeListEdges, ErrTooManyEdges)
 			}
 			pairs = append(pairs, NodeID(u), NodeID(v))
 		}

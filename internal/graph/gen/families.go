@@ -363,7 +363,8 @@ func init() {
 		},
 	})
 	Register("edgefile", Family{
-		Doc: "graph loaded from a text edge-list file (WriteEdgeList format), streamed into CSR",
+		Doc:   "graph loaded from a text edge-list file (WriteEdgeList format), streamed into CSR",
+		Local: true,
 		Params: []Param{
 			{Name: "path", Kind: StringParam, Default: "graph.edges", Doc: "path to the edge-list file"},
 		},

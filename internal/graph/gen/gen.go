@@ -21,7 +21,10 @@
 // always did. Two families exist only streamed: rmat
 // ("rmat:n=N,e=E,a=..,b=..,c=..", recursive-matrix quadrant descent over a
 // power-of-two node count) and edgefile ("edgefile:path=FILE", the
-// WriteEdgeList format read back through the two-pass CSR loader).
+// WriteEdgeList format read back through the two-pass CSR loader). edgefile
+// is marked Local in the registry: it opens whatever path the spec names, so
+// it is for operators with shell access — remote-facing resolvers (the
+// afsimd service) reject Local families.
 package gen
 
 import (

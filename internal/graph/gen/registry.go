@@ -66,6 +66,12 @@ type Family struct {
 	// Random marks families that consume the seed passed to New;
 	// deterministic families receive a nil rng.
 	Random bool
+	// Local marks families whose Build reads local host resources (files,
+	// paths) named by the spec. Such specs are only safe from operators who
+	// already have shell access to the machine; services resolving specs on
+	// behalf of remote callers must reject Local families, or an attacker
+	// could probe or ingest arbitrary server paths.
+	Local bool
 	// Doc is a one-line description for listings.
 	Doc string
 	// Build constructs the graph from resolved values. It must validate

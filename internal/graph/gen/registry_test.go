@@ -32,6 +32,22 @@ func TestFamiliesSortedAndComplete(t *testing.T) {
 	}
 }
 
+// TestLocalFamilies pins down which families are marked Local — the flag
+// remote-facing services key their rejection on. edgefile opens
+// caller-named server paths, so forgetting the flag (or a new
+// filesystem-reading family shipping without it) must fail here.
+func TestLocalFamilies(t *testing.T) {
+	for _, name := range gen.Families() {
+		fam, ok := gen.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if want := name == "edgefile"; fam.Local != want {
+			t.Errorf("family %q Local = %v, want %v", name, fam.Local, want)
+		}
+	}
+}
+
 // TestCanonicalRoundTrip is the acceptance criterion: for every registered
 // family, Parse(s).String() == s holds both for the bare family name and
 // for the fully explicit canonical spec.

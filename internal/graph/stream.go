@@ -64,14 +64,31 @@ func FromStream(name string, n int, emit func(add func(u, v NodeID)) error) (*Gr
 		offsets[v] += offsets[v-1]
 	}
 
-	// Pass 2: replay the stream, scattering endpoints into the arena.
+	// Pass 2: replay the stream, scattering endpoints into the arena. The
+	// contract says both passes emit the same sequence, but a buggy emit can
+	// diverge in ways count comparison alone misses — so the fill revalidates
+	// endpoints and row capacity (sticky error, like pass 1) instead of
+	// letting a contract violation panic on an out-of-range index.
 	targets := make([]NodeID, directed)
 	cursor := make([]int32, n)
 	copy(cursor, offsets[:n])
 	var replayed uint64
 	fill := func(u, v NodeID) {
+		if sticky != nil {
+			return
+		}
+		if u == v || u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			sticky = fmt.Errorf("stream: replay emitted edge (%d,%d) with n=%d, absent from pass 1: %w",
+				u, v, n, ErrStreamMismatch)
+			return
+		}
 		if replayed+2 > directed {
 			replayed += 2 // overflow detected after the loop
+			return
+		}
+		if cursor[u] >= offsets[u+1] || cursor[v] >= offsets[v+1] {
+			sticky = fmt.Errorf("stream: replay overfilled the row of edge (%d,%d): %w",
+				u, v, ErrStreamMismatch)
 			return
 		}
 		targets[cursor[u]] = v
@@ -82,6 +99,9 @@ func FromStream(name string, n int, emit func(add func(u, v NodeID)) error) (*Gr
 	}
 	if err := emit(fill); err != nil {
 		return nil, err
+	}
+	if sticky != nil {
+		return nil, sticky
 	}
 	if replayed != directed {
 		return nil, fmt.Errorf("stream: pass 1 saw %d directed edges, pass 2 saw %d: %w",

@@ -106,6 +106,43 @@ func TestFromStreamErrors(t *testing.T) {
 	}
 }
 
+// TestFromStreamReplayDivergence: a stream that replays the same edge COUNT
+// but a different edge SEQUENCE is a contract violation that pass 2 must
+// surface as ErrStreamMismatch — never as an index-out-of-range panic or a
+// silently corrupted arena.
+func TestFromStreamReplayDivergence(t *testing.T) {
+	twoPass := func(first, second [][2]NodeID) func(add func(u, v NodeID)) error {
+		pass := 0
+		return func(add func(u, v NodeID)) error {
+			pass++
+			edges := first
+			if pass > 1 {
+				edges = second
+			}
+			for _, e := range edges {
+				add(e[0], e[1])
+			}
+			return nil
+		}
+	}
+	cases := []struct {
+		name          string
+		first, second [][2]NodeID
+	}{
+		{"out-of-range endpoint", [][2]NodeID{{0, 1}}, [][2]NodeID{{0, 7}}},
+		{"negative endpoint", [][2]NodeID{{0, 1}}, [][2]NodeID{{-1, 1}}},
+		{"self-loop", [][2]NodeID{{0, 1}}, [][2]NodeID{{1, 1}}},
+		{"row overfill", [][2]NodeID{{0, 1}, {2, 3}}, [][2]NodeID{{0, 1}, {0, 1}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := FromStream("", 4, twoPass(c.first, c.second)); !errors.Is(err, ErrStreamMismatch) {
+				t.Errorf("divergent replay: %v, want ErrStreamMismatch", err)
+			}
+		})
+	}
+}
+
 func TestFromStreamEmpty(t *testing.T) {
 	g, err := FromStream("empty", 3, replay(nil))
 	if err != nil {
@@ -164,5 +201,25 @@ func TestReadEdgeListStream(t *testing.T) {
 		if _, err := ReadEdgeListStream(strings.NewReader(bad)); err == nil {
 			t.Errorf("ReadEdgeListStream(%q) succeeded, want error", bad)
 		}
+	}
+}
+
+// TestReadEdgeListStreamEdgeCap: the streamed reader fails fast with
+// ErrTooManyEdges once the file exceeds the edge cap, instead of buffering
+// an unbounded pair array first. The cap is lowered for the test; exercising
+// the real 2^26 value would need a multi-GB fixture.
+func TestReadEdgeListStreamEdgeCap(t *testing.T) {
+	old := maxEdgeListEdges
+	maxEdgeListEdges = 2
+	defer func() { maxEdgeListEdges = old }()
+	if _, err := ReadEdgeListStream(strings.NewReader("n 5\n0 1\n1 2\n2 3\n")); !errors.Is(err, ErrTooManyEdges) {
+		t.Errorf("over cap: %v, want ErrTooManyEdges", err)
+	}
+	g, err := ReadEdgeListStream(strings.NewReader("n 5\n0 1\n1 2\n"))
+	if err != nil {
+		t.Fatalf("at cap: %v", err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m=%d, want 2", g.M())
 	}
 }

@@ -215,6 +215,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, err)
 		return
 	}
+	for _, gs := range req.Graphs {
+		gspec, err := gen.Parse(gs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, 0, err)
+			return
+		}
+		if err := checkServableGraph(gspec); err != nil {
+			writeError(w, http.StatusBadRequest, 0, err)
+			return
+		}
+	}
 	if len(specs) > s.cfg.MaxSweepCells {
 		writeError(w, http.StatusBadRequest, 0,
 			fmt.Errorf("sweep expands to %d cells, over the %d-cell limit", len(specs), s.cfg.MaxSweepCells))
@@ -328,6 +339,9 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, name := range gen.Families() {
 		fam, _ := gen.Lookup(name)
+		if fam.Local {
+			continue // not servable over the wire (see checkServableGraph)
+		}
 		resp.Graphs = append(resp.Graphs, RegistryFamily{
 			Name: name, Doc: fam.Doc, Random: fam.Random, Params: wireParams(fam.Params),
 		})

@@ -662,6 +662,28 @@ func TestSweep(t *testing.T) {
 	}
 }
 
+// TestSweepRejectsLocalFamily: sweeps, like runs, must not resolve graph
+// families that read server-side paths on a remote caller's behalf.
+func TestSweepRejectsLocalFamily(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{})
+	body, _ := json.Marshal(service.SweepRequest{
+		Graphs: []string{"cycle:n=9", "edgefile:path=/etc/passwd"},
+	})
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		rb, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sweep status = %d, want 400 (body %s)", resp.StatusCode, rb)
+	}
+	var eresp service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil || !strings.Contains(eresp.Error, "edgefile") {
+		t.Fatalf("error body %+v (err %v), want mention of edgefile", eresp, err)
+	}
+}
+
 // TestRegistryEndpoint asserts all five axes are enumerated.
 func TestRegistryEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, service.Config{})
@@ -690,6 +712,13 @@ func TestRegistryEndpoint(t *testing.T) {
 	}
 	if reg.Models[0].Kind != "sync" {
 		t.Fatalf("first model = %+v, want sync", reg.Models[0])
+	}
+	// Local families are rejected by the run/sweep endpoints, so the
+	// registry must not advertise them as runnable.
+	for _, g := range reg.Graphs {
+		if g.Name == "edgefile" {
+			t.Fatal("registry advertises the local-only edgefile family")
+		}
 	}
 }
 
@@ -742,6 +771,7 @@ func TestBadRequests(t *testing.T) {
 		{"bad analysis", `{"graph":"cycle:n=8","analyses":["vibes"]}`},
 		{"negative origin", `{"graph":"cycle:n=8","origins":[-1]}`},
 		{"model x protocol", `{"graph":"cycle:n=8","protocol":"classic","model":"adversary:collision"}`},
+		{"local family", `{"graph":"edgefile:path=/etc/passwd"}`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -140,6 +140,9 @@ func (s *Server) normalizeRun(req *RunRequest) (*runSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := checkServableGraph(gspec); err != nil {
+		return nil, err
+	}
 	nr := &runSpec{
 		graph:      gspec.String(),
 		protocol:   strings.ToLower(strings.TrimSpace(req.Protocol)),
@@ -207,6 +210,17 @@ func (s *Server) normalizeRun(req *RunRequest) (*runSpec, error) {
 		nr.timeout = s.cfg.MaxTimeout
 	}
 	return nr, nil
+}
+
+// checkServableGraph rejects graph specs the service must not resolve on a
+// remote caller's behalf: Local families (edgefile) open server-side paths
+// named by the spec, which would hand every tenant a file-existence oracle
+// and an arbitrary-file ingestion channel.
+func checkServableGraph(gspec gen.Spec) error {
+	if fam, ok := gen.Lookup(gspec.Family); ok && fam.Local {
+		return fmt.Errorf("graph family %q reads local server files and cannot be requested over the wire", gspec.Family)
+	}
+	return nil
 }
 
 // poolKey identifies the pooled-session configuration a run needs:
