@@ -35,7 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -48,6 +48,7 @@ import (
 	"amnesiacflood/internal/chaos"
 	"amnesiacflood/internal/experiments"
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/obs"
 	"amnesiacflood/internal/scenario"
 	"amnesiacflood/internal/shard"
 	"amnesiacflood/internal/sim"
@@ -334,17 +335,24 @@ func runSuite(o suiteOpts) error {
 		sink = agg
 	}
 
+	// One registry serves the whole suite: the local runner's telemetry and,
+	// in sharded mode, the coordinator and every in-process shard worker all
+	// record into it, so the end-of-suite stanza aggregates across paths.
+	reg := obs.NewRegistry()
+	tel := scenario.NewTelemetry(reg)
+	suiteStart := time.Now()
+
 	var results []scenario.Result
 	switch {
 	case o.sharded():
-		results, err = runShardedSuite(context.Background(), o, specs, sink)
+		results, err = runShardedSuite(context.Background(), o, specs, sink, reg)
 		if err != nil {
 			return err
 		}
 	case o.checkpoint != "":
 		// A fresh (non-resume) run must not inherit a stale journal: it
 		// would silently skip every spec the old sweep completed.
-		runner := suiteRunner(o, sink, injector)
+		runner := suiteRunner(o, sink, injector, tel)
 		if !o.resume {
 			if err := os.Remove(o.checkpoint); err != nil && !os.IsNotExist(err) {
 				return err
@@ -362,7 +370,7 @@ func runSuite(o suiteOpts) error {
 			return err
 		}
 	default:
-		results, err = suiteRunner(o, sink, injector).Run(context.Background(), specs)
+		results, err = suiteRunner(o, sink, injector, tel).Run(context.Background(), specs)
 		if err != nil {
 			return err
 		}
@@ -397,6 +405,7 @@ func runSuite(o suiteOpts) error {
 		}
 		fmt.Fprintf(os.Stderr, "suite: %d specs, %d failed (%d workers)\n", len(results), failed, workers)
 	}
+	printSuiteTelemetry(tel, time.Since(suiteStart))
 	if failed > 0 {
 		return fmt.Errorf("%d of %d suite runs failed", failed, len(results))
 	}
@@ -404,7 +413,7 @@ func runSuite(o suiteOpts) error {
 }
 
 // suiteRunner builds the in-process runner the non-sharded paths share.
-func suiteRunner(o suiteOpts, sink scenario.Sink, injector *chaos.Injector) *scenario.Runner {
+func suiteRunner(o suiteOpts, sink scenario.Sink, injector *chaos.Injector, tel *scenario.Telemetry) *scenario.Runner {
 	return &scenario.Runner{
 		Workers:    o.workers,
 		Sink:       sink,
@@ -412,7 +421,26 @@ func suiteRunner(o suiteOpts, sink scenario.Sink, injector *chaos.Injector) *sce
 		Retries:    o.retries,
 		Backoff:    o.backoff,
 		Chaos:      injector,
+		Metrics:    tel,
 	}
+}
+
+// printSuiteTelemetry prints the end-of-suite telemetry stanza from the
+// shared registry: what the resilient runner actually did to produce the
+// rows, and how long the whole suite took. In sharded mode the counts
+// aggregate over every in-process shard worker (external workers report to
+// their own process's registry and are not included).
+func printSuiteTelemetry(tel *scenario.Telemetry, wall time.Duration) {
+	s := tel.Summary()
+	// Millisecond rounding reads well for real suites; sub-millisecond toy
+	// matrices keep microsecond precision instead of printing "0s".
+	r := time.Millisecond
+	if wall < time.Millisecond {
+		r = time.Microsecond
+	}
+	fmt.Fprintf(os.Stderr,
+		"suite telemetry: rows=%d attempts=%d retries=%d timeouts=%d panics=%d chaos=%d wall=%s\n",
+		s.Rows, s.Attempts, s.Retries, s.Timeouts, s.Panics, s.ChaosFaults, wall.Round(r))
 }
 
 // runShardedSuite executes the suite through an internal/shard coordinator:
@@ -421,8 +449,8 @@ func suiteRunner(o suiteOpts, sink scenario.Sink, injector *chaos.Injector) *sce
 // worker` processes) execute them through the ordinary resilient runner, and
 // the coordinator merges the uploads into the ordinary sink stack. The merged
 // output is order-normalised byte-identical to the single-process path.
-func runShardedSuite(ctx context.Context, o suiteOpts, specs []scenario.Spec, sink scenario.Sink) ([]scenario.Result, error) {
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+func runShardedSuite(ctx context.Context, o suiteOpts, specs []scenario.Spec, sink scenario.Sink, reg *obs.Registry) ([]scenario.Result, error) {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg := shard.CoordinatorConfig{
 		Run: shard.RunConfig{
 			TimeoutMs:     o.timeout.Milliseconds(),
@@ -431,8 +459,9 @@ func runShardedSuite(ctx context.Context, o suiteOpts, specs []scenario.Spec, si
 			Chaos:         o.chaos,
 			MaxRoundsHint: o.maxRounds,
 		},
-		Sink:   sink,
-		Logger: logger,
+		Sink:    sink,
+		Logger:  logger,
+		Metrics: reg,
 	}
 	if o.checkpoint != "" {
 		if !o.resume {
@@ -479,6 +508,7 @@ func runShardedSuite(ctx context.Context, o suiteOpts, specs []scenario.Spec, si
 			Name:        fmt.Sprintf("local-%d", i),
 			Pool:        o.workers,
 			Logger:      logger,
+			Metrics:     reg,
 		})
 		if err != nil {
 			return nil, err

@@ -32,7 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +45,7 @@ import (
 
 	"amnesiacflood/internal/analysis"
 	"amnesiacflood/internal/graph"
+	"amnesiacflood/internal/obs"
 	"amnesiacflood/internal/scenario"
 	"amnesiacflood/internal/shard"
 
@@ -100,7 +101,13 @@ func run(args []string) error {
 	name := fs.String("name", "", "worker name for lease attribution (worker; default host-derived)")
 	pool := fs.Int("pool", 0, "local runner pool width per leased group (worker; 0 = GOMAXPROCS capped at 8)")
 
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error")
+
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logLevel)
+	if err != nil {
 		return err
 	}
 
@@ -109,7 +116,7 @@ func run(args []string) error {
 
 	switch *mode {
 	case "coordinator":
-		return runCoordinator(ctx, coordinatorOpts{
+		return runCoordinator(ctx, logger, coordinatorOpts{
 			addr: *addr, graphs: *graphs, protocols: *protocols, engines: *engines,
 			models: *models, analyses: *analysesFlag, origins: *origins, seeds: *seeds,
 			reps: *reps, maxRounds: *maxRounds, format: *format, out: *out,
@@ -130,7 +137,7 @@ func run(args []string) error {
 			Coordinator: *coordinator,
 			Name:        workerName,
 			Pool:        *pool,
-			Logger:      log.New(os.Stderr, "afshard ", log.LstdFlags),
+			Logger:      logger,
 		})
 		if err != nil {
 			return err
@@ -161,7 +168,7 @@ type coordinatorOpts struct {
 
 // runCoordinator expands the matrix, serves the lease protocol, and merges
 // the suite.
-func runCoordinator(ctx context.Context, o coordinatorOpts) error {
+func runCoordinator(ctx context.Context, logger *slog.Logger, o coordinatorOpts) error {
 	matrix := scenario.Matrix{
 		Graphs:    splitList(o.graphs, ";"),
 		Protocols: splitList(o.protocols, ","),
@@ -264,7 +271,10 @@ func runCoordinator(ctx context.Context, o coordinatorOpts) error {
 		defer manifest.Close()
 	}
 
-	logger := log.New(os.Stderr, "afshard ", log.LstdFlags)
+	// One registry serves the whole process: the coordinator's afshard_*
+	// families plus the scenario_*/afshard_worker_* families of any local
+	// workers, all visible on GET /metrics.
+	reg := obs.NewRegistry()
 	coord, err := shard.NewCoordinator(specs, shard.CoordinatorConfig{
 		LeaseTTL: o.lease,
 		Run: shard.RunConfig{
@@ -276,6 +286,7 @@ func runCoordinator(ctx context.Context, o coordinatorOpts) error {
 		Manifest: manifest,
 		Sink:     sink,
 		Logger:   logger,
+		Metrics:  reg,
 	})
 	if err != nil {
 		return err
@@ -287,9 +298,9 @@ func runCoordinator(ctx context.Context, o coordinatorOpts) error {
 	}
 	httpSrv := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() {
-		logger.Printf("coordinating %d specs on %s", len(specs), ln.Addr())
+		logger.Info("coordinating", "specs", len(specs), "addr", ln.Addr().String())
 		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Printf("serve: %v", err)
+			logger.Error("serve failed", "err", err)
 		}
 	}()
 
@@ -306,6 +317,7 @@ func runCoordinator(ctx context.Context, o coordinatorOpts) error {
 			Coordinator: loopbackURL(ln.Addr()),
 			Name:        fmt.Sprintf("local-%d", i),
 			Logger:      logger,
+			Metrics:     reg,
 		})
 		if err != nil {
 			return err
@@ -314,7 +326,7 @@ func runCoordinator(ctx context.Context, o coordinatorOpts) error {
 		go func() {
 			defer wg.Done()
 			if err := worker.Run(workerCtx); err != nil && !errors.Is(err, context.Canceled) {
-				logger.Printf("local worker: %v", err)
+				logger.Error("local worker failed", "err", err)
 			}
 		}()
 	}
@@ -358,6 +370,16 @@ func runCoordinator(ctx context.Context, o coordinatorOpts) error {
 		return fmt.Errorf("%d of %d suite runs failed", failed, len(results))
 	}
 	return nil
+}
+
+// newLogger builds the daemon's structured stderr logger at the named level
+// (debug/info/warn/error).
+func newLogger(level string) (*slog.Logger, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
 }
 
 // loopbackURL is the base URL local workers dial for a listener that may be

@@ -4,9 +4,10 @@
 //
 //	afsimd -addr :8080 -workers 8 -queue 64
 //
-// Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/registry, GET /healthz.
-// See internal/service/README.md for the wire reference and a curl
-// quickstart.
+// Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/registry, GET /healthz,
+// GET /metrics (Prometheus text). See internal/service/README.md for the
+// wire reference and a curl quickstart; -pprof serves net/http/pprof on a
+// separate listener for live profiling.
 package main
 
 import (
@@ -14,8 +15,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +25,16 @@ import (
 
 	"amnesiacflood/internal/service"
 )
+
+// newLogger builds the daemon's structured stderr logger at the named level
+// (debug/info/warn/error).
+func newLogger(level string) (*slog.Logger, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
+}
 
 func main() {
 	var (
@@ -38,10 +50,16 @@ func main() {
 		sweepCells  = flag.Int("sweep-cells", 4096, "max expanded cells per sweep")
 		sweepWorker = flag.Int("sweep-workers", 4, "scenario workers inside one sweep")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "afsimd ", log.LstdFlags)
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afsimd:", err)
+		os.Exit(2)
+	}
 	srv := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -60,31 +78,49 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		// Profiling stays off the service listener: the service mux never
+		// grows debug handlers, and the pprof port can stay firewalled.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		logger.Fatalf("listen: %v", err)
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Drain first (stop admitting, finish in-flight streams), then close
 	// the listener — so no stream is cut mid-run.
-	logger.Printf("signal received, draining")
+	logger.Info("signal received, draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		logger.Printf("drain: %v (forcing shutdown)", err)
+		logger.Warn("drain incomplete, forcing shutdown", "err", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	fmt.Fprintln(os.Stderr, "afsimd: drained cleanly")
 }

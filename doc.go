@@ -116,6 +116,21 @@
 //	afshard -mode coordinator -addr :9090 -graphs "grid:rows=8,cols=8" -out suite.jsonl.gz
 //	afshard -mode worker -coordinator http://host:9090
 //
+// Both daemons are observable without perturbing what they observe:
+// internal/obs is a dependency-free metrics kernel (atomic counters,
+// gauges, and histograms behind labeled families, rendered in the
+// Prometheus text exposition), and afsimd and the afshard coordinator each
+// serve GET /metrics from it — request/admission/queue-wait/run-latency
+// and per-phase (build/run/analyze) timing families on the service,
+// lease/steal/merge/upload families on the coordinator, and scenario_*
+// runner resilience counters (attempts, retries, timeouts, recovered
+// panics, chaos injections) everywhere a resilient runner executes.
+// `afbench -suite` prints the same counters as an end-of-suite telemetry
+// stanza. Both daemons log through structured log/slog (-log-level), and
+// instrumentation sits strictly on the observing side of every decision:
+// differential tests in internal/scenario assert byte-identical traces and
+// suite rows with metrics on and off, under the race detector.
+//
 // Packages:
 //
 //	internal/sim              façade: protocol registry, session API, observers, model + analysis axes
@@ -125,6 +140,7 @@
 //	internal/analysis         streaming-analysis registry: coverage, termination, bipartite, spantree, echo, quantiles
 //	internal/scenario         declarative suites: spec matrix, pooled runner, sinks, metric columns
 //	internal/shard            distributed suite sharding: lease protocol, work stealing, resumable merge
+//	internal/obs              metrics kernel: atomic counters/gauges/histograms, Prometheus text exposition
 //	internal/graph            immutable simple graphs, builder, CSR view, encodings
 //	internal/graph/gen        graph families behind a spec-grammar registry
 //	internal/graph/algo       BFS, diameter, bipartiteness ground truth

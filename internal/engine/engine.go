@@ -273,6 +273,10 @@ type Result struct {
 	// WallTime is the wall-clock duration of the run. The engines leave
 	// it zero; the sim façade populates it.
 	WallTime time.Duration `json:"wallTimeNs,omitempty"`
+	// Phases splits WallTime into per-phase durations. The engines leave
+	// it zero; the sim façade populates it. Like WallTime it is
+	// nondeterministic and excluded from every equality contract.
+	Phases PhaseTimings `json:"phases,omitzero"`
 	// Metrics holds the merged streaming-analysis metrics of the run,
 	// keyed "<family>.<metric>" (see internal/analysis). The engines leave
 	// it nil; the sim façade populates it when analyses are attached with
@@ -281,6 +285,19 @@ type Result struct {
 	// Trace holds one record per round when tracing is enabled, nil
 	// otherwise.
 	Trace []RoundRecord `json:"trace,omitempty"`
+}
+
+// PhaseTimings splits one run's wall clock into its phases, as measured by
+// the sim façade: Build is the per-run protocol construction (zero for a
+// Session.Run over a protocol built at New time), Run is the engine's
+// round loop including analysis observation, Analyze is the
+// analysis.Set.Finish metric merge. Scenario sinks time their writes
+// separately (the sink phase lives in scenario.Telemetry, not here — a
+// sink write is per row, not per engine run).
+type PhaseTimings struct {
+	Build   time.Duration `json:"buildNs,omitempty"`
+	Run     time.Duration `json:"runNs,omitempty"`
+	Analyze time.Duration `json:"analyzeNs,omitempty"`
 }
 
 // ErrMaxRounds is wrapped into the error returned by Run when the round

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterVec("req_total", "requests", "code")
+	b := r.CounterVec("req_total", "requests", "code")
+	a.With("200").Inc()
+	b.With("200").Inc()
+	if got := a.With("200").Value(); got != 2 {
+		t.Fatalf("re-registered family did not share series: got %d, want 2", got)
+	}
+}
+
+func TestRegistrationConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	for name, f := range map[string]func(){
+		"kind mismatch":   func() { r.Gauge("m", "") },
+		"label mismatch":  func() { r.CounterVec("m", "", "x") },
+		"bad metric name": func() { r.Counter("1bad", "") },
+		"bad label name":  func() { r.CounterVec("ok_total", "", "bad-label") },
+		"arity mismatch":  func() { r.CounterVec("v_total", "", "a", "b").With("only-one") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 8} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	s := snap.Families[0].Series[0]
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	want := []Bucket{{1, 2}, {2, 4}, {4, 6}, {math.Inf(1), 7}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(want))
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 20 {
+		t.Errorf("sum = %g, want 20", s.Sum)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got := ExpBuckets(1, 2, 4); got[0] != 1 || got[3] != 8 {
+		t.Errorf("ExpBuckets = %v", got)
+	}
+	if got := LinearBuckets(10, 5, 3); got[0] != 10 || got[2] != 20 {
+		t.Errorf("LinearBuckets = %v", got)
+	}
+	lat := LatencyBuckets()
+	if lat[0] != 100e-6 || len(lat) != 22 {
+		t.Errorf("LatencyBuckets = %v", lat)
+	}
+	rb := RoundBuckets()
+	if rb[0] != 32 || rb[len(rb)-1] != 1024 {
+		t.Errorf("RoundBuckets = %v", rb)
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "", "code")
+	v.With("200").Add(3)
+	v.With("500").Add(1)
+	r.Histogram("lat", "", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if got, ok := snap.Value("req_total", "200"); !ok || got != 3 {
+		t.Errorf("Value(req_total, 200) = %g, %v", got, ok)
+	}
+	if _, ok := snap.Value("req_total", "404"); ok {
+		t.Error("Value found a series that was never touched")
+	}
+	if got := snap.Total("req_total"); got != 4 {
+		t.Errorf("Total(req_total) = %g, want 4", got)
+	}
+	if got, ok := snap.Value("lat"); !ok || got != 1 {
+		t.Errorf("Value(lat) = %g, %v (histograms report counts)", got, ok)
+	}
+}
+
+// TestConcurrentUpdates hammers one labeled family (and a histogram and a
+// gauge) from GOMAXPROCS goroutines — the race-enabled test the CI
+// observability gate runs. Totals must be exact: atomic updates lose
+// nothing.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("hammer_total", "concurrent counter", "worker", "kind")
+	hist := r.Histogram("hammer_seconds", "concurrent histogram", []float64{0.25, 0.5, 0.75})
+	gauge := r.Gauge("hammer_inflight", "concurrent gauge")
+
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 10000
+	kinds := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('w' + w%3)) // contend on a few series, not one per goroutine
+			for i := 0; i < perWorker; i++ {
+				vec.With(label, kinds[i%len(kinds)]).Inc()
+				hist.Observe(float64(i%4) * 0.25)
+				gauge.Inc()
+				gauge.Dec()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	if got, want := snap.Total("hammer_total"), float64(workers*perWorker); got != want {
+		t.Errorf("counter total = %g, want %g", got, want)
+	}
+	if got, want := snap.Total("hammer_seconds"), float64(workers*perWorker); got != want {
+		t.Errorf("histogram count = %g, want %g", got, want)
+	}
+	// Sum is exact too: every observation is a multiple of 0.25, exactly
+	// representable, and the CAS loop loses no update.
+	var sum float64
+	for _, f := range snap.Families {
+		if f.Name == "hammer_seconds" {
+			sum = f.Series[0].Sum
+		}
+	}
+	wantSum := float64(workers) * perWorker / 4 * (0 + 0.25 + 0.5 + 0.75)
+	if sum != wantSum {
+		t.Errorf("histogram sum = %g, want %g", sum, wantSum)
+	}
+	if got := gauge.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0 after balanced inc/dec", got)
+	}
+}

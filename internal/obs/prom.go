@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file is the Prometheus text-exposition writer (format 0.0.4): one
+// HELP/TYPE header per family, one sample line per series (histograms
+// expand to cumulative _bucket lines plus _sum and _count). Output order is
+// deterministic — families by name, series by label values — so the format
+// is golden-testable and scrape diffs are meaningful.
+
+// WriteProm renders a snapshot in the Prometheus text format.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.Series {
+			switch f.Kind {
+			case KindHistogram:
+				for _, b := range s.Buckets {
+					bw.WriteString(f.Name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, f.Labels, s.Labels, formatLE(b.LE))
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatUint(b.Count, 10))
+					bw.WriteByte('\n')
+				}
+				bw.WriteString(f.Name)
+				bw.WriteString("_sum")
+				writeLabels(bw, f.Labels, s.Labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(s.Sum))
+				bw.WriteByte('\n')
+				bw.WriteString(f.Name)
+				bw.WriteString("_count")
+				writeLabels(bw, f.Labels, s.Labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(s.Count, 10))
+				bw.WriteByte('\n')
+			default:
+				bw.WriteString(f.Name)
+				writeLabels(bw, f.Labels, s.Labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(s.Value))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteProm renders the registry's current state (see the Snapshot method).
+func (r *Registry) WriteProm(w io.Writer) error { return WriteProm(w, r.Snapshot()) }
+
+// writeLabels renders the {name="value",...} block, appending the
+// histogram le label when non-empty. No block is written for an unlabeled
+// non-histogram series.
+func writeLabels(w *bufio.Writer, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(`le="`)
+		w.WriteString(le)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatLE renders a bucket bound, spelling the last bucket +Inf.
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+// formatFloat renders a sample value in the shortest round-trip form.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeHelp escapes a HELP line body (backslash and newline).
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// escapeLabel escapes a label value (backslash, double quote, newline).
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// Handler returns the GET /metrics handler for the registry, answering the
+// Prometheus text format with its canonical content type.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+}

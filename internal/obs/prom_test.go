@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds the fixture the exposition golden covers: family
+// ordering (alphabetical), label ordering (declaration order, series sorted
+// by values), value escaping (backslash, quote, newline), help escaping,
+// and histogram bucket cumulativity with the +Inf terminal bucket.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	esc := r.CounterVec("test_escapes_total", `Escape check \ backslash.`, "value")
+	esc.With("a\\b\"c\nd").Inc()
+
+	lat := r.HistogramVec("test_latency_seconds", "Request latency.", []float64{0.25, 1, 4}, "endpoint")
+	h := lat.With("run")
+	for _, v := range []float64{0.25, 0.5, 2, 8} {
+		h.Observe(v)
+	}
+
+	r.Gauge("test_queue_depth", "Current queue depth.").Set(7)
+
+	req := r.CounterVec("test_requests_total", "Total requests.", "endpoint", "code")
+	req.With("run", "200").Add(3)
+	req.With("run", "500").Inc()
+	req.With("sweep", "200").Add(2)
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden.prom")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, buf.String(), want)
+	}
+}
+
+func TestHistogramCumulativityInExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The +Inf bucket must equal _count — the invariant scrapers rely on.
+	if !strings.Contains(out, `test_latency_seconds_bucket{endpoint="run",le="+Inf"} 4`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_count{endpoint="run"} 4`) {
+		t.Errorf("missing _count:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(goldenRegistry()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE test_requests_total counter") {
+		t.Errorf("body missing TYPE line:\n%s", rec.Body.String())
+	}
+}

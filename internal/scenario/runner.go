@@ -100,6 +100,12 @@ type Runner struct {
 	// graph-build points of every attempt — the fault-injection harness the
 	// differential chaos gate drives (see internal/chaos).
 	Chaos *chaos.Injector
+	// Metrics, when non-nil, records attempts, retries, backoff sleeps,
+	// timeouts, recovered panics, chaos faults, emitted rows, and phase
+	// timings into an obs registry (see NewTelemetry). Recording is
+	// read-only with respect to the rows themselves: metrics-on output is
+	// byte-identical to metrics-off output.
+	Metrics *Telemetry
 }
 
 // DefaultWorkers is the pool bound used when Runner.Workers is zero:
@@ -122,6 +128,7 @@ type runConfig struct {
 	retries int
 	backoff time.Duration
 	chaos   *chaos.Injector
+	tel     *Telemetry // nil when the suite runs without metrics
 }
 
 // group is the unit of work handed to a pool worker: all specs sharing a
@@ -161,7 +168,7 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	cfg := runConfig{timeout: r.RunTimeout, retries: r.Retries, backoff: r.Backoff, chaos: r.Chaos}
+	cfg := runConfig{timeout: r.RunTimeout, retries: r.Retries, backoff: r.Backoff, chaos: r.Chaos, tel: r.Metrics}
 	if cfg.retries < 0 {
 		cfg.retries = 0
 	}
@@ -218,8 +225,17 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	var sinkErr error
 	for res := range resultCh {
 		results = append(results, res)
+		cfg.tel.row(&res)
 		if r.Sink != nil && sinkErr == nil {
-			if err := r.Sink.Write(res); err != nil {
+			var sinkStart time.Time
+			if cfg.tel != nil {
+				sinkStart = time.Now()
+			}
+			err := r.Sink.Write(res)
+			if cfg.tel != nil {
+				cfg.tel.sinkWrite(time.Since(sinkStart))
+			}
+			if err != nil {
 				sinkErr = fmt.Errorf("scenario: sink: %w", err)
 				cancel() // stop the remaining work; keep draining resultCh
 			}
@@ -359,6 +375,13 @@ func (cfg runConfig) execute(ctx context.Context, s Spec, run func(context.Conte
 		timedOut := ctx.Err() == nil &&
 			(errors.Is(runCtx.Err(), context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded))
 		cancelRun()
+		cfg.tel.attempt(attempt)
+		if timedOut {
+			cfg.tel.timeout()
+		}
+		if err != nil && injectedFault(err) {
+			cfg.tel.chaosFault(chaos.SiteRun)
+		}
 		if ctx.Err() != nil {
 			return res, attempt, ctx.Err()
 		}
@@ -387,6 +410,7 @@ func (cfg runConfig) protectedRun(ctx context.Context, id string, attempt int, r
 	defer func() {
 		if r := recover(); r != nil {
 			err = newPanicError(r)
+			cfg.tel.panicRecovered()
 		}
 	}()
 	if cfg.chaos != nil {
@@ -406,6 +430,7 @@ func (cfg runConfig) buildGraph(ctx context.Context, key string, head Spec, cach
 			defer func() {
 				if r := recover(); r != nil {
 					err = newPanicError(r)
+					cfg.tel.panicRecovered()
 				}
 			}()
 			if cfg.chaos != nil {
@@ -420,6 +445,9 @@ func (cfg runConfig) buildGraph(ctx context.Context, key string, head Spec, cach
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
+		}
+		if injectedFault(err) {
+			cfg.tel.chaosFault(chaos.SiteBuild)
 		}
 		if attempt > cfg.retries || !injectedFault(err) {
 			return nil, err
@@ -457,6 +485,7 @@ func (cfg runConfig) sleep(ctx context.Context, id string, seed int64, attempt i
 	fmt.Fprintf(h, "%s|%d|%d", id, seed, attempt)
 	jitter := 0.5 + float64(h.Sum64()>>11)/float64(uint64(1)<<53)
 	d = time.Duration(float64(d) * jitter)
+	cfg.tel.backoffSleep()
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -488,6 +517,7 @@ func runGroup(ctx context.Context, grp *group, cache *graphCache, cfg runConfig,
 	defer func() {
 		if r := recover(); r != nil {
 			err := newPanicError(r)
+			cfg.tel.panicRecovered()
 			for i, s := range grp.specs {
 				if done[i] {
 					continue
@@ -556,6 +586,7 @@ func runGroup(ctx context.Context, grp *group, cache *graphCache, cfg runConfig,
 			}
 		} else {
 			out1.fill(res)
+			cfg.tel.runPhases(res.Phases)
 		}
 		return emit(i, out1)
 	}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"time"
+
+	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/obs"
+)
+
+// Telemetry records the runner's resilience bookkeeping — attempts,
+// retries, backoff sleeps, timeouts, recovered panics, chaos-injected
+// faults, emitted rows — plus per-run phase timings, into an obs.Registry.
+// Attach one via Runner.Metrics; a nil *Telemetry is a valid no-op, so the
+// recording call sites need no conditionals.
+//
+// The determinism contract (see internal/obs/README.md): every recording
+// method is called strictly on the observing side of an already-made
+// decision — after an attempt finished, after a row was built, around a
+// sink write — and never feeds back into retry policy, scheduling, or row
+// contents. TestTelemetryDoesNotPerturbRows asserts metrics-on output is
+// byte-identical to metrics-off output under the race detector.
+type Telemetry struct {
+	reg      *obs.Registry
+	attempts *obs.Counter
+	retries  *obs.Counter
+	sleeps   *obs.Counter
+	timeouts *obs.Counter
+	panics   *obs.Counter
+	chaos    *obs.CounterVec
+	rows     *obs.CounterVec
+	phases   *obs.HistogramVec
+}
+
+// NewTelemetry registers the scenario_* metric families on reg (idempotent:
+// several Telemetry instances over one registry share series, which is how
+// in-process shard workers and the afbench summary stanza see one total).
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	return &Telemetry{
+		reg:      reg,
+		attempts: reg.Counter("scenario_run_attempts_total", "Run attempts executed, including retries."),
+		retries:  reg.Counter("scenario_retries_total", "Run attempts that were retries of a transient failure."),
+		sleeps:   reg.Counter("scenario_backoff_sleeps_total", "Backoff sleeps taken between retry attempts."),
+		timeouts: reg.Counter("scenario_run_timeouts_total", "Run attempts killed by the watchdog deadline."),
+		panics:   reg.Counter("scenario_panics_recovered_total", "Panics recovered at runner isolation boundaries."),
+		chaos:    reg.CounterVec("scenario_chaos_faults_total", "Chaos-injected faults observed, by injection site.", "site"),
+		rows:     reg.CounterVec("scenario_rows_total", "Result rows emitted, by outcome class.", "class"),
+		phases:   reg.HistogramVec("scenario_phase_seconds", "Per-run phase durations (build/run/analyze) and per-row sink writes.", obs.LatencyBuckets(), "phase"),
+	}
+}
+
+// attempt records one executed run attempt (attempt numbers start at 1;
+// attempts past the first are retries).
+func (t *Telemetry) attempt(n int) {
+	if t == nil {
+		return
+	}
+	t.attempts.Inc()
+	if n > 1 {
+		t.retries.Inc()
+	}
+}
+
+// backoffSleep records one retry backoff sleep.
+func (t *Telemetry) backoffSleep() {
+	if t == nil {
+		return
+	}
+	t.sleeps.Inc()
+}
+
+// timeout records one watchdog-killed attempt.
+func (t *Telemetry) timeout() {
+	if t == nil {
+		return
+	}
+	t.timeouts.Inc()
+}
+
+// panicRecovered records one recovered panic.
+func (t *Telemetry) panicRecovered() {
+	if t == nil {
+		return
+	}
+	t.panics.Inc()
+}
+
+// chaosFault records one observed chaos-injected fault at a site
+// (chaos.SiteRun / chaos.SiteBuild).
+func (t *Telemetry) chaosFault(site string) {
+	if t == nil {
+		return
+	}
+	t.chaos.With(site).Inc()
+}
+
+// row records one emitted result row, classed ok / error / timeout.
+func (t *Telemetry) row(res *Result) {
+	if t == nil {
+		return
+	}
+	class := "ok"
+	switch {
+	case res.Outcome == "timeout":
+		class = "timeout"
+	case res.Err != "":
+		class = "error"
+	}
+	t.rows.With(class).Inc()
+}
+
+// runPhases records one successful run's phase split.
+func (t *Telemetry) runPhases(p engine.PhaseTimings) {
+	if t == nil {
+		return
+	}
+	t.phases.With("build").Observe(p.Build.Seconds())
+	t.phases.With("run").Observe(p.Run.Seconds())
+	t.phases.With("analyze").Observe(p.Analyze.Seconds())
+}
+
+// sinkWrite records one sink write's duration.
+func (t *Telemetry) sinkWrite(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.phases.With("sink").Observe(d.Seconds())
+}
+
+// Registry returns the registry the telemetry records into.
+func (t *Telemetry) Registry() *obs.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// TelemetrySummary is the end-of-suite rollup afbench prints.
+type TelemetrySummary struct {
+	Attempts, Retries, BackoffSleeps uint64
+	Timeouts, Panics, ChaosFaults    uint64
+	Rows                             uint64
+	PhaseSeconds                     map[string]float64 // phase -> total seconds
+}
+
+// Summary snapshots the counters for an end-of-suite stanza. Safe on a nil
+// receiver (zero summary). Because registration is idempotent, a Telemetry
+// built over a shared registry (the sharded-suite case: every in-process
+// worker records into the same one) summarises the shared totals.
+func (t *Telemetry) Summary() TelemetrySummary {
+	var s TelemetrySummary
+	if t == nil {
+		return s
+	}
+	snap := t.reg.Snapshot()
+	s.Attempts = uint64(snap.Total("scenario_run_attempts_total"))
+	s.Retries = uint64(snap.Total("scenario_retries_total"))
+	s.BackoffSleeps = uint64(snap.Total("scenario_backoff_sleeps_total"))
+	s.Timeouts = uint64(snap.Total("scenario_run_timeouts_total"))
+	s.Panics = uint64(snap.Total("scenario_panics_recovered_total"))
+	s.ChaosFaults = uint64(snap.Total("scenario_chaos_faults_total"))
+	s.Rows = uint64(snap.Total("scenario_rows_total"))
+	s.PhaseSeconds = map[string]float64{}
+	for _, f := range snap.Families {
+		if f.Name != "scenario_phase_seconds" {
+			continue
+		}
+		for _, ser := range f.Series {
+			if len(ser.Labels) == 1 {
+				s.PhaseSeconds[ser.Labels[0]] = ser.Sum
+			}
+		}
+	}
+	return s
+}

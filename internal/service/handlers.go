@@ -12,6 +12,7 @@ import (
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph/gen"
 	"amnesiacflood/internal/model"
+	"amnesiacflood/internal/obs"
 	"amnesiacflood/internal/scenario"
 	"amnesiacflood/internal/sim"
 )
@@ -54,6 +55,7 @@ func writeError(w http.ResponseWriter, status int, retryAfter time.Duration, err
 // both; on failure the response has already been written.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), admitted bool) {
 	if s.Draining() {
+		s.metrics.rejections.With("draining").Inc()
 		writeError(w, http.StatusServiceUnavailable, 0, ErrDraining)
 		return nil, false
 	}
@@ -62,23 +64,31 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrRateLimited):
+			s.metrics.rejections.With("rate_limited").Inc()
 			writeError(w, http.StatusTooManyRequests, max(retryAfter, time.Second), err)
 		case errors.Is(err, ErrTooManyInFlight):
+			s.metrics.rejections.With("in_flight_cap").Inc()
 			writeError(w, http.StatusTooManyRequests, time.Second, err)
 		default:
+			s.metrics.rejections.With("limiter_error").Inc()
 			writeError(w, http.StatusInternalServerError, 0, err)
 		}
 		return nil, false
 	}
+	waitStart := time.Now()
 	slotRelease, err := s.disp.acquire(r.Context(), tenant)
+	s.metrics.queueWait.ObserveSince(waitStart)
 	if err != nil {
 		tenantRelease()
 		switch {
 		case errors.Is(err, ErrQueueFull):
+			s.metrics.rejections.With("queue_full").Inc()
 			writeError(w, http.StatusTooManyRequests, time.Second, err)
 		case errors.Is(err, ErrDraining):
+			s.metrics.rejections.With("draining").Inc()
 			writeError(w, http.StatusServiceUnavailable, 0, err)
 		default: // client hung up while queued
+			s.metrics.rejections.With("client_gone").Inc()
 			writeError(w, 499, 0, err)
 		}
 		return nil, false
@@ -251,6 +261,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Workers:    s.cfg.SweepWorkers,
 		Sink:       sink,
 		RunTimeout: timeout,
+		Metrics:    s.metrics.sweepTel,
 	}
 	// The runner's own panic isolation turns panicking cells into error
 	// rows, and the request context cancels the whole sweep when the
@@ -377,16 +388,28 @@ func wireParams(params []gen.Param) []RegistryParam {
 // HealthResponse is GET /healthz.
 type HealthResponse struct {
 	Status string `json:"status"`
-	Stats  Stats  `json:"stats"`
+	// UptimeSeconds is whole seconds since the server was built.
+	UptimeSeconds int64 `json:"uptimeSeconds"`
+	// Version is the main module's build version ("unknown" for plain
+	// source builds without module metadata).
+	Version string `json:"version"`
+	Stats   Stats  `json:"stats"`
 }
 
 // handleHealthz is GET /healthz: 200 {"status":"ok"} while serving, 503
 // {"status":"draining"} once Drain has begun — the readiness signal a load
 // balancer needs to stop routing before the listener closes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.started) / time.Second),
+		Version:       obs.Version(),
+		Stats:         s.Stats(),
+	}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining", Stats: s.Stats()})
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Stats: s.Stats()})
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"amnesiacflood/internal/obs"
+	"amnesiacflood/internal/scenario"
+)
+
+// This file is the daemon's telemetry: every afsimd_* metric family, the
+// request-counting middleware, and the GET /metrics endpoint. All recording
+// happens strictly on the observing side of serving decisions — admission,
+// dispatch, and run execution read nothing back from the registry — so
+// metrics-on serving is byte-identical to metrics-off serving (the
+// differential gates in internal/scenario prove the run path; the serving
+// path never consults a metric).
+//
+// Exported families (see internal/service/README.md for the full contract):
+//
+//	afsimd_requests_total{endpoint,tenant,code}   requests served
+//	afsimd_admission_rejections_total{reason}     admission refusals
+//	afsimd_queue_wait_seconds                     dispatcher slot waits
+//	afsimd_run_seconds                            run wall time
+//	afsimd_run_phase_seconds{phase}               build/run/analyze split
+//	afsimd_run_rounds                             rounds per run
+//	afsimd_run_messages_total                     messages across all runs
+//	afsimd_run_timeouts_total                     watchdog-expired runs
+//	afsimd_panics_recovered_total                 panics isolated by executeRun
+//	afsimd_session_pool_hits_total                pooled-session reuses
+//	afsimd_session_pool_builds_total              fresh session builds
+//	afsimd_runs_running / afsimd_runs_queued      occupancy (set at scrape)
+//	afsimd_sessions_idle                          pool occupancy (at scrape)
+//	afsimd_uptime_seconds                         daemon uptime (at scrape)
+//
+// Sweeps additionally record the scenario_* families (scenario.Telemetry)
+// into the same registry.
+type serviceMetrics struct {
+	reg *obs.Registry
+
+	requests   *obs.CounterVec
+	rejections *obs.CounterVec
+	queueWait  *obs.Histogram
+
+	runSeconds  *obs.Histogram
+	runPhases   *obs.HistogramVec
+	runRounds   *obs.Histogram
+	runMessages *obs.Counter
+	runTimeouts *obs.Counter
+	panics      *obs.Counter
+
+	poolHits   *obs.Counter
+	poolBuilds *obs.Counter
+
+	running  *obs.Gauge
+	queued   *obs.Gauge
+	idle     *obs.Gauge
+	uptime   *obs.Gauge
+	sweepTel *scenario.Telemetry
+}
+
+// newServiceMetrics registers the afsimd_* families on reg (idempotent, so
+// several Servers may share one registry).
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		reg:         reg,
+		requests:    reg.CounterVec("afsimd_requests_total", "HTTP requests served, by route pattern, tenant, and status code.", "endpoint", "tenant", "code"),
+		rejections:  reg.CounterVec("afsimd_admission_rejections_total", "Requests refused by the admission pipeline, by reason.", "reason"),
+		queueWait:   reg.Histogram("afsimd_queue_wait_seconds", "Time admitted requests waited for a dispatcher slot.", obs.LatencyBuckets()),
+		runSeconds:  reg.Histogram("afsimd_run_seconds", "Wall-clock duration of executed runs.", obs.LatencyBuckets()),
+		runPhases:   reg.HistogramVec("afsimd_run_phase_seconds", "Per-run phase durations (build/run/analyze).", obs.LatencyBuckets(), "phase"),
+		runRounds:   reg.Histogram("afsimd_run_rounds", "Rounds per executed run.", obs.RoundBuckets()),
+		runMessages: reg.Counter("afsimd_run_messages_total", "Messages sent across all executed runs."),
+		runTimeouts: reg.Counter("afsimd_run_timeouts_total", "Runs killed by the per-request watchdog."),
+		panics:      reg.Counter("afsimd_panics_recovered_total", "Panics recovered at the run isolation boundary."),
+		poolHits:    reg.Counter("afsimd_session_pool_hits_total", "Runs served from a pooled session."),
+		poolBuilds:  reg.Counter("afsimd_session_pool_builds_total", "Runs that built a fresh session."),
+		running:     reg.Gauge("afsimd_runs_running", "Runs executing right now (set at scrape)."),
+		queued:      reg.Gauge("afsimd_runs_queued", "Requests waiting for a dispatcher slot (set at scrape)."),
+		idle:        reg.Gauge("afsimd_sessions_idle", "Idle pooled sessions (set at scrape)."),
+		uptime:      reg.Gauge("afsimd_uptime_seconds", "Whole seconds since the server was built (set at scrape)."),
+		sweepTel:    scenario.NewTelemetry(reg),
+	}
+}
+
+// recordRun records one executed run's outcome metrics.
+func (m *serviceMetrics) recordRun(d time.Duration, rounds, messages int) {
+	m.runSeconds.Observe(d.Seconds())
+	m.runRounds.Observe(float64(rounds))
+	m.runMessages.Add(uint64(messages))
+}
+
+// statusRecorder captures the response status for the request counter while
+// passing flushes through (streamed responses rely on per-event flushing).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements http.ResponseWriter, defaulting the code like net/http.
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// Flush implements http.Flusher when the wrapped writer does.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// countRequests is the outermost middleware: it counts every served request
+// by matched route pattern, tenant, and status code after the handler
+// returns. Unmatched requests count under endpoint "unmatched" — the mux
+// decides the label, so the family's cardinality is bounded by the route
+// table (times tenants).
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sr, r)
+		endpoint := r.Pattern
+		if endpoint == "" {
+			endpoint = "unmatched"
+		}
+		code := sr.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.requests.With(endpoint, s.tenantOf(r), strconv.Itoa(code)).Inc()
+	})
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of the
+// registry. Occupancy and uptime gauges are sampled here, at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	s.metrics.running.Set(int64(st.Running))
+	s.metrics.queued.Set(int64(st.Queued))
+	s.metrics.idle.Set(int64(st.IdleSessions))
+	s.metrics.uptime.Set(int64(time.Since(s.started) / time.Second))
+	obs.Handler(s.metrics.reg).ServeHTTP(w, r)
+}

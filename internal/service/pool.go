@@ -6,6 +6,7 @@ import (
 	"amnesiacflood/internal/engine"
 	"amnesiacflood/internal/graph"
 	"amnesiacflood/internal/graph/gen"
+	"amnesiacflood/internal/obs"
 	"amnesiacflood/internal/sim"
 )
 
@@ -49,13 +50,16 @@ type sessionPool struct {
 	idle  map[string][]*pooledSession
 	count int // total idle sessions across all keys
 	cap   int
+	// hits/builds count pool reuses vs. fresh constructions (the pool's
+	// hit ratio is hits / (hits + builds)); nil-safe for bare pools.
+	hits, builds *obs.Counter
 }
 
-func newSessionPool(capacity int) *sessionPool {
+func newSessionPool(capacity int, hits, builds *obs.Counter) *sessionPool {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &sessionPool{idle: map[string][]*pooledSession{}, cap: capacity}
+	return &sessionPool{idle: map[string][]*pooledSession{}, cap: capacity, hits: hits, builds: builds}
 }
 
 // get returns an idle session for the run configuration, building one when
@@ -69,9 +73,15 @@ func (p *sessionPool) get(nr *runSpec) (*pooledSession, error) {
 		p.idle[key] = q[:len(q)-1]
 		p.count--
 		p.mu.Unlock()
+		if p.hits != nil {
+			p.hits.Inc()
+		}
 		return ps, nil
 	}
 	p.mu.Unlock()
+	if p.builds != nil {
+		p.builds.Inc()
+	}
 	return buildSession(nr)
 }
 

@@ -25,7 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"amnesiacflood/internal/engine"
+	"amnesiacflood/internal/obs"
 )
 
 // Config parameterises a Server. The zero value is usable: every field
@@ -68,9 +69,15 @@ type Config struct {
 	// SweepWorkers bounds the scenario workers one sweep uses internally
 	// (a sweep occupies one dispatcher slot regardless). Default 4.
 	SweepWorkers int
-	// Logger receives serving-discipline events (panics, drain). Default
-	// log.Default(); use a discard logger to silence.
-	Logger *log.Logger
+	// Logger receives serving-discipline events (panics, drain) as
+	// structured records. Default slog.Default(); use
+	// slog.New(slog.DiscardHandler) to silence.
+	Logger *slog.Logger
+	// Metrics is the registry the server records its afsimd_* families
+	// into and exposes on GET /metrics. Default: a fresh private registry
+	// (the server always records; sharing one registry across servers or
+	// with other subsystems is what this hook is for).
+	Metrics *obs.Registry
 }
 
 // withDefaults resolves the documented defaults.
@@ -109,7 +116,10 @@ func (c Config) withDefaults() Config {
 		c.SweepWorkers = 4
 	}
 	if c.Logger == nil {
-		c.Logger = log.Default()
+		c.Logger = slog.Default()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	return c
 }
@@ -121,6 +131,8 @@ type Server struct {
 	limiter  *limiter
 	disp     *dispatcher
 	pool     *sessionPool
+	metrics  *serviceMetrics
+	started  time.Time
 	mu       sync.Mutex
 	draining bool
 }
@@ -128,22 +140,27 @@ type Server struct {
 // New builds a Server from the config (zero value fine).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		limiter: newLimiter(cfg.Tenant, cfg.TenantOverrides),
 		disp:    newDispatcher(cfg.Workers, cfg.QueueDepth),
-		pool:    newSessionPool(cfg.PoolSessions),
+		metrics: newServiceMetrics(cfg.Metrics),
+		started: time.Now(),
 	}
+	s.pool = newSessionPool(cfg.PoolSessions, s.metrics.poolHits, s.metrics.poolBuilds)
+	return s
 }
 
-// Handler returns the service's route table.
+// Handler returns the service's route table, wrapped in the
+// request-counting middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.countRequests(mux)
 }
 
 // Drain gracefully shuts the server down: new runs are refused with 503,
@@ -156,7 +173,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	s.cfg.Logger.Printf("service: draining (running=%d queued=%d)", s.running(), s.queuedCount())
+	s.cfg.Logger.Info("service: draining", "running", s.running(), "queued", s.queuedCount())
 	select {
 	case <-s.disp.drain():
 		return nil
@@ -232,7 +249,8 @@ func (s *Server) executeRun(ctx context.Context, nr *runSpec, obs engine.RoundOb
 		if panicked {
 			if r := recover(); r != nil {
 				stack := debug.Stack()
-				s.cfg.Logger.Printf("service: recovered run panic: %v\n%s", r, stack)
+				s.cfg.Logger.Error("service: recovered run panic", "panic", r, "stack", string(stack))
+				s.metrics.panics.Inc()
 				err = &errPanic{val: r, stack: stack}
 				return
 			}
@@ -244,7 +262,9 @@ func (s *Server) executeRun(ctx context.Context, nr *runSpec, obs engine.RoundOb
 	}()
 
 	ps.relay.target = obs
+	start := time.Now()
 	res, err = ps.sess.RunFrom(runCtx, nr.origins)
+	elapsed := time.Since(start)
 	panicked = false
 	ps.relay.target = nil
 
@@ -252,6 +272,15 @@ func (s *Server) executeRun(ctx context.Context, nr *runSpec, obs engine.RoundOb
 	// context is deadline-exceeded while the parent is still live.
 	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 		timedOut = true
+	}
+	if timedOut {
+		s.metrics.runTimeouts.Inc()
+	}
+	if err == nil {
+		s.metrics.recordRun(elapsed, res.Rounds, res.TotalMessages)
+		s.metrics.runPhases.With("build").Observe(res.Phases.Build.Seconds())
+		s.metrics.runPhases.With("run").Observe(res.Phases.Run.Seconds())
+		s.metrics.runPhases.With("analyze").Observe(res.Phases.Analyze.Seconds())
 	}
 	return res, g, timedOut, err
 }

@@ -12,7 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -160,7 +160,7 @@ func terminal(t *testing.T, events []service.RunEvent) service.RunEvent {
 func boolp(b bool) *bool { return &b }
 
 // discardLogger silences expected panic logs in tests that inject panics.
-func discardLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+func discardLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
 
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
@@ -745,6 +745,7 @@ func TestSessionPoolReuse(t *testing.T) {
 		t.Fatal("no session pooled after a completed run")
 	}
 	results[0].WallMicros, results[1].WallMicros = 0, 0
+	results[0].Phases, results[1].Phases = nil, nil
 	a, _ := json.Marshal(results[0])
 	b, _ := json.Marshal(results[1])
 	if string(a) != string(b) {
@@ -812,5 +813,73 @@ func TestSSEFormat(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(raw), "data: ") || !strings.Contains(string(raw), "\n\n") {
 		t.Fatalf("SSE framing missing in %q", raw[:min(len(raw), 120)])
+	}
+}
+
+// TestMetricsEndpoint drives one unary run, one sweep, and one rejected
+// request through the daemon, then scrapes GET /metrics and asserts the
+// telemetry families fired: request counts labeled by endpoint/tenant/code,
+// run latency and phase histograms, pool counters, occupancy gauges, the
+// sweep's scenario_* rows, and healthz's uptime/version satellites.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, service.Config{})
+	_ = srv
+
+	resp := postRun(t, ts, "acme", service.RunRequest{Graph: "grid:rows=8,cols=8", Engine: "fast", Stream: boolp(false)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	sweepBody, _ := json.Marshal(map[string]any{"graphs": []string{"cycle:n=8"}, "seeds": []int64{1}})
+	sresp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(string(sweepBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`afsimd_requests_total{endpoint="POST /v1/run",tenant="acme",code="200"} 1`,
+		`afsimd_requests_total{endpoint="POST /v1/sweep",tenant="default",code="200"} 1`,
+		"afsimd_run_seconds_count 1",
+		`afsimd_run_phase_seconds_count{phase="run"} 1`,
+		"afsimd_session_pool_builds_total 1",
+		"afsimd_uptime_seconds",
+		"scenario_rows_total",
+		"afsimd_queue_wait_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", text)
+	}
+
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health service.HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Version == "" {
+		t.Fatalf("healthz = %+v, want ok status and a version", health)
 	}
 }

@@ -97,6 +97,17 @@ type RunResult struct {
 	// WallMicros is the server-side wall-clock run time in microseconds
 	// (nondeterministic, excluded from any equality contract).
 	WallMicros int64 `json:"wallMicros"`
+	// Phases splits WallMicros into build/run/analyze (engine.PhaseTimings
+	// in microseconds). Like WallMicros it is nondeterministic bookkeeping,
+	// excluded from any equality contract.
+	Phases *RunPhases `json:"phases,omitempty"`
+}
+
+// RunPhases is the wire shape of one run's phase split, in microseconds.
+type RunPhases struct {
+	BuildMicros   int64 `json:"buildMicros,omitempty"`
+	RunMicros     int64 `json:"runMicros,omitempty"`
+	AnalyzeMicros int64 `json:"analyzeMicros,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.
@@ -286,6 +297,13 @@ func wireResult(g graphInfo, nr *runSpec, res engine.Result) *RunResult {
 	}
 	if res.Certificate != nil {
 		out.CycleStart, out.CycleLength = res.Certificate.Start, res.Certificate.Length
+	}
+	if res.Phases != (engine.PhaseTimings{}) {
+		out.Phases = &RunPhases{
+			BuildMicros:   res.Phases.Build.Microseconds(),
+			RunMicros:     res.Phases.Run.Microseconds(),
+			AnalyzeMicros: res.Phases.Analyze.Microseconds(),
+		}
 	}
 	return out
 }

@@ -22,11 +22,12 @@ package shard
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"sync"
 	"time"
 
 	"amnesiacflood/internal/chaos"
+	"amnesiacflood/internal/obs"
 	"amnesiacflood/internal/scenario"
 )
 
@@ -53,8 +54,14 @@ type CoordinatorConfig struct {
 	// A sink error aborts the suite: Wait returns it and workers are told
 	// StatusDone.
 	Sink scenario.Sink
-	// Logger receives lease-lifecycle events. Default log.Default().
-	Logger *log.Logger
+	// Logger receives lease-lifecycle events as structured records.
+	// Default slog.Default(); use slog.New(slog.DiscardHandler) to
+	// silence.
+	Logger *slog.Logger
+	// Metrics is the registry the coordinator records its afshard_*
+	// families into and exposes on GET /metrics. Default: a fresh private
+	// registry.
+	Metrics *obs.Registry
 }
 
 // groupState is a shard group's lifecycle position.
@@ -82,7 +89,9 @@ type shardGroup struct {
 // NewCoordinator, mount Handler on an http.Server, and Wait for the merged
 // results.
 type Coordinator struct {
-	cfg CoordinatorConfig
+	cfg     CoordinatorConfig
+	metrics *shardMetrics
+	started time.Time
 
 	mu        sync.Mutex
 	groups    []*shardGroup
@@ -111,7 +120,10 @@ func NewCoordinator(specs []scenario.Spec, cfg CoordinatorConfig) (*Coordinator,
 		cfg.LeaseTTL = DefaultLeaseTTL
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = log.Default()
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
 	}
 	if cfg.Run.Chaos != "" {
 		if _, err := chaos.Parse(cfg.Run.Chaos); err != nil {
@@ -120,6 +132,8 @@ func NewCoordinator(specs []scenario.Spec, cfg CoordinatorConfig) (*Coordinator,
 	}
 	c := &Coordinator{
 		cfg:     cfg,
+		metrics: newShardMetrics(cfg.Metrics),
+		started: time.Now(),
 		byLease: map[string]*shardGroup{},
 		seen:    map[string]bool{},
 		done:    make(chan struct{}),
@@ -159,6 +173,7 @@ func NewCoordinator(specs []scenario.Spec, cfg CoordinatorConfig) (*Coordinator,
 		grp.ids[id] = true
 	}
 	c.remaining = len(c.groups)
+	c.metrics.replayed.Add(uint64(c.replayed))
 	if c.remaining == 0 {
 		close(c.done) // fully resumed from the manifest
 	}
@@ -185,7 +200,8 @@ func (c *Coordinator) lease(worker string) LeaseResponse {
 		grp.worker = worker
 		grp.deadline = time.Now().Add(c.cfg.LeaseTTL)
 		c.byLease[grp.leaseID] = grp
-		c.cfg.Logger.Printf("shard: leased %s (%d specs) to %q as %s", grp.id, len(grp.specs), worker, grp.leaseID)
+		c.metrics.granted.Inc()
+		c.cfg.Logger.Info("shard: leased group", "group", grp.id, "specs", len(grp.specs), "worker", worker, "lease", grp.leaseID)
 		return LeaseResponse{
 			Status:  StatusLease,
 			LeaseID: grp.leaseID,
@@ -213,7 +229,8 @@ func (c *Coordinator) reclaimExpired() {
 	now := time.Now()
 	for _, grp := range c.groups {
 		if grp.state == stateLeased && now.After(grp.deadline) {
-			c.cfg.Logger.Printf("shard: lease %s on %s (worker %q) expired; reassigning", grp.leaseID, grp.id, grp.worker)
+			c.cfg.Logger.Warn("shard: lease expired; reassigning", "lease", grp.leaseID, "group", grp.id, "worker", grp.worker)
+			c.metrics.expired.Inc()
 			c.steals++
 			c.unlease(grp)
 		}
@@ -240,6 +257,7 @@ func (c *Coordinator) renew(leaseID string) RenewResponse {
 		return RenewResponse{Status: StatusStale}
 	}
 	grp.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	c.metrics.renewed.Inc()
 	return RenewResponse{Status: StatusOK, TTLMs: c.cfg.LeaseTTL.Milliseconds()}
 }
 
@@ -281,6 +299,8 @@ func (c *Coordinator) complete(req *CompleteRequest) (CompleteResponse, error) {
 		}
 		c.seen[id] = true
 		merged++
+		c.metrics.rowsMerged.Inc()
+		c.metrics.attempts.Add(uint64(max(row.Attempts, 0)))
 	}
 	covered := true
 	for id := range grp.ids {
@@ -295,8 +315,7 @@ func (c *Coordinator) complete(req *CompleteRequest) (CompleteResponse, error) {
 		}
 		grp.state = stateDone
 		c.remaining--
-		c.cfg.Logger.Printf("shard: group %s done (%d rows from %q, stale=%v); %d groups remain",
-			grp.id, merged, req.Worker, stale, c.remaining)
+		c.cfg.Logger.Info("shard: group done", "group", grp.id, "merged", merged, "worker", req.Worker, "stale", stale, "remaining", c.remaining)
 		if c.remaining == 0 {
 			close(c.done)
 		}
@@ -309,6 +328,7 @@ func (c *Coordinator) complete(req *CompleteRequest) (CompleteResponse, error) {
 	if stale && merged == 0 {
 		status = StatusStale
 	}
+	c.metrics.completions.With(status).Inc()
 	return CompleteResponse{Status: status, Merged: merged}, nil
 }
 
@@ -337,7 +357,7 @@ func (c *Coordinator) abortLocked(err error) {
 	}
 	c.aborted = true
 	c.sinkErr = err
-	c.cfg.Logger.Printf("shard: aborting suite: %v", err)
+	c.cfg.Logger.Error("shard: aborting suite", "err", err)
 	if c.remaining > 0 {
 		close(c.done)
 	}

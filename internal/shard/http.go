@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"amnesiacflood/internal/obs"
 )
 
 // This file is the coordinator's HTTP surface. The endpoints are a pull
@@ -31,6 +34,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/renew", c.handleRenew)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return mux
 }
 
@@ -77,8 +81,14 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.lease(req.Worker))
 }
 
-// handleComplete is POST /v1/complete.
+// handleComplete is POST /v1/complete. Wire bytes (pre-decompression) feed
+// the upload-bytes counter through a counting reader, so the metric reflects
+// what actually crossed the network, not the inflated JSON.
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	r.Body = struct {
+		io.Reader
+		io.Closer
+	}{&countingReader{r: r.Body, c: c.metrics.uploadBytes}, r.Body}
 	var req CompleteRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -109,8 +119,13 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // healthResponse is GET /healthz.
 type healthResponse struct {
-	Status string         `json:"status"`
-	Stats  StatusResponse `json:"stats"`
+	Status string `json:"status"`
+	// UptimeSeconds is whole seconds since the coordinator was built.
+	UptimeSeconds int64 `json:"uptimeSeconds"`
+	// Version is the main module's build version ("unknown" for plain
+	// source builds without module metadata).
+	Version string         `json:"version"`
+	Stats   StatusResponse `json:"stats"`
 }
 
 // handleHealthz is GET /healthz: "ok" while distributing, "complete" once
@@ -122,5 +137,10 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if st.Complete {
 		status = "complete"
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: status, Stats: st})
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        status,
+		UptimeSeconds: int64(time.Since(c.started) / time.Second),
+		Version:       obs.Version(),
+		Stats:         st,
+	})
 }

@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"amnesiacflood/internal/obs"
+)
+
+// This file is the shard layer's telemetry: the afshard_* families the
+// coordinator exposes on GET /metrics, and the worker-side counters. As
+// everywhere in this repository, recording sits strictly on the observing
+// side of decisions — lease grants, merges, and steals consult no metric —
+// so the merged suite stays byte-identical with or without a scraper
+// attached.
+//
+// Coordinator families (see README.md for the contract):
+//
+//	afshard_leases_granted_total        leases handed to workers
+//	afshard_leases_renewed_total        successful heartbeat renewals
+//	afshard_leases_expired_total        TTL expiries (= steals: the next
+//	                                    idle worker re-leases the group)
+//	afshard_completions_total{status}   uploads, by merge status (ok/stale)
+//	afshard_rows_merged_total           first-write-wins merged rows
+//	afshard_rows_replayed_total         rows resumed from the manifest
+//	afshard_run_attempts_total          attempts consumed by merged rows
+//	afshard_upload_bytes_total          wire bytes of /v1/complete bodies
+//	afshard_groups_{pending,leased,done} and afshard_uptime_seconds are
+//	gauges sampled at scrape time.
+//
+// Workers given a registry additionally record afshard_worker_* counters
+// and the scenario_* families of their lease runner (scenario.Telemetry).
+type shardMetrics struct {
+	reg *obs.Registry
+
+	granted     *obs.Counter
+	renewed     *obs.Counter
+	expired     *obs.Counter
+	completions *obs.CounterVec
+	rowsMerged  *obs.Counter
+	replayed    *obs.Counter
+	attempts    *obs.Counter
+	uploadBytes *obs.Counter
+
+	pending *obs.Gauge
+	leased  *obs.Gauge
+	done    *obs.Gauge
+	uptime  *obs.Gauge
+}
+
+// newShardMetrics registers the coordinator families on reg (idempotent).
+func newShardMetrics(reg *obs.Registry) *shardMetrics {
+	return &shardMetrics{
+		reg:         reg,
+		granted:     reg.Counter("afshard_leases_granted_total", "Group leases granted to workers."),
+		renewed:     reg.Counter("afshard_leases_renewed_total", "Lease heartbeats accepted."),
+		expired:     reg.Counter("afshard_leases_expired_total", "Leases expired past their TTL and returned for stealing."),
+		completions: reg.CounterVec("afshard_completions_total", "Group uploads processed, by merge status.", "status"),
+		rowsMerged:  reg.Counter("afshard_rows_merged_total", "Result rows merged first-write-wins."),
+		replayed:    reg.Counter("afshard_rows_replayed_total", "Rows resumed from the manifest journal without a worker."),
+		attempts:    reg.Counter("afshard_run_attempts_total", "Run attempts consumed by merged rows (sum of row attempts)."),
+		uploadBytes: reg.Counter("afshard_upload_bytes_total", "Wire bytes received on /v1/complete, before decompression."),
+		pending:     reg.Gauge("afshard_groups_pending", "Groups awaiting a lease (set at scrape)."),
+		leased:      reg.Gauge("afshard_groups_leased", "Groups leased out right now (set at scrape)."),
+		done:        reg.Gauge("afshard_groups_done", "Groups fully merged (set at scrape)."),
+		uptime:      reg.Gauge("afshard_uptime_seconds", "Whole seconds since the coordinator was built (set at scrape)."),
+	}
+}
+
+// countingReader counts wire bytes into a counter as they are read.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of the
+// coordinator registry, with occupancy gauges sampled at scrape time.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := c.Status()
+	c.metrics.pending.Set(int64(st.Pending))
+	c.metrics.leased.Set(int64(st.Leased))
+	c.metrics.done.Set(int64(st.Done))
+	c.metrics.uptime.Set(int64(time.Since(c.started) / time.Second))
+	obs.Handler(c.metrics.reg).ServeHTTP(w, r)
+}

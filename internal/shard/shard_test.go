@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -24,7 +24,7 @@ import (
 )
 
 // quiet drops lease-lifecycle chatter from test output.
-var quiet = log.New(io.Discard, "", 0)
+var quiet = slog.New(slog.DiscardHandler)
 
 // testMatrix is the invariance matrix: several session-sharing groups (three
 // graph families × two protocols), two seeds each.

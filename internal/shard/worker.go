@@ -7,12 +7,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"amnesiacflood/internal/chaos"
+	"amnesiacflood/internal/obs"
 	"amnesiacflood/internal/scenario"
 )
 
@@ -36,8 +37,15 @@ type WorkerConfig struct {
 	// MaxErrors bounds consecutive transport failures before the worker
 	// gives up on the coordinator. Default 30.
 	MaxErrors int
-	// Logger receives lease-lifecycle events. Default log.Default().
-	Logger *log.Logger
+	// Logger receives lease-lifecycle events as structured records.
+	// Default slog.Default(); use slog.New(slog.DiscardHandler) to
+	// silence.
+	Logger *slog.Logger
+	// Metrics, when non-nil, receives the worker's telemetry: the
+	// afshard_worker_* counters and the scenario_* families of every lease
+	// runner (scenario.Telemetry). In-process fleets (afbench -shard-local)
+	// share one registry across workers, so the totals aggregate.
+	Metrics *obs.Registry
 }
 
 // Worker pulls spec-group leases from a coordinator, executes them through
@@ -47,6 +55,11 @@ type WorkerConfig struct {
 // and its lease expires back to the pool.
 type Worker struct {
 	cfg WorkerConfig
+	// tel/leases/uploads are nil without a Metrics registry (recording is
+	// nil-safe for tel; the counters are guarded).
+	tel     *scenario.Telemetry
+	leases  *obs.Counter
+	uploads *obs.Counter
 }
 
 // NewWorker validates the config and returns a Worker.
@@ -68,9 +81,15 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cfg.MaxErrors = 30
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = log.Default()
+		cfg.Logger = slog.Default()
 	}
-	return &Worker{cfg: cfg}, nil
+	w := &Worker{cfg: cfg}
+	if cfg.Metrics != nil {
+		w.tel = scenario.NewTelemetry(cfg.Metrics)
+		w.leases = cfg.Metrics.Counter("afshard_worker_leases_total", "Leases this worker executed.")
+		w.uploads = cfg.Metrics.Counter("afshard_worker_uploads_total", "Completed-group uploads this worker sent.")
+	}
+	return w, nil
 }
 
 // Run polls the coordinator until it reports the suite done (returning nil),
@@ -120,11 +139,15 @@ func (w *Worker) Run(ctx context.Context) error {
 // the lease was reassigned: the group run is cancelled and its rows are
 // dropped (the thief's rows are identical anyway).
 func (w *Worker) executeLease(ctx context.Context, lease *LeaseResponse) error {
+	if w.leases != nil {
+		w.leases.Inc()
+	}
 	runner := &scenario.Runner{
 		Workers:    w.cfg.Pool,
 		RunTimeout: lease.Config.runTimeout(),
 		Retries:    lease.Config.Retries,
 		Backoff:    lease.Config.backoff(),
+		Metrics:    w.tel,
 	}
 	if lease.Config.Chaos != "" {
 		inj, err := chaos.Parse(lease.Config.Chaos)
@@ -149,7 +172,7 @@ func (w *Worker) executeLease(ctx context.Context, lease *LeaseResponse) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		w.cfg.Logger.Printf("shard: %s: abandoning %s (%v)", w.cfg.Name, lease.GroupID, err)
+		w.cfg.Logger.Warn("shard: abandoning group", "worker", w.cfg.Name, "group", lease.GroupID, "err", err)
 		return nil
 	}
 	var resp CompleteResponse
@@ -166,7 +189,10 @@ func (w *Worker) executeLease(ctx context.Context, lease *LeaseResponse) error {
 			return ctx.Err()
 		}
 	}
-	w.cfg.Logger.Printf("shard: %s: completed %s (%d rows, status %s)", w.cfg.Name, lease.GroupID, len(rows), resp.Status)
+	if w.uploads != nil {
+		w.uploads.Inc()
+	}
+	w.cfg.Logger.Info("shard: completed group", "worker", w.cfg.Name, "group", lease.GroupID, "rows", len(rows), "status", resp.Status)
 	return nil
 }
 
@@ -195,7 +221,7 @@ func (w *Worker) heartbeat(ctx context.Context, lease *LeaseResponse, cancel con
 				continue // transient; the lease survives until its TTL
 			}
 			if resp.Status != StatusOK {
-				w.cfg.Logger.Printf("shard: %s: lease %s no longer ours (%s); cancelling group", w.cfg.Name, lease.LeaseID, resp.Status)
+				w.cfg.Logger.Warn("shard: lease no longer ours; cancelling group", "worker", w.cfg.Name, "lease", lease.LeaseID, "status", resp.Status)
 				cancel()
 				return
 			}

@@ -291,7 +291,8 @@ func (s *Session) Witnesses() ([]graph.NodeID, bool) {
 // stamped with the substrate name, the model spec, the outcome, and the
 // wall-clock duration.
 func (s *Session) Run(ctx context.Context) (engine.Result, error) {
-	return s.runProto(ctx, s.built, s.origins)
+	// The protocol was built at New time, so the per-run build phase is 0.
+	return s.runProto(ctx, s.built, s.origins, 0)
 }
 
 // runProto executes one protocol instance — the façade's single substrate
@@ -300,7 +301,10 @@ func (s *Session) Run(ctx context.Context) (engine.Result, error) {
 // Parallel kinds on a session-owned fastengine.Engine. All session-owned
 // engines are reused across calls, so repeated runs amortise their arenas;
 // New has already validated s.kind, so the default arm is Sequential.
-func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins []graph.NodeID) (engine.Result, error) {
+// build is the already-spent per-run protocol construction time, stamped
+// into Result.Phases alongside the run and analyze phases measured here —
+// the per-run timing surfaced in service responses and suite telemetry.
+func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins []graph.NodeID, build time.Duration) (engine.Result, error) {
 	start := time.Now()
 	opts := s.options()
 	if s.analyses != nil {
@@ -353,17 +357,21 @@ func (s *Session) runProto(ctx context.Context, proto engine.Protocol, origins [
 		res.Engine = s.kind.String()
 	}
 	res.Model = s.mdl.Spec.String()
+	res.Phases.Build = build
+	res.Phases.Run = time.Since(start)
 	if res.Outcome == engine.OutcomeNone && res.Terminated {
 		res.Outcome = engine.OutcomeTerminated
 	}
 	if err == nil && s.analyses != nil {
+		analyzeStart := time.Now()
 		metrics, ferr := s.analyses.Finish(res)
 		if ferr != nil {
 			return res, fmt.Errorf("sim: %w", ferr)
 		}
 		res.Metrics = metrics
+		res.Phases.Analyze = time.Since(analyzeStart)
 	}
-	res.WallTime = time.Since(start)
+	res.WallTime = build + time.Since(start)
 	return res, err
 }
 
@@ -381,11 +389,12 @@ func (s *Session) RunFrom(ctx context.Context, origins []graph.NodeID) (engine.R
 	if len(origins) == 0 {
 		origins = []graph.NodeID{0}
 	}
+	buildStart := time.Now()
 	proto, err := NewProtocol(s.protoName, s.spec(origins))
 	if err != nil {
 		return engine.Result{}, err
 	}
-	return s.runProto(ctx, proto, origins)
+	return s.runProto(ctx, proto, origins, time.Since(buildStart))
 }
 
 // RunBatch executes one run per source, each a fresh instance of the
@@ -400,11 +409,12 @@ func (s *Session) RunBatch(ctx context.Context, sources []graph.NodeID) ([]engin
 	}
 	results := make([]engine.Result, 0, len(sources))
 	for _, src := range sources {
+		buildStart := time.Now()
 		proto, err := NewProtocol(s.protoName, s.spec([]graph.NodeID{src}))
 		if err != nil {
 			return results, err
 		}
-		res, err := s.runProto(ctx, proto, []graph.NodeID{src})
+		res, err := s.runProto(ctx, proto, []graph.NodeID{src}, time.Since(buildStart))
 		if err != nil {
 			return results, fmt.Errorf("sim: batch source %d: %w", src, err)
 		}

@@ -576,6 +576,7 @@ func TestReflectDeepEqualBatchReuse(t *testing.T) {
 	}
 	for i := range first {
 		first[i].WallTime, second[i].WallTime = 0, 0
+		first[i].Phases, second[i].Phases = engine.PhaseTimings{}, engine.PhaseTimings{}
 		if !reflect.DeepEqual(first[i], second[i]) {
 			t.Fatalf("batch rerun differs at source %d", sources[i])
 		}

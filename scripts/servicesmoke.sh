@@ -35,8 +35,11 @@ until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
     sleep 0.1
 done
 
-echo "== healthz"
-curl -sf "$BASE/healthz" | grep -q '"status":"ok"'
+echo "== healthz reports status, uptime, and version"
+HEALTH=$(curl -sf "$BASE/healthz")
+echo "$HEALTH" | grep -q '"status":"ok"'
+echo "$HEALTH" | grep -q '"uptimeSeconds"'
+echo "$HEALTH" | grep -q '"version"'
 
 echo "== registry enumerates all five axes"
 REG=$(curl -sf "$BASE/v1/registry")
@@ -74,6 +77,17 @@ if echo "$SWEEP" | tail -n 1 | grep -q '"failed"'; then
     echo "sweep reported failed cells: $(echo "$SWEEP" | tail -n 1)" >&2
     exit 1
 fi
+
+echo "== metrics exposes non-zero request, run, and sweep series"
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -Eq '^afsimd_requests_total\{[^}]*endpoint="POST /v1/run"[^}]*\} [1-9]' \
+    || { echo "no non-zero afsimd_requests_total for POST /v1/run" >&2; exit 1; }
+echo "$METRICS" | grep -Eq '^afsimd_run_seconds_count [1-9]' \
+    || { echo "no non-zero afsimd_run_seconds_count" >&2; exit 1; }
+echo "$METRICS" | grep -Eq '^afsimd_run_phase_seconds_count\{phase="run"\} [1-9]' \
+    || { echo "no non-zero afsimd_run_phase_seconds_count" >&2; exit 1; }
+echo "$METRICS" | grep -Eq '^scenario_rows_total\{[^}]*\} [1-9]' \
+    || { echo "no non-zero scenario_rows_total from the sweep" >&2; exit 1; }
 
 echo "== bad spec answers a structured 400"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/run" \

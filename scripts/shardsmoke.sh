@@ -64,7 +64,7 @@ SURVIVOR_PID=$!
 # kill lands mid-suite with a group in flight (chaos stalls keep the group
 # busy for hundreds of milliseconds).
 i=0
-until grep -q 'to "doomed"' "$DIR/coord.log" 2>/dev/null; do
+until grep -q 'worker=doomed' "$DIR/coord.log" 2>/dev/null; do
     i=$((i + 1))
     if [ "$i" -gt 200 ]; then
         echo "doomed worker never got a lease; log:" >&2
@@ -73,6 +73,15 @@ until grep -q 'to "doomed"' "$DIR/coord.log" 2>/dev/null; do
     fi
     sleep 0.05
 done
+echo "== coordinator metrics and healthz expose lease telemetry"
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -Eq '^afshard_leases_granted_total [1-9]' \
+    || { echo "no non-zero afshard_leases_granted_total" >&2; exit 1; }
+echo "$METRICS" | grep -q '^afshard_groups_pending' \
+    || { echo "no afshard_groups_pending gauge" >&2; exit 1; }
+curl -sf "$BASE/healthz" | grep -q '"version"' \
+    || { echo "healthz misses version" >&2; exit 1; }
+
 kill -KILL "$DOOMED_PID" 2>/dev/null || true
 DOOMED_PID=""
 
